@@ -1,0 +1,74 @@
+// §8 negative result — "Are IPv6 telescopes suitable to monitor DDoS?"
+// IPv4 telescopes see DDoS via backscatter from randomly spoofed sources;
+// in IPv6 a randomly spoofed address virtually never falls into telescope
+// space. This bench simulates attack backscatter and measures capture.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "bench/harness.hpp"
+#include "bgp/rib.hpp"
+#include "sim/rng.hpp"
+#include "telescope/fabric.hpp"
+
+int main() {
+  using namespace v6t;
+  std::cout << "== Ablation: DDoS backscatter visibility ==\n";
+
+  // A fresh world with only the telescopes announced — no scanners.
+  sim::Engine engine;
+  bgp::Rib rib;
+  core::ExperimentConfig config; // for the address plan
+  rib.announce(config.t1Base, config.ourAsn, sim::kEpoch);
+  rib.announce(config.t2Prefix, config.ourAsn, sim::kEpoch);
+  rib.announce(config.covering, config.coveringAsn, sim::kEpoch);
+  telescope::DeliveryFabric fabric{engine, rib};
+  telescope::Telescope t1{{"T1", {config.t1Base}, telescope::Mode::Passive,
+                           {}, {}}};
+  telescope::Telescope t2{{"T2", {config.t2Prefix}, telescope::Mode::Passive,
+                           {}, {}}};
+  fabric.attach(t1);
+  fabric.attach(t2);
+
+  // A victim under attack answers spoofed SYNs with SYN/ACK backscatter.
+  // Spoofed sources are uniform in the allocated 2000::/3 (generous: real
+  // attackers often spoof even wider, lowering telescope hits further).
+  sim::Rng rng{1};
+  const net::Prefix spoofSpace = net::Prefix::mustParse("2000::/3");
+  const std::uint64_t backscatter = 20'000'000;
+  std::uint64_t captured = 0;
+  for (std::uint64_t i = 0; i < backscatter; ++i) {
+    // Cheap path: test routability without building full packets (the
+    // fabric would drop unroutable ones anyway); only build a packet for
+    // the rare routable case.
+    const net::Ipv6Address dst = spoofSpace.addressAt(
+        (static_cast<net::u128>(rng.next()) << 64) | rng.next());
+    if (!rib.isRoutable(dst)) continue;
+    net::Packet p;
+    p.src = net::Ipv6Address::mustParse("3fff:dead::1"); // the victim
+    p.dst = dst;
+    p.proto = net::Protocol::Tcp;
+    p.srcPort = 443;
+    if (fabric.send(std::move(p)).captured) ++captured;
+  }
+
+  analysis::TextTable table{{"metric", "value"}};
+  table.addRow({"backscatter packets emitted",
+                analysis::withThousands(backscatter)});
+  table.addRow({"captured by telescopes", analysis::withThousands(captured)});
+  // Analytic expectation: covered space / 2^125 addresses of 2000::/3.
+  const double coveredShare =
+      (std::pow(2.0, 128.0 - 32.0) + std::pow(2.0, 128.0 - 48.0) +
+       std::pow(2.0, 128.0 - 29.0)) /
+      std::pow(2.0, 125.0);
+  table.addRow({"P(single packet lands in covered space)",
+                analysis::fixed(coveredShare * 1e9, 3) + " x 1e-9"});
+  table.addRow({"expected captures at this volume",
+                analysis::fixed(coveredShare * static_cast<double>(backscatter),
+                                4)});
+  table.render(std::cout);
+  std::cout << "paper §8: telescopes cannot monitor IPv6 DDoS — randomly "
+               "spoofed backscatter essentially never hits telescope "
+               "space (the IPv4 technique does not carry over)\n";
+  return 0;
+}

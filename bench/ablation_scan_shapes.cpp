@@ -1,0 +1,69 @@
+// Ablation — scan shapes and streaming counters on the captured corpus:
+// (a) horizontal vs vertical port scanning per telescope (Table 4's
+// commentary), (b) HyperLogLog live-counter accuracy against the exact
+// distinct-source counts a production telescope cannot afford to keep.
+#include <cmath>
+
+#include "analysis/portscan.hpp"
+#include "analysis/report.hpp"
+#include "analysis/stats.hpp"
+#include "bench/harness.hpp"
+#include "telescope/sketch.hpp"
+
+int main() {
+  using namespace v6t;
+  bench::RunContext ctx =
+      bench::runStandard("Ablation: scan shapes and streaming counters");
+
+  // (a) port-scan shapes per telescope.
+  analysis::TextTable shapes{{"telescope", "none", "horizontal", "vertical",
+                              "mixed", "sequential-port sessions"}};
+  for (std::size_t t = 0; t < 4; ++t) {
+    const auto& packets = ctx.experiment->telescope(t).capture().packets();
+    const auto& sessions = ctx.summary.telescope(t).sessions128;
+    std::uint64_t byShape[4] = {};
+    std::uint64_t sequential = 0;
+    for (const auto& s : sessions) {
+      const auto profile = analysis::profilePorts(packets, s);
+      ++byShape[static_cast<std::size_t>(profile.shape)];
+      sequential += profile.sequentialPorts ? 1 : 0;
+    }
+    shapes.addRow({ctx.experiment->telescope(t).name(),
+                   analysis::withThousands(byShape[0]),
+                   analysis::withThousands(byShape[1]),
+                   analysis::withThousands(byShape[2]),
+                   analysis::withThousands(byShape[3]),
+                   analysis::withThousands(sequential)});
+  }
+  shapes.render(std::cout);
+  std::cout << "expected shape: horizontal 80/443 sweeps dominate transport "
+               "sessions (Table 4: port 80 in 87% of TCP sessions)\n\n";
+
+  // (b) streaming-counter accuracy.
+  analysis::TextTable live{{"telescope", "exact /128", "HLL /128", "err %",
+                            "exact /64", "HLL /64", "err %"}};
+  for (std::size_t t = 0; t < 4; ++t) {
+    const auto& capture = ctx.experiment->telescope(t).capture();
+    telescope::LiveStats stats;
+    for (const auto& p : capture.packets()) stats.observe(p);
+    const double exact128 =
+        static_cast<double>(capture.distinctSources128());
+    const double exact64 = static_cast<double>(capture.distinctSources64());
+    auto err = [](double estimate, double exact) {
+      return exact == 0.0 ? 0.0 : 100.0 * std::abs(estimate - exact) / exact;
+    };
+    live.addRow(
+        {ctx.experiment->telescope(t).name(),
+         analysis::withThousands(capture.distinctSources128()),
+         analysis::fixed(stats.estimatedSources128(), 0),
+         analysis::fixed(err(stats.estimatedSources128(), exact128), 2),
+         analysis::withThousands(capture.distinctSources64()),
+         analysis::fixed(stats.estimatedSources64(), 0),
+         analysis::fixed(err(stats.estimatedSources64(), exact64), 2)});
+  }
+  live.render(std::cout);
+  std::cout << "a 4 KiB sketch per aggregation level tracks months of "
+               "distinct sources within ~2% — the live-dashboard path for "
+               "deployments that cannot retain full captures\n";
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Ablation — target generation strategies against a synthetic active-host
+// world: the dynamic TGA (density-guided + feedback) vs static low-byte
+// scanning vs uniform random probing. Quantifies why dynamic TGAs find
+// responsive space (and why T4-style responsiveness attracts them, §2).
+#include <cmath>
+#include <iostream>
+#include <unordered_set>
+
+#include "analysis/report.hpp"
+#include "net/prefix.hpp"
+#include "scanner/target_gen.hpp"
+#include "scanner/tga.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace v6t;
+
+/// Ground truth: active hosts live at low-byte addresses inside a handful
+/// of dense /48s of the /32 (a typical allocation pattern).
+class HostWorld {
+public:
+  explicit HostWorld(std::uint64_t seed) : rng_(seed) {
+    const net::Prefix base = net::Prefix::mustParse("3fff:100::/32");
+    for (int region = 0; region < 6; ++region) {
+      const auto subnet = rng_.below(1 << 16);
+      const net::Prefix p48 = base.subPrefix(subnet, 48);
+      dense_.push_back(p48);
+      for (int h = 0; h < 400; ++h) {
+        // Hosts: ::1..::ff in the low /64s of the /48.
+        const net::Ipv6Address host =
+            p48.addressAt((static_cast<net::u128>(rng_.below(16)) << 64) |
+                          (1 + rng_.below(255)));
+        hosts_.insert(host);
+      }
+    }
+  }
+
+  [[nodiscard]] bool alive(const net::Ipv6Address& a) const {
+    return hosts_.contains(a);
+  }
+  [[nodiscard]] const std::vector<net::Prefix>& denseRegions() const {
+    return dense_;
+  }
+  [[nodiscard]] std::size_t hostCount() const { return hosts_.size(); }
+
+  /// A few leaked hitlist seeds (what a scanner could know up front).
+  [[nodiscard]] std::vector<net::Ipv6Address> seeds(std::size_t n) {
+    std::vector<net::Ipv6Address> out;
+    auto it = hosts_.begin();
+    for (std::size_t i = 0; i < n && it != hosts_.end(); ++i, ++it) {
+      out.push_back(*it);
+    }
+    return out;
+  }
+
+private:
+  sim::Rng rng_;
+  std::vector<net::Prefix> dense_;
+  std::unordered_set<net::Ipv6Address> hosts_;
+};
+
+} // namespace
+
+int main() {
+  std::cout << "== Ablation: dynamic TGA vs static strategies ==\n";
+  HostWorld world{42};
+  const net::Prefix base = net::Prefix::mustParse("3fff:100::/32");
+  constexpr std::size_t kProbes = 200'000;
+
+  analysis::TextTable table{{"strategy", "probes", "hits", "hit rate",
+                             "dense /48s discovered"}};
+
+  auto denseDiscovered = [&](const std::vector<net::Ipv6Address>& hits) {
+    std::size_t found = 0;
+    for (const net::Prefix& p : world.denseRegions()) {
+      for (const net::Ipv6Address& h : hits) {
+        if (p.contains(h)) {
+          ++found;
+          break;
+        }
+      }
+    }
+    return found;
+  };
+
+  // --- uniform random ---
+  {
+    sim::Rng rng{1};
+    scanner::TargetGenerator gen{scanner::TargetStrategy::FullRandom, base,
+                                 rng};
+    std::vector<net::Ipv6Address> hits;
+    for (std::size_t i = 0; i < kProbes; ++i) {
+      const auto a = gen.next();
+      if (world.alive(a)) hits.push_back(a);
+    }
+    table.addRow({"uniform random", analysis::withThousands(kProbes),
+                  std::to_string(hits.size()),
+                  analysis::fixed(100.0 * static_cast<double>(hits.size()) /
+                                      kProbes,
+                                  5) +
+                      "%",
+                  std::to_string(denseDiscovered(hits))});
+  }
+
+  // --- static low-byte sweep ---
+  {
+    sim::Rng rng{2};
+    scanner::TargetGenerator gen{scanner::TargetStrategy::LowByte, base, rng};
+    std::vector<net::Ipv6Address> hits;
+    for (std::size_t i = 0; i < kProbes; ++i) {
+      const auto a = gen.next();
+      if (world.alive(a)) hits.push_back(a);
+    }
+    table.addRow({"static low-byte sweep", analysis::withThousands(kProbes),
+                  std::to_string(hits.size()),
+                  analysis::fixed(100.0 * static_cast<double>(hits.size()) /
+                                      kProbes,
+                                  5) +
+                      "%",
+                  std::to_string(denseDiscovered(hits))});
+  }
+
+  // --- dynamic TGA with 20 leaked seeds and feedback ---
+  {
+    scanner::DynamicTga tga{base, {}, 3};
+    for (const auto& seed : world.seeds(20)) tga.addSeed(seed);
+    std::vector<net::Ipv6Address> hits;
+    std::size_t issued = 0;
+    while (issued < kProbes) {
+      const auto batch = tga.nextCandidates(512);
+      issued += batch.size();
+      for (const auto& a : batch) {
+        const bool alive = world.alive(a);
+        tga.feedback(a, alive);
+        if (alive) hits.push_back(a);
+      }
+    }
+    table.addRow({"dynamic TGA (20 seeds)", analysis::withThousands(issued),
+                  std::to_string(hits.size()),
+                  analysis::fixed(100.0 * static_cast<double>(hits.size()) /
+                                      static_cast<double>(issued),
+                                  5) +
+                      "%",
+                  std::to_string(denseDiscovered(hits))});
+  }
+
+  table.render(std::cout);
+  std::cout << "world: " << world.hostCount() << " active hosts in "
+            << world.denseRegions().size() << " dense /48s of a /32\n"
+            << "expected shape: uniform random finds ~nothing; low-byte "
+               "sweeps find hosts only in the subnets they happen to "
+               "reach; the seeded dynamic TGA dominates by orders of "
+               "magnitude\n";
+  return 0;
+}

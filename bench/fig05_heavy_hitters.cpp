@@ -1,0 +1,47 @@
+// Fig. 5 — the heavy hitters: per telescope, sources contributing > 10% of
+// packets, with their activity span and context (rDNS where present).
+#include "analysis/heavy_hitter.hpp"
+#include "analysis/report.hpp"
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace v6t;
+  bench::RunContext ctx =
+      bench::runStandard("Fig. 5: heavy hitters at the four telescopes");
+
+  analysis::TextTable table{{"Telescope", "Source", "AS type", "Packets",
+                             "share %", "Sessions", "days active", "rDNS"}};
+  const auto& registry = ctx.experiment->population().asRegistry;
+  const auto& rdns = ctx.experiment->population().rdns;
+  int total = 0;
+  for (std::size_t t = 0; t < 4; ++t) {
+    const auto& capture = ctx.experiment->telescope(t).capture();
+    const auto hitters = analysis::findHeavyHitters(capture.packets(), 10.0);
+    for (const auto& h : hitters) {
+      ++total;
+      const auto name = rdns.lookup(h.source);
+      table.addRow({ctx.experiment->telescope(t).name(),
+                    h.source.toString(),
+                    std::string{net::toString(registry.typeOf(h.asn))},
+                    analysis::withThousands(h.packets),
+                    analysis::fixed(h.shareOfTelescope, 1),
+                    std::to_string(h.sessions),
+                    std::to_string(h.lastDay - h.firstDay + 1),
+                    name ? std::string{*name} : "-"});
+    }
+    const auto impact = analysis::heavyHitterImpact(
+        capture.packets(), ctx.summary.telescope(t).sessions128, hitters);
+    table.addRow({"  (impact)", "", "",
+                  analysis::fixed(impact.packetShare, 1) + "% of packets",
+                  "",
+                  analysis::fixed(impact.sessionShare, 2) + "% of sessions",
+                  "", ""});
+    table.addSeparator();
+  }
+  table.render(std::cout);
+  std::cout << "heavy hitters found: " << total
+            << " (paper: 10 across the telescopes — 4/3/2/2, one shared "
+               "T2+T4; 73% of packets, 0.04% of sessions; 7 of 10 research "
+               "context)\n";
+  return 0;
+}

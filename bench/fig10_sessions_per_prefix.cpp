@@ -1,0 +1,93 @@
+// Fig. 10 — cumulative scan sessions per most-specific target prefix at
+// T1: silent subnets attract almost nothing until they become announced
+// prefixes ("/48s receive 0.4% of sessions in the first two weeks, 15.7%
+// in the final period — a 39x increase").
+#include "analysis/report.hpp"
+#include "analysis/stats.hpp"
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace v6t;
+  bench::RunContext ctx = bench::runStandard(
+      "Fig. 10: cumulative sessions per most-specific prefix at T1");
+
+  const auto& schedule = ctx.experiment->schedule();
+  const auto& packets = ctx.experiment->telescope(core::T1).capture().packets();
+  const auto& sessions = ctx.summary.telescope(core::T1).sessions128;
+
+  // Attribute each session to the most specific *ever announced* prefix
+  // containing its first target, then accumulate per announcement cycle.
+  const auto allPrefixes = schedule.allPrefixesEverAnnounced();
+  std::map<net::Prefix, std::vector<std::uint64_t>> cumulativePerCycle;
+  const std::size_t cycleCount = schedule.cycles().size();
+  for (const auto& p : allPrefixes) {
+    cumulativePerCycle[p] = std::vector<std::uint64_t>(cycleCount, 0);
+  }
+  for (const auto& s : sessions) {
+    const auto* cycle = schedule.cycleAt(s.start);
+    if (cycle == nullptr) continue;
+    const net::Ipv6Address target = packets[s.packetIdx.front()].dst;
+    const net::Prefix* best = nullptr;
+    for (const auto& p : allPrefixes) {
+      if (p.contains(target) &&
+          (best == nullptr || p.length() > best->length())) {
+        best = &p;
+      }
+    }
+    if (best == nullptr) continue;
+    for (std::size_t c = static_cast<std::size_t>(cycle->index);
+         c < cycleCount; ++c) {
+      ++cumulativePerCycle[*best][c];
+    }
+  }
+
+  // Print the deepest chain members: /33 companion, /36, /40, /44, /48s.
+  analysis::TextTable table{{"prefix", "len", "announced in cycle",
+                             "sessions@c4", "sessions@c8", "sessions@final"}};
+  for (const auto& p : allPrefixes) {
+    int firstCycle = -1;
+    for (const auto& cycle : schedule.cycles()) {
+      if (std::find(cycle.announced.begin(), cycle.announced.end(), p) !=
+          cycle.announced.end()) {
+        firstCycle = cycle.index;
+        break;
+      }
+    }
+    const auto& series = cumulativePerCycle[p];
+    table.addRow({p.toString(), std::to_string(p.length()),
+                  firstCycle < 0 ? "-" : std::to_string(firstCycle),
+                  std::to_string(series[std::min<std::size_t>(4, cycleCount - 1)]),
+                  std::to_string(series[std::min<std::size_t>(8, cycleCount - 1)]),
+                  std::to_string(series.back())});
+  }
+  table.render(std::cout);
+
+  // The headline /48 ratio: session share of the (eventual) /48 prefixes
+  // during the first split cycle vs the final cycle.
+  auto shareIn48 = [&](const bgp::AnnouncementCycle& cycle) {
+    std::uint64_t total = 0;
+    std::uint64_t in48 = 0;
+    for (const auto& s : sessions) {
+      if (s.start < cycle.announceAt || s.start >= cycle.endsAt) continue;
+      ++total;
+      const net::Ipv6Address target = packets[s.packetIdx.front()].dst;
+      for (const auto& p : allPrefixes) {
+        if (p.length() == 48 && p.contains(target)) {
+          ++in48;
+          break;
+        }
+      }
+    }
+    return total == 0 ? 0.0 : analysis::percent(in48, total);
+  };
+  const double early = shareIn48(schedule.cycles()[1]);
+  const double late = shareIn48(schedule.cycles().back());
+  std::cout << "/48 sub-space share of sessions: first split cycle "
+            << analysis::fixed(early, 2) << "% vs final cycle "
+            << analysis::fixed(late, 2) << "%"
+            << (early > 0 ? " (x" + analysis::fixed(late / early, 1) + ")"
+                          : "")
+            << "\npaper: 0.4% -> 15.7% (x39) — addresses only attract "
+               "attention once their prefix is announced\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 15 — classification of T1 scanners during the split period: the
+// temporal × address-selection session grid, plus the cross-category
+// breakdown of §7.1 (temporal × network selection).
+#include "analysis/report.hpp"
+#include "analysis/stats.hpp"
+#include "analysis/taxonomy.hpp"
+#include "bench/harness.hpp"
+
+int main() {
+  using namespace v6t;
+  bench::RunContext ctx = bench::runStandard(
+      "Fig. 15: taxonomy of T1 scanners during the split period");
+
+  const core::Period split = ctx.splitPeriod();
+  const auto& capture = ctx.experiment->telescope(core::T1).capture();
+  const auto sessions =
+      core::sessionsIn(ctx.summary.telescope(core::T1).sessions128, split);
+  const auto taxonomy = analysis::classifyCapture(
+      capture.packets(), sessions, &ctx.experiment->schedule());
+
+  analysis::TextTable grid{{"temporal \\ addr-sel", "structured", "random",
+                            "unknown"}};
+  for (const auto cls :
+       {analysis::TemporalClass::OneOff, analysis::TemporalClass::Intermittent,
+        analysis::TemporalClass::Periodic}) {
+    std::uint64_t bySel[3] = {};
+    for (const auto& profile : taxonomy.profiles) {
+      if (profile.temporal.cls != cls) continue;
+      for (int sel = 0; sel < 3; ++sel) {
+        bySel[sel] += profile.sessionsByAddrSel[sel];
+      }
+    }
+    grid.addRow({std::string{analysis::toString(cls)},
+                 analysis::withThousands(bySel[0]),
+                 analysis::withThousands(bySel[1]),
+                 analysis::withThousands(bySel[2])});
+  }
+  grid.render(std::cout);
+
+  std::cout << "\ncross-category: sessions by temporal x network selection\n";
+  analysis::TextTable cross{{"temporal \\ netsel", "single-prefix",
+                             "size-indep", "size-dep", "inconsistent"}};
+  for (const auto cls :
+       {analysis::TemporalClass::OneOff, analysis::TemporalClass::Intermittent,
+        analysis::TemporalClass::Periodic}) {
+    std::uint64_t byNet[4] = {};
+    for (const auto& profile : taxonomy.profiles) {
+      if (profile.temporal.cls != cls) continue;
+      byNet[static_cast<std::size_t>(profile.network)] +=
+          profile.sessionIdx.size();
+    }
+    cross.addRow({std::string{analysis::toString(cls)},
+                  analysis::withThousands(byNet[0]),
+                  analysis::withThousands(byNet[1]),
+                  analysis::withThousands(byNet[2]),
+                  analysis::withThousands(byNet[3])});
+  }
+  cross.render(std::cout);
+  std::cout << "paper shape: one-off sessions are 95% single-prefix and "
+               "structured; periodic sessions mostly inconsistent (54%) or "
+               "size-independent (39%); many periodic sessions use random "
+               "traversal (topology probing)\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared infrastructure for the reproduction benches: one standard
+// experiment configuration (fixed seed, scaled volume) and helpers to
+// print paper-vs-measured rows. Every bench binary runs the same
+// simulation so numbers are consistent across tables.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/summary.hpp"
+#include "analysis/report.hpp"
+
+namespace v6t::bench {
+
+/// The standard configuration used by all table/figure benches. Scale can
+/// be overridden through V6T_SOURCE_SCALE / V6T_VOLUME_SCALE / V6T_SEED
+/// environment variables for calibration runs.
+inline core::ExperimentConfig standardConfig() {
+  core::ExperimentConfig config;
+  if (const char* s = std::getenv("V6T_SEED")) config.seed = std::strtoull(s, nullptr, 10);
+  if (const char* s = std::getenv("V6T_SOURCE_SCALE")) config.sourceScale = std::strtod(s, nullptr);
+  if (const char* s = std::getenv("V6T_VOLUME_SCALE")) config.volumeScale = std::strtod(s, nullptr);
+  return config;
+}
+
+struct RunContext {
+  std::unique_ptr<core::Experiment> experiment;
+  core::ExperimentSummary summary;
+
+  [[nodiscard]] core::Period wholePeriod() const {
+    return {sim::kEpoch, experiment->experimentEnd()};
+  }
+  [[nodiscard]] core::Period initialPeriod() const {
+    return {sim::kEpoch, experiment->baselineEnd()};
+  }
+  [[nodiscard]] core::Period splitPeriod() const {
+    return {experiment->baselineEnd(), experiment->experimentEnd()};
+  }
+};
+
+/// Run the standard experiment once (tens of seconds at default scale).
+inline RunContext runStandard(const char* benchName) {
+  std::cout << "== " << benchName << " ==\n";
+  core::ExperimentConfig config = standardConfig();
+  std::cout << "running calibrated simulation (seed=" << config.seed
+            << ", sourceScale=" << config.sourceScale
+            << ", volumeScale=" << config.volumeScale << ") ...\n";
+  RunContext ctx;
+  ctx.experiment = std::make_unique<core::Experiment>(config);
+  ctx.experiment->run();
+  ctx.summary = core::ExperimentSummary::compute(*ctx.experiment);
+  std::cout << "simulated " << sim::toString(ctx.experiment->experimentEnd())
+            << ", events=" << ctx.experiment->engine().executedEvents()
+            << ", agents=" << ctx.experiment->population().size() << "\n\n";
+  return ctx;
+}
+
+/// "paper X / measured Y" cell helper for shape comparisons.
+inline std::string paperVsMeasured(const std::string& paper,
+                                   const std::string& measured) {
+  return paper + " | " + measured;
+}
+
+} // namespace v6t::bench

@@ -1,0 +1,75 @@
+// A tour of the scanner ecosystem: every target-generation strategy with
+// sample addresses and how the addr6-style classifier sees them, plus the
+// public tool fingerprints and what the payload matcher makes of them.
+//
+//   ./scanner_zoo
+#include <iostream>
+
+#include "analysis/addr_class.hpp"
+#include "analysis/report.hpp"
+#include "net/tool_signatures.hpp"
+#include "scanner/target_gen.hpp"
+
+int main() {
+  using namespace v6t;
+
+  const net::Prefix prefix = net::Prefix::mustParse("3fff:db8::/32");
+  sim::Rng rng{7};
+
+  std::cout << "=== target-generation strategies over "
+            << prefix.toString() << " ===\n";
+  analysis::TextTable strategies{{"strategy", "sample targets",
+                                  "classified as"}};
+  for (std::size_t s = 0; s < scanner::kTargetStrategyCount; ++s) {
+    const auto strategy = static_cast<scanner::TargetStrategy>(s);
+    scanner::TargetGenerator gen{strategy, prefix, rng};
+    std::string samples;
+    analysis::AddressTypeHistogram histogram;
+    for (int i = 0; i < 64; ++i) {
+      const net::Ipv6Address a = gen.next();
+      if (i < 2) {
+        if (!samples.empty()) samples += "  ";
+        samples += a.toString();
+      }
+      histogram.add(analysis::classifyAddress(a));
+    }
+    // Dominant class of the 64 samples.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < analysis::kAddressTypeCount; ++i) {
+      if (histogram.count[i] > histogram.count[best]) best = i;
+    }
+    strategies.addRow(
+        {std::string{scanner::toString(strategy)}, samples,
+         std::string{analysis::toString(
+             static_cast<analysis::AddressType>(best))} +
+             " (" +
+             analysis::fixed(100.0 * static_cast<double>(
+                                         histogram.count[best]) /
+                                 64.0,
+                             0) +
+             "%)"});
+  }
+  strategies.render(std::cout);
+
+  std::cout << "\n=== public tool fingerprints (§5.4) ===\n";
+  analysis::TextTable tools{{"tool", "magic bytes", "rDNS suffix",
+                             "matcher verdict"}};
+  for (const net::ToolSignature& sig : net::kToolSignatures) {
+    std::string magic;
+    for (std::size_t i = 0; i < sig.magicLen; ++i) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "%02x ", sig.magic[i]);
+      magic += buf;
+    }
+    std::vector<std::uint8_t> payload(sig.magic.begin(),
+                                      sig.magic.begin() +
+                                          static_cast<std::ptrdiff_t>(
+                                              sig.magicLen));
+    payload.resize(12, 0);
+    tools.addRow({std::string{net::toString(sig.tool)}, magic,
+                  std::string{sig.rdnsSuffix.empty() ? "-" : sig.rdnsSuffix},
+                  std::string{net::toString(net::matchToolSignature(payload))}});
+  }
+  tools.render(std::cout);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Operational guidance for telescope operators (§8): run the experiment
+// and derive the five practical findings from the measured data.
+//
+//   ./telescope_placement
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/guidance.hpp"
+#include "core/summary.hpp"
+
+int main() {
+  using namespace v6t;
+
+  core::ExperimentConfig config;
+  config.seed = 99;
+  config.sourceScale = 0.1;
+  config.volumeScale = 0.01;
+  config.baseline = sim::weeks(6);
+  config.splits = 8;
+  config.routeObjectAt = sim::weeks(8);
+
+  std::cout << "simulating a telescope deployment study ...\n\n";
+  core::Experiment experiment{config};
+  experiment.run();
+  const auto summary = core::ExperimentSummary::compute(experiment);
+
+  const auto findings = core::GuidanceEngine::derive(experiment, summary);
+  std::cout << "operational guidance, derived from this run:\n\n";
+  int index = 1;
+  for (const auto& finding : findings) {
+    std::cout << "(" << index++ << ") " << finding.topic << "\n    "
+              << finding.statement << "\n    evidence: " << finding.evidence
+              << "\n\n";
+  }
+  return 0;
+}

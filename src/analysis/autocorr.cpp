@@ -1,0 +1,87 @@
+#include "analysis/autocorr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace v6t::analysis {
+
+std::vector<double> autocorrelation(std::span<const double> xs,
+                                    std::size_t maxLag) {
+  const std::size_t n = xs.size();
+  if (n < 2) return {};
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(n);
+  double variance = 0.0;
+  for (double x : xs) variance += (x - mean) * (x - mean);
+  if (variance <= 0.0) return {};
+  std::vector<double> acf;
+  acf.reserve(maxLag);
+  for (std::size_t lag = 1; lag <= maxLag && lag < n; ++lag) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      sum += (xs[i] - mean) * (xs[i + lag] - mean);
+    }
+    acf.push_back(sum / variance);
+  }
+  return acf;
+}
+
+std::optional<sim::Duration> detectPeriod(std::span<const sim::SimTime> events,
+                                          const PeriodDetectorParams& params) {
+  if (events.size() < 3) return std::nullopt;
+
+  std::vector<sim::SimTime> sorted(events.begin(), events.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  // Fast path that mirrors how the paper's scanners behave: if consecutive
+  // gaps are tightly concentrated around their median, that is the period.
+  std::vector<std::int64_t> gaps;
+  gaps.reserve(sorted.size() - 1);
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    gaps.push_back((sorted[i] - sorted[i - 1]).millis());
+  }
+  std::vector<std::int64_t> byValue = gaps;
+  std::sort(byValue.begin(), byValue.end());
+  const std::int64_t median = byValue[byValue.size() / 2];
+  if (median > 0) {
+    const auto within = static_cast<std::size_t>(std::count_if(
+        gaps.begin(), gaps.end(), [&](std::int64_t g) {
+          return std::abs(static_cast<double>(g - median)) <=
+                 params.gapTolerance * static_cast<double>(median);
+        }));
+    // At least three gaps: two coincidentally similar gaps must not turn a
+    // Poisson scanner into a periodic one.
+    if (within == gaps.size() && gaps.size() >= 3 &&
+        gaps.size() + 1 >= static_cast<std::size_t>(params.minRepeats + 1)) {
+      return sim::Duration{median};
+    }
+  }
+
+  // General path: binned series + autocorrelation peak.
+  const std::int64_t width = params.binWidth.millis();
+  const std::int64_t start = sorted.front().millis();
+  const std::int64_t span = sorted.back().millis() - start;
+  const std::size_t bins = static_cast<std::size_t>(span / width) + 1;
+  if (bins < 4 || bins > 1u << 20) return std::nullopt;
+  std::vector<double> series(bins, 0.0);
+  for (sim::SimTime t : sorted) {
+    series[static_cast<std::size_t>((t.millis() - start) / width)] += 1.0;
+  }
+  const std::size_t maxLag = bins / static_cast<std::size_t>(params.minRepeats);
+  const std::vector<double> acf = autocorrelation(series, maxLag);
+  if (acf.empty()) return std::nullopt;
+
+  // The candidate lag is the first local maximum above threshold.
+  for (std::size_t lag = 1; lag + 1 < acf.size(); ++lag) {
+    const double here = acf[lag];
+    if (here >= params.threshold && here >= acf[lag - 1] &&
+        here >= acf[lag + 1]) {
+      return sim::Duration{static_cast<std::int64_t>(lag + 1) * width};
+    }
+  }
+  return std::nullopt;
+}
+
+} // namespace v6t::analysis

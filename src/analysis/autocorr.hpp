@@ -1,0 +1,38 @@
+// v6t::analysis — period detection by autocorrelation (§5.1).
+//
+// Periodic scanners are identified by binning their session start times
+// into a regular series and searching the autocorrelation function for a
+// dominant lag (Breitenbach et al. 2023 style). Sources with fewer than
+// three sessions or no detectable peak remain non-periodic.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace v6t::analysis {
+
+struct PeriodDetectorParams {
+  sim::Duration binWidth = sim::hours(1);
+  /// Minimum normalized autocorrelation at the candidate lag.
+  double threshold = 0.3;
+  /// A period must repeat at least this often inside the observation span.
+  int minRepeats = 2;
+  /// Tolerated relative deviation of inter-session gaps around the period.
+  double gapTolerance = 0.3;
+};
+
+/// Normalized autocorrelation of a real series for lags 1..maxLag.
+/// Returns an empty vector if the series is constant.
+[[nodiscard]] std::vector<double> autocorrelation(std::span<const double> xs,
+                                                  std::size_t maxLag);
+
+/// Detect a stable period in a set of event (session-start) times.
+/// Returns the period, or nullopt if none is detectable.
+[[nodiscard]] std::optional<sim::Duration> detectPeriod(
+    std::span<const sim::SimTime> events,
+    const PeriodDetectorParams& params = {});
+
+} // namespace v6t::analysis

@@ -1,0 +1,75 @@
+// v6t::analysis — density-based clustering (DBSCAN).
+//
+// The paper uses DBSCAN twice: to cluster payload byte-representations for
+// tool fingerprinting (§5.4) and to classify network-selection behavior
+// (§5.2). This is the textbook algorithm (Ester et al. 1996) over an
+// arbitrary distance functor; O(n^2) neighborhood queries, fine for the
+// corpus sizes involved (thousands of points).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace v6t::analysis {
+
+inline constexpr int kDbscanNoise = -1;
+
+struct DbscanResult {
+  /// Cluster id per point; kDbscanNoise for noise points.
+  std::vector<int> label;
+  int clusterCount = 0;
+
+  [[nodiscard]] std::size_t noiseCount() const {
+    std::size_t n = 0;
+    for (int l : label)
+      if (l == kDbscanNoise) ++n;
+    return n;
+  }
+};
+
+/// Cluster `n` points. `distance(i, j)` must be symmetric with
+/// distance(i, i) == 0. A point is a core point if at least `minPts` points
+/// (including itself) lie within `epsilon`.
+template <typename DistanceFn>
+[[nodiscard]] DbscanResult dbscan(std::size_t n, double epsilon,
+                                  std::size_t minPts, DistanceFn&& distance) {
+  constexpr int kUnvisited = -2;
+  DbscanResult result;
+  result.label.assign(n, kUnvisited);
+
+  auto neighbors = [&](std::size_t p) {
+    std::vector<std::size_t> out;
+    for (std::size_t q = 0; q < n; ++q) {
+      if (distance(p, q) <= epsilon) out.push_back(q);
+    }
+    return out;
+  };
+
+  for (std::size_t p = 0; p < n; ++p) {
+    if (result.label[p] != kUnvisited) continue;
+    std::vector<std::size_t> seeds = neighbors(p);
+    if (seeds.size() < minPts) {
+      result.label[p] = kDbscanNoise;
+      continue;
+    }
+    const int cluster = result.clusterCount++;
+    result.label[p] = cluster;
+    // Expand: classic seed-list growth.
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      const std::size_t q = seeds[i];
+      if (result.label[q] == kDbscanNoise) result.label[q] = cluster;
+      if (result.label[q] != kUnvisited) continue;
+      result.label[q] = cluster;
+      std::vector<std::size_t> qNeighbors = neighbors(q);
+      if (qNeighbors.size() >= minPts) {
+        seeds.insert(seeds.end(), qNeighbors.begin(), qNeighbors.end());
+      }
+    }
+  }
+  return result;
+}
+
+} // namespace v6t::analysis

@@ -1,0 +1,77 @@
+#include "analysis/entropy_profile.hpp"
+
+#include <cmath>
+
+namespace v6t::analysis {
+
+double EntropyProfile::meanEntropy(unsigned first, unsigned last) const {
+  if (last < first || last >= 32) return 0.0;
+  double sum = 0.0;
+  for (unsigned i = first; i <= last; ++i) sum += nibbleEntropy[i];
+  return sum / static_cast<double>(last - first + 1);
+}
+
+EntropyProfile profileTargets(std::span<const net::Ipv6Address> targets) {
+  EntropyProfile profile;
+  profile.sampleCount = targets.size();
+  if (targets.empty()) return profile;
+  for (unsigned position = 0; position < 32; ++position) {
+    std::array<std::size_t, 16> histogram{};
+    for (const net::Ipv6Address& a : targets) {
+      ++histogram[a.nibble(position)];
+    }
+    double entropy = 0.0;
+    for (std::size_t count : histogram) {
+      if (count == 0) continue;
+      const double p = static_cast<double>(count) /
+                       static_cast<double>(targets.size());
+      entropy -= p * std::log2(p);
+    }
+    profile.nibbleEntropy[position] = entropy;
+  }
+  return profile;
+}
+
+std::string_view toString(SegmentKind k) {
+  switch (k) {
+    case SegmentKind::Constant: return "const";
+    case SegmentKind::Structured: return "struct";
+    case SegmentKind::Random: return "random";
+  }
+  return "?";
+}
+
+std::vector<Segment> segmentProfile(const EntropyProfile& profile,
+                                    const SegmentationParams& params) {
+  auto kindOf = [&](double h) {
+    if (h < params.constantBelow) return SegmentKind::Constant;
+    if (h > params.randomAbove) return SegmentKind::Random;
+    return SegmentKind::Structured;
+  };
+  std::vector<Segment> segments;
+  for (unsigned i = 0; i < 32; ++i) {
+    const SegmentKind kind = kindOf(profile.nibbleEntropy[i]);
+    if (!segments.empty() && segments.back().kind == kind) {
+      Segment& s = segments.back();
+      const auto n = static_cast<double>(i - s.firstNibble);
+      s.meanEntropy =
+          (s.meanEntropy * n + profile.nibbleEntropy[i]) / (n + 1.0);
+      s.lastNibble = i;
+    } else {
+      segments.push_back(Segment{i, i, kind, profile.nibbleEntropy[i]});
+    }
+  }
+  return segments;
+}
+
+std::string describeSegments(std::span<const Segment> segments) {
+  std::string out;
+  for (const Segment& s : segments) {
+    out += "[" + std::to_string(s.firstNibble) + ".." +
+           std::to_string(s.lastNibble) + " " +
+           std::string{toString(s.kind)} + "]";
+  }
+  return out;
+}
+
+} // namespace v6t::analysis

@@ -1,0 +1,61 @@
+// v6t::analysis — Entropy/IP-style address-structure profiling.
+//
+// Foremski et al.'s Entropy/IP (IMC'16, the paper's §2) characterizes a
+// set of IPv6 addresses by the per-nibble Shannon entropy and segments the
+// address into runs of similar entropy: constant segments (the prefix),
+// structured segments (counters, subnet plans), and high-entropy segments
+// (random IIDs). This is the quantitative backbone behind the Fig. 12/13
+// visualizations: a scan session's target list profiles the scanner's
+// generation strategy.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ipv6.hpp"
+
+namespace v6t::analysis {
+
+struct EntropyProfile {
+  /// Shannon entropy (bits, 0..4) of each of the 32 nibble positions.
+  std::array<double, 32> nibbleEntropy{};
+  std::size_t sampleCount = 0;
+
+  /// Mean entropy over an inclusive nibble range.
+  [[nodiscard]] double meanEntropy(unsigned first, unsigned last) const;
+};
+
+/// Compute the per-nibble entropy profile of a target set.
+[[nodiscard]] EntropyProfile profileTargets(
+    std::span<const net::Ipv6Address> targets);
+
+enum class SegmentKind : std::uint8_t {
+  Constant, // H ~ 0: fixed bits (the telescope prefix, zero padding)
+  Structured, // 0 < H < threshold: counters, subnet plans, small sets
+  Random, // H near 4: uniformly random nibbles
+};
+
+[[nodiscard]] std::string_view toString(SegmentKind k);
+
+struct Segment {
+  unsigned firstNibble = 0; // inclusive
+  unsigned lastNibble = 0; // inclusive
+  SegmentKind kind = SegmentKind::Constant;
+  double meanEntropy = 0.0;
+};
+
+struct SegmentationParams {
+  double constantBelow = 0.15; // H below this => constant
+  double randomAbove = 3.2; // H above this => random
+};
+
+/// Split the 32 nibble positions into maximal runs of one kind.
+[[nodiscard]] std::vector<Segment> segmentProfile(
+    const EntropyProfile& profile, const SegmentationParams& params = {});
+
+/// One-line rendering, e.g. "[0..11 const][12..15 struct][16..31 random]".
+[[nodiscard]] std::string describeSegments(std::span<const Segment> segments);
+
+} // namespace v6t::analysis

@@ -1,0 +1,96 @@
+#include "analysis/heavy_hitter.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/stats.hpp"
+
+namespace v6t::analysis {
+
+std::vector<HeavyHitter> findHeavyHitters(std::span<const net::Packet> packets,
+                                          double thresholdPercent) {
+  struct Acc {
+    std::uint64_t packets = 0;
+    net::Asn asn;
+    std::int64_t firstDay = 0;
+    std::int64_t lastDay = 0;
+  };
+  std::unordered_map<net::Ipv6Address, Acc> perSource;
+  for (const net::Packet& p : packets) {
+    auto [it, fresh] = perSource.try_emplace(p.src);
+    Acc& acc = it->second;
+    if (fresh) {
+      acc.asn = p.srcAsn;
+      acc.firstDay = p.ts.dayIndex();
+    }
+    ++acc.packets;
+    acc.lastDay = p.ts.dayIndex();
+  }
+
+  const auto total = static_cast<double>(packets.size());
+  std::vector<HeavyHitter> hitters;
+  for (const auto& [src, acc] : perSource) {
+    const double share = total == 0.0
+                             ? 0.0
+                             : 100.0 * static_cast<double>(acc.packets) / total;
+    if (share <= thresholdPercent) continue;
+    HeavyHitter h;
+    h.source = src;
+    h.asn = acc.asn;
+    h.packets = acc.packets;
+    h.shareOfTelescope = share;
+    h.firstDay = acc.firstDay;
+    h.lastDay = acc.lastDay;
+    hitters.push_back(h);
+  }
+  std::sort(hitters.begin(), hitters.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.packets > b.packets;
+            });
+
+  // Session counts for the found hitters (one sessionization pass, only if
+  // needed).
+  if (!hitters.empty()) {
+    const std::vector<telescope::Session> sessions = telescope::sessionize(
+        packets, telescope::SourceAgg::Addr128);
+    std::unordered_map<net::Ipv6Address, std::uint64_t> perSourceSessions;
+    for (const telescope::Session& s : sessions) {
+      ++perSourceSessions[s.source.addr];
+    }
+    for (HeavyHitter& h : hitters) {
+      const auto it = perSourceSessions.find(h.source);
+      h.sessions = it == perSourceSessions.end() ? 0 : it->second;
+    }
+  }
+  return hitters;
+}
+
+HeavyHitterImpact heavyHitterImpact(
+    std::span<const net::Packet> packets,
+    std::span<const telescope::Session> sessions,
+    std::span<const HeavyHitter> hitters) {
+  std::unordered_set<net::Ipv6Address> hitterSet;
+  for (const HeavyHitter& h : hitters) hitterSet.insert(h.source);
+
+  HeavyHitterImpact impact;
+  for (const net::Packet& p : packets) {
+    if (hitterSet.contains(p.src)) ++impact.packets;
+  }
+  for (const telescope::Session& s : sessions) {
+    // A session belongs to a heavy hitter if its (possibly aggregated)
+    // source covers one of the hitter addresses.
+    const unsigned maskBits = telescope::bits(s.source.agg);
+    for (const net::Ipv6Address& h : hitterSet) {
+      if (h.maskedTo(maskBits) == s.source.addr) {
+        ++impact.sessions;
+        break;
+      }
+    }
+  }
+  impact.packetShare = percent(impact.packets, packets.size());
+  impact.sessionShare = percent(impact.sessions, sessions.size());
+  return impact;
+}
+
+} // namespace v6t::analysis

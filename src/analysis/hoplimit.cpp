@@ -1,0 +1,23 @@
+#include "analysis/hoplimit.hpp"
+
+#include <bitset>
+
+namespace v6t::analysis {
+
+HopLimitProfile profileHopLimits(std::span<const net::Packet> packets,
+                                 const telescope::Session& session) {
+  HopLimitProfile profile;
+  std::bitset<256> seen;
+  for (std::uint32_t idx : session.packetIdx) {
+    const std::uint8_t hops = packets[idx].hopLimit;
+    profile.minHops = std::min(profile.minHops, hops);
+    profile.maxHops = std::max(profile.maxHops, hops);
+    if (hops <= 32) ++profile.lowProbes;
+    seen.set(hops);
+    ++profile.packets;
+  }
+  profile.distinctValues = seen.count();
+  return profile;
+}
+
+} // namespace v6t::analysis

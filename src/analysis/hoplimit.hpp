@@ -1,0 +1,37 @@
+// v6t::analysis — hop-limit pattern analysis.
+//
+// Traceroute-type tools (traceroute, Yarrp, Atlas topology measurements)
+// send probes with small, incrementing hop limits so intermediate routers
+// reveal themselves; ordinary scanners send with an OS-default initial
+// hop limit (typically 64) that arrives high. The hop-limit histogram of
+// a session therefore separates topology probing from endpoint scanning —
+// a second fingerprinting signal next to payloads (§5.4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/packet.hpp"
+#include "telescope/session.hpp"
+
+namespace v6t::analysis {
+
+struct HopLimitProfile {
+  std::uint8_t minHops = 255;
+  std::uint8_t maxHops = 0;
+  std::size_t distinctValues = 0;
+  std::size_t lowProbes = 0; // packets with hop limit <= 32
+  std::size_t packets = 0;
+
+  /// Traceroute-type: several distinct low hop limits, starting near 1.
+  [[nodiscard]] bool looksLikeTraceroute() const {
+    return packets >= 4 && minHops <= 4 && distinctValues >= 4 &&
+           lowProbes * 2 >= packets;
+  }
+};
+
+/// Profile the hop limits of one session's packets.
+[[nodiscard]] HopLimitProfile profileHopLimits(
+    std::span<const net::Packet> packets, const telescope::Session& session);
+
+} // namespace v6t::analysis

@@ -1,0 +1,88 @@
+// v6t::analysis — NIST SP 800-22 randomness tests (Appendix B).
+//
+// The four tests the paper applies to target-address bit sequences
+// (sessions with >= 100 packets; IID bits and subnet bits separately):
+//
+//   frequency (monobit)   balance of ones vs zeros
+//   runs                  oscillation rate of identical-bit runs
+//   spectral (DFT)        periodic features via discrete Fourier transform
+//   cumulative sums       maximum partial-sum excursion (forward/backward)
+//
+// Each test returns a p-value; p >= alpha (paper: 0.01) means the sequence
+// is consistent with randomness.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ipv6.hpp"
+
+namespace v6t::analysis {
+
+inline constexpr double kNistAlpha = 0.01;
+
+struct NistResult {
+  double pValue = 0.0;
+  [[nodiscard]] bool pass(double alpha = kNistAlpha) const {
+    return pValue >= alpha;
+  }
+};
+
+/// Bits are one per element, values 0 or 1.
+using BitSequence = std::vector<std::uint8_t>;
+
+/// SP 800-22 §2.1 — frequency (monobit) test. Requires n >= 100.
+[[nodiscard]] NistResult frequencyTest(std::span<const std::uint8_t> bits);
+
+/// SP 800-22 §2.3 — runs test. Returns p = 0 if the frequency precondition
+/// |pi - 1/2| >= 2/sqrt(n) fails (per the spec the test is then skipped as
+/// non-random).
+[[nodiscard]] NistResult runsTest(std::span<const std::uint8_t> bits);
+
+/// SP 800-22 §2.6 — discrete Fourier transform (spectral) test.
+[[nodiscard]] NistResult spectralTest(std::span<const std::uint8_t> bits);
+
+/// SP 800-22 §2.13 — cumulative sums test; forward (mode 0) or backward.
+[[nodiscard]] NistResult cusumTest(std::span<const std::uint8_t> bits,
+                                   bool forward = true);
+
+/// SP 800-22 §2.2 — frequency test within M-bit blocks. The paper's
+/// appendix restricts itself to four tests; these additional ones are
+/// provided for deeper analyses (they run fine on >=100-bit sessions).
+[[nodiscard]] NistResult blockFrequencyTest(
+    std::span<const std::uint8_t> bits, std::size_t blockLen = 32);
+
+/// SP 800-22 §2.11 — serial test (overlapping m-bit patterns). Returns
+/// the first p-value (nabla psi^2_m).
+[[nodiscard]] NistResult serialTest(std::span<const std::uint8_t> bits,
+                                    unsigned m = 4);
+
+/// SP 800-22 §2.12 — approximate entropy test.
+[[nodiscard]] NistResult approximateEntropyTest(
+    std::span<const std::uint8_t> bits, unsigned m = 3);
+
+/// Extract a bit sequence from target addresses: `firstBit`..`firstBit +
+/// bitCount - 1` of every address, concatenated in order. The paper uses
+/// bits 32..63 (the subnet under a /32 telescope) and 64..127 (the IID).
+[[nodiscard]] BitSequence bitsFromAddresses(
+    std::span<const net::Ipv6Address> addrs, unsigned firstBit,
+    unsigned bitCount);
+
+/// All four tests on one sequence.
+struct NistSummary {
+  NistResult frequency;
+  NistResult runs;
+  NistResult spectral;
+  NistResult cusumForward;
+  NistResult cusumBackward;
+
+  [[nodiscard]] int passCount(double alpha = kNistAlpha) const {
+    return frequency.pass(alpha) + runs.pass(alpha) + spectral.pass(alpha) +
+           cusumForward.pass(alpha) + cusumBackward.pass(alpha);
+  }
+};
+
+[[nodiscard]] NistSummary runAllNistTests(std::span<const std::uint8_t> bits);
+
+} // namespace v6t::analysis

@@ -1,0 +1,54 @@
+#include "analysis/overlap.hpp"
+
+#include <algorithm>
+
+namespace v6t::analysis {
+
+ActivityCalendar buildCalendar(std::span<const net::Packet> packets) {
+  ActivityCalendar calendar;
+  for (const net::Packet& p : packets) {
+    calendar[p.src].insert(p.ts.dayIndex());
+  }
+  return calendar;
+}
+
+OverlapStats compareCalendars(const ActivityCalendar& a,
+                              const ActivityCalendar& b) {
+  OverlapStats stats;
+  for (const auto& [src, daysA] : a) {
+    const auto it = b.find(src);
+    if (it == b.end()) {
+      ++stats.onlyA;
+      continue;
+    }
+    ++stats.shared;
+    const auto& daysB = it->second;
+    const bool sameDay = std::any_of(
+        daysA.begin(), daysA.end(),
+        [&daysB](std::int64_t day) { return daysB.contains(day); });
+    if (sameDay) ++stats.sharedSameDay;
+  }
+  for (const auto& [src, daysB] : b) {
+    if (!a.contains(src)) ++stats.onlyB;
+  }
+  return stats;
+}
+
+std::vector<net::Ipv6Address> sourcesInAll(
+    std::span<const ActivityCalendar> calendars) {
+  std::vector<net::Ipv6Address> out;
+  if (calendars.empty()) return out;
+  for (const auto& [src, days] : calendars.front()) {
+    bool everywhere = true;
+    for (std::size_t i = 1; i < calendars.size(); ++i) {
+      if (!calendars[i].contains(src)) {
+        everywhere = false;
+        break;
+      }
+    }
+    if (everywhere) out.push_back(src);
+  }
+  return out;
+}
+
+} // namespace v6t::analysis

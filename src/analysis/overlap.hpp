@@ -1,0 +1,53 @@
+// v6t::analysis — cross-telescope source-overlap analytics (Fig. 16).
+//
+// The paper studies which scan sources appear at several telescopes and
+// whether they do so on the same days: same-day overlap indicates one
+// campaign sweeping all visible space, drifting-apart overlap indicates
+// telescopes attracting different crowds. These estimators back the
+// fig16 bench and are exposed for standalone use.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace v6t::analysis {
+
+/// Days (day indexes) on which each /128 source was active in a capture.
+using ActivityCalendar = std::map<net::Ipv6Address, std::set<std::int64_t>>;
+
+[[nodiscard]] ActivityCalendar buildCalendar(
+    std::span<const net::Packet> packets);
+
+struct OverlapStats {
+  std::size_t onlyA = 0; // sources seen at A but not B
+  std::size_t onlyB = 0;
+  std::size_t shared = 0; // seen at both
+  std::size_t sharedSameDay = 0; // seen at both on at least one common day
+
+  [[nodiscard]] double jaccard() const {
+    const std::size_t uni = onlyA + onlyB + shared;
+    return uni == 0 ? 0.0
+                    : static_cast<double>(shared) / static_cast<double>(uni);
+  }
+  [[nodiscard]] double sameDayShare() const {
+    return shared == 0 ? 0.0
+                       : static_cast<double>(sharedSameDay) /
+                             static_cast<double>(shared);
+  }
+};
+
+/// Compare two telescopes' calendars.
+[[nodiscard]] OverlapStats compareCalendars(const ActivityCalendar& a,
+                                            const ActivityCalendar& b);
+
+/// Sources present in every one of the given calendars (the paper found
+/// ten /128 sources at all four telescopes over the full period).
+[[nodiscard]] std::vector<net::Ipv6Address> sourcesInAll(
+    std::span<const ActivityCalendar> calendars);
+
+} // namespace v6t::analysis

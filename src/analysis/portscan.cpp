@@ -1,0 +1,59 @@
+#include "analysis/portscan.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+namespace v6t::analysis {
+
+std::string_view toString(PortScanShape s) {
+  switch (s) {
+    case PortScanShape::None: return "none";
+    case PortScanShape::Horizontal: return "horizontal";
+    case PortScanShape::Vertical: return "vertical";
+    case PortScanShape::Mixed: return "mixed";
+  }
+  return "?";
+}
+
+PortScanProfile profilePorts(std::span<const net::Packet> packets,
+                             const telescope::Session& session,
+                             const PortScanParams& params) {
+  PortScanProfile profile;
+  std::unordered_set<std::uint16_t> ports;
+  std::unordered_set<net::Ipv6Address> targets;
+  std::vector<std::uint16_t> portSequence;
+  for (std::uint32_t idx : session.packetIdx) {
+    const net::Packet& p = packets[idx];
+    if (p.proto == net::Protocol::Icmpv6) continue;
+    ++profile.transportPackets;
+    ports.insert(p.dstPort);
+    targets.insert(p.dst);
+    portSequence.push_back(p.dstPort);
+  }
+  profile.distinctPorts = ports.size();
+  profile.distinctTargets = targets.size();
+  if (profile.transportPackets == 0) return profile;
+
+  if (portSequence.size() >= 4) {
+    std::size_t ascending = 0;
+    for (std::size_t i = 1; i < portSequence.size(); ++i) {
+      if (portSequence[i] >= portSequence[i - 1]) ++ascending;
+    }
+    profile.sequentialPorts =
+        ascending * 10 >= (portSequence.size() - 1) * 9;
+  }
+
+  const bool manyPorts = profile.distinctPorts >= params.verticalMinPorts;
+  const bool fewPorts = profile.distinctPorts <= params.horizontalMaxPorts;
+  const bool manyTargets = profile.distinctTargets > profile.distinctPorts;
+  if (manyPorts && !manyTargets) {
+    profile.shape = PortScanShape::Vertical;
+  } else if (fewPorts && profile.distinctTargets >= 2) {
+    profile.shape = PortScanShape::Horizontal;
+  } else {
+    profile.shape = PortScanShape::Mixed;
+  }
+  return profile;
+}
+
+} // namespace v6t::analysis

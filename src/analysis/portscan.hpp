@@ -1,0 +1,45 @@
+// v6t::analysis — port-scan shape analysis.
+//
+// Table 4's commentary distinguishes scanners that only knock on 80/443
+// from those covering broad port ranges, and §4 notes vertical scanners
+// that rotate source IIDs per destination port. This module classifies a
+// session's port behavior: horizontal (one or two service ports across
+// many targets), vertical (many ports on few targets), or mixed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "net/packet.hpp"
+#include "telescope/session.hpp"
+
+namespace v6t::analysis {
+
+enum class PortScanShape : std::uint8_t {
+  None, // no TCP/UDP packets in the session
+  Horizontal, // few ports, many targets (service sweep)
+  Vertical, // many ports, few targets (host enumeration)
+  Mixed,
+};
+
+[[nodiscard]] std::string_view toString(PortScanShape s);
+
+struct PortScanProfile {
+  std::size_t transportPackets = 0;
+  std::size_t distinctPorts = 0;
+  std::size_t distinctTargets = 0;
+  bool sequentialPorts = false; // ports mostly ascend (nmap-style walk)
+  PortScanShape shape = PortScanShape::None;
+};
+
+struct PortScanParams {
+  std::size_t verticalMinPorts = 10;
+  std::size_t horizontalMaxPorts = 3;
+};
+
+[[nodiscard]] PortScanProfile profilePorts(
+    std::span<const net::Packet> packets, const telescope::Session& session,
+    const PortScanParams& params = {});
+
+} // namespace v6t::analysis

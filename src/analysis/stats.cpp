@@ -1,0 +1,87 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace v6t::analysis {
+
+std::vector<std::pair<std::int64_t, double>> CumulativeSeries::normalized()
+    const {
+  std::vector<std::pair<std::int64_t, double>> out;
+  out.reserve(points.size());
+  const double totalValue = static_cast<double>(total());
+  for (const auto& [bucket, value] : points) {
+    out.emplace_back(bucket, totalValue == 0.0
+                                 ? 0.0
+                                 : static_cast<double>(value) / totalValue);
+  }
+  return out;
+}
+
+CumulativeSeries cumulative(
+    const std::map<std::int64_t, std::uint64_t>& perBucket) {
+  CumulativeSeries series;
+  std::uint64_t running = 0;
+  for (const auto& [bucket, count] : perBucket) {
+    running += count;
+    series.points.emplace_back(bucket, running);
+  }
+  return series;
+}
+
+std::vector<PortRank> topPorts(std::span<const net::Packet> packets,
+                               std::span<const telescope::Session> sessions,
+                               net::Protocol proto, std::size_t k) {
+  // Key 0..65535: individual port; key 65536: the traceroute range bucket.
+  std::unordered_map<std::uint32_t, std::uint64_t> sessionCount;
+  std::uint64_t sessionsWithProto = 0;
+  for (const telescope::Session& s : sessions) {
+    std::unordered_set<std::uint32_t> seen;
+    bool carries = false;
+    for (std::uint32_t idx : s.packetIdx) {
+      const net::Packet& p = packets[idx];
+      if (p.proto != proto) continue;
+      carries = true;
+      const std::uint32_t key =
+          (proto == net::Protocol::Udp && net::isTraceroutePort(p.dstPort))
+              ? 65536u
+              : p.dstPort;
+      seen.insert(key);
+    }
+    if (!carries) continue;
+    ++sessionsWithProto;
+    for (std::uint32_t key : seen) ++sessionCount[key];
+  }
+
+  std::vector<PortRank> ranks;
+  ranks.reserve(sessionCount.size());
+  for (const auto& [key, count] : sessionCount) {
+    PortRank r;
+    r.tracerouteRange = key == 65536u;
+    r.port = r.tracerouteRange ? net::kTracerouteLo
+                               : static_cast<std::uint16_t>(key);
+    r.sessions = count;
+    r.share = percent(count, sessionsWithProto);
+    ranks.push_back(r);
+  }
+  std::sort(ranks.begin(), ranks.end(), [](const PortRank& a,
+                                           const PortRank& b) {
+    if (a.sessions != b.sessions) return a.sessions > b.sessions;
+    return a.port < b.port;
+  });
+  if (ranks.size() > k) ranks.resize(k);
+  return ranks;
+}
+
+std::string UpsetRow::key(std::span<const std::string> names) const {
+  std::string out;
+  for (std::size_t i = 0; i < membership.size(); ++i) {
+    if (!membership[i]) continue;
+    if (!out.empty()) out += "+";
+    out += names[i];
+  }
+  return out.empty() ? "(none)" : out;
+}
+
+} // namespace v6t::analysis

@@ -1,0 +1,110 @@
+// v6t::analysis — descriptive statistics used across the evaluation:
+// CDF series (Fig. 4), top-k port rankings (Table 4), UpSet set
+// intersections (Fig. 8), and share helpers.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "telescope/session.hpp"
+
+namespace v6t::analysis {
+
+/// Cumulative series over time buckets: (bucket index, cumulative count).
+struct CumulativeSeries {
+  std::vector<std::pair<std::int64_t, std::uint64_t>> points;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return points.empty() ? 0 : points.back().second;
+  }
+  /// Value normalized to [0,1] at each point.
+  [[nodiscard]] std::vector<std::pair<std::int64_t, double>> normalized()
+      const;
+};
+
+/// Build a cumulative series from per-bucket counts.
+[[nodiscard]] CumulativeSeries cumulative(
+    const std::map<std::int64_t, std::uint64_t>& perBucket);
+
+/// First-seen accumulation: given (bucket, id) observations, the cumulative
+/// number of distinct ids over buckets.
+template <typename Id>
+[[nodiscard]] CumulativeSeries cumulativeDistinct(
+    const std::vector<std::pair<std::int64_t, Id>>& observations) {
+  std::map<std::int64_t, std::uint64_t> fresh;
+  std::set<Id> seen;
+  for (const auto& [bucket, id] : observations) {
+    if (seen.insert(id).second) ++fresh[bucket];
+  }
+  return cumulative(fresh);
+}
+
+/// Port usage counted once per session (the paper's Table 4 method:
+/// sessions aggregated at /64, each port counted once per session).
+struct PortRank {
+  std::uint16_t port = 0;
+  bool tracerouteRange = false; // aggregated [33434, 33523] bucket
+  std::uint64_t sessions = 0;
+  double share = 0.0; // of sessions carrying this protocol
+};
+
+[[nodiscard]] std::vector<PortRank> topPorts(
+    std::span<const net::Packet> packets,
+    std::span<const telescope::Session> sessions, net::Protocol proto,
+    std::size_t k);
+
+/// UpSet-style exclusive intersection counts over N named sets.
+struct UpsetRow {
+  std::vector<bool> membership; // one flag per input set
+  std::uint64_t count = 0;
+
+  [[nodiscard]] std::string key(std::span<const std::string> names) const;
+};
+
+/// `sets[i]` holds the items observed at telescope i. Returns one row per
+/// non-empty exclusive combination, largest first, plus per-set totals.
+struct UpsetResult {
+  std::vector<UpsetRow> rows;
+  std::vector<std::uint64_t> setTotals;
+};
+
+template <typename Id>
+[[nodiscard]] UpsetResult upset(std::span<const std::set<Id>> sets) {
+  UpsetResult result;
+  result.setTotals.resize(sets.size());
+  std::map<std::vector<bool>, std::uint64_t> combos;
+  std::set<Id> universe;
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    result.setTotals[i] = sets[i].size();
+    universe.insert(sets[i].begin(), sets[i].end());
+  }
+  for (const Id& id : universe) {
+    std::vector<bool> membership(sets.size());
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+      membership[i] = sets[i].contains(id);
+    }
+    ++combos[membership];
+  }
+  for (auto& [membership, count] : combos) {
+    result.rows.push_back(UpsetRow{membership, count});
+  }
+  std::sort(result.rows.begin(), result.rows.end(),
+            [](const UpsetRow& a, const UpsetRow& b) {
+              return a.count > b.count;
+            });
+  return result;
+}
+
+[[nodiscard]] inline double percent(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole);
+}
+
+} // namespace v6t::analysis

@@ -1,0 +1,376 @@
+#include "analysis/taxonomy.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "analysis/dbscan.hpp"
+#include "analysis/nist.hpp"
+
+namespace v6t::analysis {
+
+std::string_view toString(TemporalClass t) {
+  switch (t) {
+    case TemporalClass::OneOff: return "one-off";
+    case TemporalClass::Intermittent: return "intermittent";
+    case TemporalClass::Periodic: return "periodic";
+  }
+  return "?";
+}
+
+std::string_view toString(AddressSelection s) {
+  switch (s) {
+    case AddressSelection::Structured: return "structured";
+    case AddressSelection::Random: return "random";
+    case AddressSelection::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+std::string_view toString(NetworkSelection s) {
+  switch (s) {
+    case NetworkSelection::SinglePrefix: return "single-prefix";
+    case NetworkSelection::SizeIndependent: return "network-size independent";
+    case NetworkSelection::SizeDependent: return "network-size dependent";
+    case NetworkSelection::Inconsistent: return "inconsistent";
+  }
+  return "?";
+}
+
+TemporalResult classifyTemporal(std::span<const sim::SimTime> sessionStarts,
+                                const PeriodDetectorParams& params) {
+  if (sessionStarts.size() <= 1) return {TemporalClass::OneOff, std::nullopt};
+  if (sessionStarts.size() == 2) {
+    // Must appear more than twice to qualify as periodic (§5.1).
+    return {TemporalClass::Intermittent, std::nullopt};
+  }
+  if (auto period = detectPeriod(sessionStarts, params)) {
+    return {TemporalClass::Periodic, period};
+  }
+  return {TemporalClass::Intermittent, std::nullopt};
+}
+
+namespace {
+
+/// Share of adjacent target pairs in non-decreasing order — detects
+/// sequential traversal even when individual addresses look random.
+double monotonicShare(std::span<const net::Ipv6Address> targets) {
+  if (targets.size() < 2) return 1.0;
+  std::size_t ordered = 0;
+  for (std::size_t i = 1; i < targets.size(); ++i) {
+    if (!(targets[i] < targets[i - 1])) ++ordered;
+  }
+  return static_cast<double>(ordered) /
+         static_cast<double>(targets.size() - 1);
+}
+
+bool isStructuredType(AddressType t) {
+  return t != AddressType::Randomized;
+}
+
+} // namespace
+
+AddressSelection classifyAddressSelection(
+    std::span<const net::Ipv6Address> targets,
+    const AddressSelectionParams& params) {
+  if (targets.empty()) return AddressSelection::Unknown;
+
+  // addr6-style structure: a dominant structured category.
+  const AddressTypeHistogram histogram = classifyAll(targets);
+  std::uint64_t structured = 0;
+  for (std::size_t i = 0; i < kAddressTypeCount; ++i) {
+    if (isStructuredType(static_cast<AddressType>(i))) {
+      structured += histogram.count[i];
+    }
+  }
+  const double structuredRatio =
+      static_cast<double>(structured) / static_cast<double>(targets.size());
+  if (structuredRatio >= params.structuredShare) {
+    return AddressSelection::Structured;
+  }
+  // Sequential traversal of the space is structure even if the individual
+  // IIDs classify as randomized (Fig. 13's tree-walk sessions).
+  if (targets.size() >= 8 && monotonicShare(targets) >= 0.9) {
+    return AddressSelection::Structured;
+  }
+
+  // Statistical randomness of the IID bits (§5.3 method).
+  if (targets.size() >= params.minPacketsForNist) {
+    const BitSequence bits = bitsFromAddresses(targets, 64, 64);
+    if (frequencyTest(bits).pass(params.alpha)) {
+      return AddressSelection::Random;
+    }
+  }
+  return AddressSelection::Unknown;
+}
+
+namespace {
+
+/// Size-invariant behavioral summary of one announcement cycle: these
+/// numbers characterize *how* the scanner spread its sessions, not how
+/// many prefixes happened to be announced, so cycles from different
+/// experiment stages remain comparable.
+struct CycleStats {
+  bool multiPrefix = false;
+  double cv = 0.0; // coefficient of variation of per-prefix counts
+  double sizeCorr = 0.0; // Pearson r of host-bits vs session count
+};
+
+CycleStats cycleStats(const CycleActivity& cycle) {
+  CycleStats stats;
+  const std::size_t n = cycle.sessionsPerPrefix.size();
+  std::size_t active = 0;
+  double total = 0.0;
+  for (std::uint64_t c : cycle.sessionsPerPrefix) {
+    if (c > 0) ++active;
+    total += static_cast<double>(c);
+  }
+  if (active <= 1 || n < 2) return stats; // single-prefix shape
+  stats.multiPrefix = true;
+
+  const double mean = total / static_cast<double>(n);
+  double var = 0.0;
+  for (std::uint64_t c : cycle.sessionsPerPrefix) {
+    const double d = static_cast<double>(c) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(n);
+  stats.cv = mean > 0.0 ? std::sqrt(var) / mean : 0.0;
+
+  double meanBits = 0.0;
+  for (unsigned len : cycle.prefixLengths)
+    meanBits += static_cast<double>(128 - len);
+  meanBits /= static_cast<double>(n);
+  double cov = 0.0;
+  double varBits = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double db =
+        static_cast<double>(128 - cycle.prefixLengths[i]) - meanBits;
+    const double dc = static_cast<double>(cycle.sessionsPerPrefix[i]) - mean;
+    cov += db * dc;
+    varBits += db * db;
+  }
+  if (varBits > 0.0 && var > 0.0) {
+    // var holds the *mean* squared deviation; the sum is var * n.
+    stats.sizeCorr = cov / std::sqrt(varBits * var * static_cast<double>(n));
+  }
+  return stats;
+}
+
+/// DBSCAN feature vector derived from the cycle stats. Same behavior =>
+/// nearby points, regardless of how many prefixes the cycle announced.
+/// The size-correlation only enters when it is decisive — a uniform
+/// scanner's Pearson r is small-sample noise that must not split clusters.
+std::array<double, 3> cycleFeature(const CycleStats& stats,
+                                   const NetworkSelectionParams& params) {
+  if (!stats.multiPrefix) return {0.0, 0.0, 0.5};
+  const double corrFeature =
+      std::abs(stats.sizeCorr) >= params.sizeCorrelation
+          ? (stats.sizeCorr + 1.0) / 2.0
+          : 0.5;
+  return {1.0, std::min(stats.cv, 2.0) / 2.0, corrFeature};
+}
+
+} // namespace
+
+NetworkSelection classifyCycle(const CycleActivity& cycle,
+                               const NetworkSelectionParams& params) {
+  const CycleStats stats = cycleStats(cycle);
+  if (!stats.multiPrefix) return NetworkSelection::SinglePrefix;
+  // Size-driven coverage first: its session counts also have a modest
+  // coefficient of variation, so the uniformity check must not see it.
+  // The cv floor keeps near-constant counts (whose Pearson r is noise)
+  // out of this branch.
+  if (stats.sizeCorr >= params.sizeCorrelation && stats.cv > 0.25) {
+    return NetworkSelection::SizeDependent;
+  }
+  if (stats.cv <= params.uniformCv) return NetworkSelection::SizeIndependent;
+  return NetworkSelection::Inconsistent;
+}
+
+NetworkSelection classifyNetworkSelection(
+    std::span<const CycleActivity> allCycles,
+    const NetworkSelectionParams& params) {
+  if (allCycles.empty()) return NetworkSelection::SinglePrefix;
+
+  // Cycles during which only one prefix was announced carry no signal
+  // about multi-prefix strategy; exclude them from the analysis.
+  std::vector<CycleActivity> cycles;
+  for (const CycleActivity& c : allCycles) {
+    if (c.prefixLengths.size() >= 2) cycles.push_back(c);
+  }
+  if (cycles.empty()) return NetworkSelection::SinglePrefix;
+  if (cycles.size() == 1) return classifyCycle(cycles[0], params);
+
+  // Group the cycles' behavioral features by DBSCAN (§5.2 method): a
+  // source whose per-cycle behavior falls into more than one density
+  // cluster changed strategy mid-experiment.
+  std::vector<std::array<double, 3>> profiles;
+  profiles.reserve(cycles.size());
+  for (const CycleActivity& c : cycles) {
+    profiles.push_back(cycleFeature(cycleStats(c), params));
+  }
+
+  auto distance = [&](std::size_t a, std::size_t b) {
+    double d = 0.0;
+    for (std::size_t i = 0; i < 3; ++i) {
+      d += std::abs(profiles[a][i] - profiles[b][i]);
+    }
+    return d;
+  };
+  const DbscanResult clusters =
+      dbscan(cycles.size(), params.dbscanEpsilon, params.dbscanMinPts,
+             distance);
+  // A scanner is coherent if one behavior cluster dominates its cycles;
+  // a few partially-observed cycles (the scanner came online mid-cycle)
+  // are tolerated as outliers. A genuine behavior change produces two
+  // comparable clusters and lands in Inconsistent.
+  std::map<int, std::size_t> clusterSizes;
+  for (int label : clusters.label) {
+    if (label != kDbscanNoise) ++clusterSizes[label];
+  }
+  int dominant = kDbscanNoise;
+  std::size_t dominantSize = 0;
+  for (const auto& [label, size] : clusterSizes) {
+    if (size > dominantSize) {
+      dominant = label;
+      dominantSize = size;
+    }
+  }
+  if (dominant == kDbscanNoise ||
+      static_cast<double>(dominantSize) <
+          params.dominantShare * static_cast<double>(cycles.size())) {
+    return NetworkSelection::Inconsistent;
+  }
+
+  // Label by majority class among the dominant cluster's cycles.
+  std::size_t votes[4] = {0, 0, 0, 0};
+  for (std::size_t i = 0; i < cycles.size(); ++i) {
+    if (clusters.label[i] != dominant) continue;
+    ++votes[static_cast<std::size_t>(classifyCycle(cycles[i], params))];
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < 4; ++i) {
+    if (votes[i] > votes[best]) best = i;
+  }
+  if (votes[best] * 2 < dominantSize) return NetworkSelection::Inconsistent;
+  return static_cast<NetworkSelection>(best);
+}
+
+std::uint64_t TaxonomyResult::scannersOf(TemporalClass t) const {
+  std::uint64_t n = 0;
+  for (const ScannerProfile& p : profiles) {
+    if (p.temporal.cls == t) ++n;
+  }
+  return n;
+}
+
+std::uint64_t TaxonomyResult::sessionsOf(TemporalClass t) const {
+  std::uint64_t n = 0;
+  for (const ScannerProfile& p : profiles) {
+    if (p.temporal.cls == t) n += p.sessionIdx.size();
+  }
+  return n;
+}
+
+std::uint64_t TaxonomyResult::scannersOf(NetworkSelection s) const {
+  std::uint64_t n = 0;
+  for (const ScannerProfile& p : profiles) {
+    if (p.network == s) ++n;
+  }
+  return n;
+}
+
+std::uint64_t TaxonomyResult::sessionsOf(NetworkSelection s) const {
+  std::uint64_t n = 0;
+  for (const ScannerProfile& p : profiles) {
+    if (p.network == s) n += p.sessionIdx.size();
+  }
+  return n;
+}
+
+TaxonomyResult classifyCapture(std::span<const net::Packet> packets,
+                               std::span<const telescope::Session> sessions,
+                               const bgp::SplitSchedule* schedule,
+                               const PeriodDetectorParams& temporalParams,
+                               const AddressSelectionParams& addrParams,
+                               const NetworkSelectionParams& netParams) {
+  TaxonomyResult result;
+
+  // Per-session address selection.
+  result.sessionAddrSel.reserve(sessions.size());
+  for (const telescope::Session& s : sessions) {
+    std::vector<net::Ipv6Address> targets;
+    targets.reserve(s.packetIdx.size());
+    for (std::uint32_t idx : s.packetIdx) targets.push_back(packets[idx].dst);
+    result.sessionAddrSel.push_back(
+        classifyAddressSelection(targets, addrParams));
+  }
+
+  // Group sessions by source and classify each source.
+  const std::vector<telescope::SourceSessions> bySource =
+      telescope::groupBySource(sessions);
+  result.profiles.reserve(bySource.size());
+  for (const telescope::SourceSessions& src : bySource) {
+    ScannerProfile profile;
+    profile.source = src.source;
+    profile.sessionIdx = src.sessionIdx;
+
+    std::vector<sim::SimTime> starts;
+    starts.reserve(src.sessionIdx.size());
+    for (std::uint32_t i : src.sessionIdx) {
+      starts.push_back(sessions[i].start);
+      profile.sessionsByAddrSel[static_cast<std::size_t>(
+          result.sessionAddrSel[i])]++;
+    }
+    profile.temporal = classifyTemporal(starts, temporalParams);
+
+    if (schedule != nullptr) {
+      // Build per-cycle activity from the sessions' timing and targets.
+      std::map<int, CycleActivity> perCycle;
+      for (std::uint32_t i : src.sessionIdx) {
+        const telescope::Session& s = sessions[i];
+        const bgp::AnnouncementCycle* cycle = schedule->cycleAt(s.start);
+        if (cycle == nullptr) continue;
+        CycleActivity& activity = perCycle[cycle->index];
+        if (activity.sessionsPerPrefix.empty()) {
+          activity.cycleIndex = cycle->index;
+          activity.sessionsPerPrefix.resize(cycle->announced.size());
+          activity.prefixLengths.reserve(cycle->announced.size());
+          for (const net::Prefix& p : cycle->announced) {
+            activity.prefixLengths.push_back(p.length());
+          }
+        }
+        // Attribute the session to the most specific announced prefix its
+        // first target falls into.
+        const net::Ipv6Address target = packets[s.packetIdx.front()].dst;
+        std::size_t bestIdx = cycle->announced.size();
+        unsigned bestLen = 0;
+        for (std::size_t k = 0; k < cycle->announced.size(); ++k) {
+          const net::Prefix& p = cycle->announced[k];
+          if (p.contains(target) && p.length() >= bestLen) {
+            bestLen = p.length();
+            bestIdx = k;
+          }
+        }
+        if (bestIdx < activity.sessionsPerPrefix.size()) {
+          ++activity.sessionsPerPrefix[bestIdx];
+        }
+      }
+      std::vector<CycleActivity> cycles;
+      cycles.reserve(perCycle.size());
+      for (auto& [index, activity] : perCycle) {
+        cycles.push_back(std::move(activity));
+      }
+      profile.network = classifyNetworkSelection(cycles, netParams);
+    } else {
+      profile.network = NetworkSelection::SinglePrefix;
+    }
+    result.profiles.push_back(std::move(profile));
+  }
+  return result;
+}
+
+} // namespace v6t::analysis

@@ -1,0 +1,153 @@
+// v6t::analysis — the scanner taxonomy of §5, as estimators.
+//
+// Three orthogonal axes, all computed from captured packets/sessions only:
+//
+//   temporal behavior    one-off / periodic / intermittent (§5.1)
+//   network selection    single-prefix / size-independent / size-dependent /
+//                        inconsistent (§5.2) — needs the announcement
+//                        cycles of the BGP experiment as context
+//   address selection    structured / random / unknown (§5.3) — addr6-style
+//                        structure detection plus the NIST frequency test
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "analysis/addr_class.hpp"
+#include "analysis/autocorr.hpp"
+#include "analysis/nist.hpp"
+#include "bgp/splitter.hpp"
+#include "net/packet.hpp"
+#include "telescope/session.hpp"
+
+namespace v6t::analysis {
+
+// ---------------------------------------------------------------- temporal
+
+enum class TemporalClass : std::uint8_t { OneOff, Intermittent, Periodic };
+
+[[nodiscard]] std::string_view toString(TemporalClass t);
+
+struct TemporalResult {
+  TemporalClass cls = TemporalClass::OneOff;
+  std::optional<sim::Duration> period; // set iff Periodic
+};
+
+/// Classify from the source's session start times. Exactly one session (or
+/// zero) -> one-off; a detectable stable period -> periodic; otherwise
+/// intermittent.
+[[nodiscard]] TemporalResult classifyTemporal(
+    std::span<const sim::SimTime> sessionStarts,
+    const PeriodDetectorParams& params = {});
+
+// ------------------------------------------------------- address selection
+
+enum class AddressSelection : std::uint8_t { Structured, Random, Unknown };
+
+[[nodiscard]] std::string_view toString(AddressSelection s);
+
+struct AddressSelectionParams {
+  /// Share of targets in one structured addr6 category (or detected
+  /// sequential traversal) required to call the session structured.
+  double structuredShare = 0.6;
+  /// Minimum packets for the NIST frequency test (SP 800-22 needs >= 100
+  /// bits; with 64 IID bits per address any session of >= 100 packets is
+  /// far above that).
+  std::size_t minPacketsForNist = 100;
+  double alpha = kNistAlpha;
+};
+
+/// Classify one session's target list.
+[[nodiscard]] AddressSelection classifyAddressSelection(
+    std::span<const net::Ipv6Address> targets,
+    const AddressSelectionParams& params = {});
+
+// ------------------------------------------------------- network selection
+
+enum class NetworkSelection : std::uint8_t {
+  SinglePrefix,
+  SizeIndependent,
+  SizeDependent,
+  Inconsistent,
+};
+
+[[nodiscard]] std::string_view toString(NetworkSelection s);
+
+/// Session counts per announced prefix, for one source within one
+/// announcement cycle.
+struct CycleActivity {
+  int cycleIndex = 0;
+  /// Parallel to the cycle's announced prefix list: sessions this source
+  /// directed into each prefix.
+  std::vector<std::uint64_t> sessionsPerPrefix;
+  std::vector<unsigned> prefixLengths; // announced prefix lengths
+};
+
+struct NetworkSelectionParams {
+  /// Coefficient of variation below which per-prefix session counts are
+  /// considered uniform (size-independent). Partially-covered cycles (a
+  /// scanner active for half the cycle) still count as uniform coverage.
+  double uniformCv = 1.0;
+  /// |Pearson r| between host-bits and session count above which counts are
+  /// considered size-driven.
+  double sizeCorrelation = 0.6;
+  /// DBSCAN parameters for grouping per-cycle profiles of one source; a
+  /// source without a dominant behavior cluster is inconsistent.
+  double dbscanEpsilon = 0.5;
+  std::size_t dbscanMinPts = 1;
+  /// Minimum share of a source's cycles that the dominant behavior
+  /// cluster must hold; partially-observed outlier cycles are tolerated.
+  double dominantShare = 0.7;
+};
+
+/// Per-cycle label used internally and exposed for tests.
+[[nodiscard]] NetworkSelection classifyCycle(
+    const CycleActivity& cycle, const NetworkSelectionParams& params = {});
+
+/// Combine a source's behavior across all cycles it was active in.
+/// Cycles are first grouped by DBSCAN over their normalized per-prefix
+/// session distribution; sources whose cycles disagree are inconsistent.
+[[nodiscard]] NetworkSelection classifyNetworkSelection(
+    std::span<const CycleActivity> cycles,
+    const NetworkSelectionParams& params = {});
+
+// ----------------------------------------------------- corpus-level driver
+
+/// Everything the taxonomy says about one scan source.
+struct ScannerProfile {
+  telescope::SourceKey source;
+  std::vector<std::uint32_t> sessionIdx; // into the session vector
+  TemporalResult temporal;
+  NetworkSelection network = NetworkSelection::SinglePrefix;
+  /// Session counts per address-selection class for this source.
+  std::uint64_t sessionsByAddrSel[3] = {0, 0, 0};
+};
+
+struct TaxonomyResult {
+  std::vector<ScannerProfile> profiles;
+  /// Per-session address selection labels (parallel to the session vector).
+  std::vector<AddressSelection> sessionAddrSel;
+
+  [[nodiscard]] std::uint64_t scannersOf(TemporalClass t) const;
+  [[nodiscard]] std::uint64_t sessionsOf(TemporalClass t) const;
+  [[nodiscard]] std::uint64_t scannersOf(NetworkSelection s) const;
+  [[nodiscard]] std::uint64_t sessionsOf(NetworkSelection s) const;
+};
+
+/// Run the full taxonomy over one telescope's capture. `schedule` provides
+/// the announcement-cycle context for network selection; pass nullptr for
+/// telescopes without a BGP experiment (every source is then single-prefix,
+/// as in §5.2's "for T2–T4" note).
+[[nodiscard]] TaxonomyResult classifyCapture(
+    std::span<const net::Packet> packets,
+    std::span<const telescope::Session> sessions,
+    const bgp::SplitSchedule* schedule,
+    const PeriodDetectorParams& temporalParams = {},
+    const AddressSelectionParams& addrParams = {},
+    const NetworkSelectionParams& netParams = {});
+
+} // namespace v6t::analysis

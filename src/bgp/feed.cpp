@@ -1,0 +1,42 @@
+#include "bgp/feed.hpp"
+
+namespace v6t::bgp {
+
+BgpFeed::SubscriberId BgpFeed::subscribe(PropagationModel model, Callback cb) {
+  const SubscriberId id = nextId_++;
+  subscribers_.emplace(id, Subscriber{model, std::move(cb)});
+  return id;
+}
+
+void BgpFeed::unsubscribe(SubscriberId id) { subscribers_.erase(id); }
+
+void BgpFeed::announce(const net::Prefix& prefix, net::Asn origin) {
+  const sim::SimTime now = engine_.now();
+  rib_.announce(prefix, origin, now);
+  publish(BgpUpdate{UpdateKind::Announce, prefix, origin, now});
+}
+
+void BgpFeed::withdraw(const net::Prefix& prefix) {
+  const sim::SimTime now = engine_.now();
+  const RouteEntry* entry = rib_.findExact(prefix);
+  const net::Asn origin = entry != nullptr ? entry->origin : net::Asn{};
+  rib_.withdraw(prefix, now);
+  publish(BgpUpdate{UpdateKind::Withdraw, prefix, origin, now});
+}
+
+void BgpFeed::publish(const BgpUpdate& update) {
+  for (const auto& [id, sub] : subscribers_) {
+    const sim::Duration delay = sub.model.sample(rng_);
+    // Copy the callback: the subscriber may unsubscribe before delivery, in
+    // which case the update must be dropped, so route through the id.
+    const SubscriberId sid = id;
+    BgpUpdate delivered = update;
+    delivered.ts = engine_.now() + delay;
+    engine_.scheduleAfter(delay, [this, sid, delivered]() {
+      const auto it = subscribers_.find(sid);
+      if (it != subscribers_.end()) it->second.cb(delivered);
+    });
+  }
+}
+
+} // namespace v6t::bgp

@@ -1,0 +1,74 @@
+// v6t::bgp — BGP update propagation.
+//
+// The experiment's announcements do not become visible everywhere at once:
+// route propagation through the DFZ takes seconds to minutes, and scanners
+// that consume route collectors (RIS/RouteViews style) see updates with an
+// additional collection lag of minutes to hours. BgpFeed models both: the
+// origin RIB is updated immediately, and each subscriber receives the
+// update after its own convergence delay.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "bgp/rib.hpp"
+#include "bgp/update.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace v6t::bgp {
+
+/// How quickly a subscriber learns about routing changes.
+struct PropagationModel {
+  sim::Duration base = sim::seconds(30); // minimum propagation time
+  sim::Duration jitter = sim::minutes(10); // uniform extra lag
+
+  [[nodiscard]] sim::Duration sample(sim::Rng& rng) const {
+    const auto extra = static_cast<std::int64_t>(
+        rng.uniform() * static_cast<double>(jitter.millis()));
+    return base + sim::millis(extra);
+  }
+};
+
+class BgpFeed {
+public:
+  using SubscriberId = std::uint64_t;
+  using Callback = std::function<void(const BgpUpdate&)>;
+
+  BgpFeed(sim::Engine& engine, Rib& rib, std::uint64_t seed)
+      : engine_(engine), rib_(rib), rng_(seed) {}
+
+  /// Register a consumer; `model` determines its visibility lag.
+  SubscriberId subscribe(PropagationModel model, Callback cb);
+
+  void unsubscribe(SubscriberId id);
+
+  /// Announce at the origin: the RIB changes now; subscribers are notified
+  /// after their sampled propagation delay.
+  void announce(const net::Prefix& prefix, net::Asn origin);
+  void withdraw(const net::Prefix& prefix);
+
+  [[nodiscard]] const Rib& rib() const { return rib_; }
+  [[nodiscard]] std::size_t subscriberCount() const {
+    return subscribers_.size();
+  }
+
+private:
+  struct Subscriber {
+    PropagationModel model;
+    Callback cb;
+  };
+
+  void publish(const BgpUpdate& update);
+
+  sim::Engine& engine_;
+  Rib& rib_;
+  sim::Rng rng_;
+  SubscriberId nextId_ = 1;
+  // Ordered map: subscriber notification order (and thus RNG consumption)
+  // must be deterministic for reproducible runs.
+  std::map<SubscriberId, Subscriber> subscribers_;
+};
+
+} // namespace v6t::bgp

@@ -1,0 +1,47 @@
+#include "bgp/hitlist.hpp"
+
+namespace v6t::bgp {
+
+HitlistService::HitlistService(sim::Engine& engine, BgpFeed& feed,
+                               Params params, std::uint64_t seed)
+    : engine_(engine), params_(params), rng_(seed) {
+  feed.subscribe(PropagationModel{sim::minutes(5), sim::minutes(30)},
+                 [this](const BgpUpdate& u) { handleUpdate(u); });
+}
+
+void HitlistService::handleUpdate(const BgpUpdate& update) {
+  if (update.kind != UpdateKind::Announce) return;
+  if (listed_.contains(update.prefix)) return; // re-announcement: keep entry
+  const auto extra = static_cast<std::int64_t>(
+      rng_.uniform() * static_cast<double>(params_.jitter.millis()));
+  const sim::Duration delay = params_.listingDelay + sim::millis(extra);
+  const net::Prefix prefix = update.prefix;
+  engine_.scheduleAfter(delay, [this, prefix]() {
+    const sim::SimTime now = engine_.now();
+    if (listed_.contains(prefix)) return;
+    listed_.emplace(prefix, now);
+    for (const auto& cb : consumers_) cb(prefix, now);
+  });
+}
+
+std::vector<net::Prefix> HitlistService::listedPrefixes(sim::SimTime t) const {
+  std::vector<net::Prefix> out;
+  for (const auto& [prefix, when] : listed_) {
+    if (when <= t) out.push_back(prefix);
+  }
+  return out;
+}
+
+bool HitlistService::isListed(const net::Prefix& prefix, sim::SimTime t) const {
+  const auto it = listed_.find(prefix);
+  return it != listed_.end() && it->second <= t;
+}
+
+std::optional<sim::SimTime> HitlistService::listedAt(
+    const net::Prefix& prefix) const {
+  const auto it = listed_.find(prefix);
+  if (it == listed_.end()) return std::nullopt;
+  return it->second;
+}
+
+} // namespace v6t::bgp

@@ -1,0 +1,43 @@
+#include "bgp/looking_glass.hpp"
+
+namespace v6t::bgp {
+
+LookingGlass::LookingGlass(sim::Engine& engine, BgpFeed& feed,
+                           std::vector<VantagePoint> vantagePoints) {
+  (void)engine;
+  names_.reserve(vantagePoints.size());
+  ribs_.resize(vantagePoints.size());
+  for (std::size_t i = 0; i < vantagePoints.size(); ++i) {
+    names_.push_back(vantagePoints[i].name);
+    Rib* shadow = &ribs_[i];
+    feed.subscribe(vantagePoints[i].propagation,
+                   [shadow](const BgpUpdate& u) {
+                     if (u.kind == UpdateKind::Announce) {
+                       shadow->announce(u.prefix, u.origin, u.ts);
+                     } else {
+                       shadow->withdraw(u.prefix, u.ts);
+                     }
+                   });
+  }
+}
+
+std::size_t LookingGlass::visibleAt(const net::Prefix& prefix) const {
+  std::size_t visible = 0;
+  for (const Rib& rib : ribs_) {
+    if (rib.lookup(prefix.address()).has_value()) ++visible;
+  }
+  return visible;
+}
+
+std::vector<std::string> LookingGlass::missingAt(
+    const net::Prefix& prefix) const {
+  std::vector<std::string> missing;
+  for (std::size_t i = 0; i < ribs_.size(); ++i) {
+    if (!ribs_[i].lookup(prefix.address()).has_value()) {
+      missing.push_back(names_[i]);
+    }
+  }
+  return missing;
+}
+
+} // namespace v6t::bgp

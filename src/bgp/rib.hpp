@@ -1,0 +1,63 @@
+// v6t::bgp — routing information base.
+//
+// Models the DFZ view relevant to the experiment: which prefixes are
+// announced, by whom, since when. Packets in the simulation are deliverable
+// to a telescope address only if the RIB has a covering route — exactly the
+// condition under which real scan traffic can reach a telescope.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bgp/update.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace v6t::bgp {
+
+struct RouteEntry {
+  net::Asn origin;
+  sim::SimTime announcedAt;
+};
+
+class Rib {
+public:
+  /// Install (or refresh) a route. Records the update in the history log.
+  void announce(const net::Prefix& prefix, net::Asn origin, sim::SimTime t);
+
+  /// Remove a route; silently ignores withdrawals of unknown prefixes
+  /// (as a real speaker would).
+  void withdraw(const net::Prefix& prefix, sim::SimTime t);
+
+  /// Longest-prefix match: the most specific route covering `addr`.
+  [[nodiscard]] std::optional<std::pair<net::Prefix, RouteEntry>> lookup(
+      const net::Ipv6Address& addr) const;
+
+  [[nodiscard]] bool isRoutable(const net::Ipv6Address& addr) const {
+    return lookup(addr).has_value();
+  }
+
+  [[nodiscard]] const RouteEntry* findExact(const net::Prefix& prefix) const {
+    return table_.findExact(prefix);
+  }
+
+  /// All currently announced prefixes, most specific last.
+  [[nodiscard]] std::vector<net::Prefix> announcedPrefixes() const;
+
+  /// All current routes with their entries (trie order).
+  [[nodiscard]] std::vector<std::pair<net::Prefix, RouteEntry>>
+  announcedRoutes() const;
+
+  /// Full update history, in application order.
+  [[nodiscard]] const std::vector<BgpUpdate>& history() const {
+    return history_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+
+private:
+  net::PrefixTrie<RouteEntry> table_;
+  std::vector<BgpUpdate> history_;
+};
+
+} // namespace v6t::bgp

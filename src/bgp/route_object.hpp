@@ -1,0 +1,79 @@
+// v6t::bgp — IRR route6 objects and RPKI ROAs.
+//
+// The paper probes whether creating a route6 object (and deliberately NOT
+// creating a ROA) changes scanner behavior — it does not (§3.2). We model
+// the registries so the experiment can reproduce that negative result: a
+// registry entry is visible metadata that certain (hypothetical) scanner
+// policies could consult, and validation outcomes can be queried.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/asn.hpp"
+#include "net/prefix.hpp"
+#include "sim/time.hpp"
+
+namespace v6t::bgp {
+
+struct Route6Object {
+  net::Prefix prefix;
+  net::Asn origin;
+  sim::SimTime createdAt;
+};
+
+struct Roa {
+  net::Prefix prefix;
+  unsigned maxLength = 0;
+  net::Asn origin;
+  sim::SimTime createdAt;
+};
+
+enum class RpkiValidity : std::uint8_t { Valid, Invalid, NotFound };
+
+class IrrRegistry {
+public:
+  void addRoute6(const net::Prefix& prefix, net::Asn origin, sim::SimTime t) {
+    route6_.push_back(Route6Object{prefix, origin, t});
+  }
+  void addRoa(const net::Prefix& prefix, unsigned maxLength, net::Asn origin,
+              sim::SimTime t) {
+    roas_.push_back(Roa{prefix, maxLength, origin, t});
+  }
+
+  /// Is there a route6 object covering this exact announcement at time `t`?
+  [[nodiscard]] bool hasRoute6(const net::Prefix& prefix, net::Asn origin,
+                               sim::SimTime t) const {
+    for (const Route6Object& o : route6_) {
+      if (o.createdAt <= t && o.origin == origin && o.prefix.covers(prefix))
+        return true;
+    }
+    return false;
+  }
+
+  /// RPKI origin validation (RFC 6811 semantics). With no covering ROA the
+  /// result is NotFound — which upstreams do not filter, the reason the
+  /// authors skipped creating one.
+  [[nodiscard]] RpkiValidity validate(const net::Prefix& prefix,
+                                      net::Asn origin, sim::SimTime t) const {
+    bool covered = false;
+    for (const Roa& r : roas_) {
+      if (r.createdAt > t || !r.prefix.covers(prefix)) continue;
+      covered = true;
+      if (r.origin == origin && prefix.length() <= r.maxLength)
+        return RpkiValidity::Valid;
+    }
+    return covered ? RpkiValidity::Invalid : RpkiValidity::NotFound;
+  }
+
+  [[nodiscard]] const std::vector<Route6Object>& route6Objects() const {
+    return route6_;
+  }
+  [[nodiscard]] const std::vector<Roa>& roas() const { return roas_; }
+
+private:
+  std::vector<Route6Object> route6_;
+  std::vector<Roa> roas_;
+};
+
+} // namespace v6t::bgp

@@ -1,0 +1,24 @@
+// v6t::bgp — BGP update messages.
+#pragma once
+
+#include <string>
+
+#include "net/asn.hpp"
+#include "net/prefix.hpp"
+#include "sim/time.hpp"
+
+namespace v6t::bgp {
+
+enum class UpdateKind : std::uint8_t { Announce, Withdraw };
+
+/// One routing-table change as observed at the collector / by a subscriber.
+struct BgpUpdate {
+  UpdateKind kind = UpdateKind::Announce;
+  net::Prefix prefix;
+  net::Asn origin;
+  sim::SimTime ts; // when the update became visible to the observer
+
+  [[nodiscard]] std::string toString() const;
+};
+
+} // namespace v6t::bgp

@@ -1,0 +1,205 @@
+#include "core/config.hpp"
+
+#include <charconv>
+#include <sstream>
+
+namespace v6t::core {
+
+namespace {
+
+std::string trim(std::string_view text) {
+  const auto first = text.find_first_not_of(" \t\r");
+  if (first == std::string_view::npos) return {};
+  const auto last = text.find_last_not_of(" \t\r");
+  return std::string{text.substr(first, last - first + 1)};
+}
+
+bool parseU64(const std::string& text, std::uint64_t& out) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+bool parseDouble(const std::string& text, double& out) {
+  try {
+    std::size_t consumed = 0;
+    out = std::stod(text, &consumed);
+    return consumed == text.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+} // namespace
+
+ConfigParseResult parseExperimentConfig(std::istream& in) {
+  ConfigParseResult result;
+  std::string line;
+  int lineNo = 0;
+  auto error = [&](const std::string& message) {
+    result.errors.push_back("line " + std::to_string(lineNo) + ": " +
+                            message);
+  };
+
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) line.resize(comment);
+    const std::string trimmed = trim(line);
+    if (trimmed.empty()) continue;
+    const auto eq = trimmed.find('=');
+    if (eq == std::string::npos) {
+      error("expected 'key = value'");
+      continue;
+    }
+    const std::string key = trim(trimmed.substr(0, eq));
+    const std::string value = trim(trimmed.substr(eq + 1));
+    if (key.empty() || value.empty()) {
+      error("empty key or value");
+      continue;
+    }
+
+    ExperimentConfig& c = result.config;
+    auto setPrefix = [&](net::Prefix& out) {
+      if (auto p = net::Prefix::parse(value)) {
+        out = *p;
+      } else {
+        error("bad prefix '" + value + "'");
+      }
+    };
+    auto setAddress = [&](net::Ipv6Address& out) {
+      if (auto a = net::Ipv6Address::parse(value)) {
+        out = *a;
+      } else {
+        error("bad address '" + value + "'");
+      }
+    };
+    auto setU64 = [&](std::uint64_t& out) {
+      if (!parseU64(value, out)) error("bad integer '" + value + "'");
+    };
+    auto setScale = [&](double& out) {
+      double v = 0;
+      if (!parseDouble(value, v) || v <= 0.0 || v > 1.0) {
+        error("scale must be in (0, 1]: '" + value + "'");
+      } else {
+        out = v;
+      }
+    };
+    auto setWeeks = [&](sim::Duration& out) {
+      std::uint64_t v = 0;
+      if (!parseU64(value, v) || v == 0 || v > 520) {
+        error("weeks must be 1..520: '" + value + "'");
+      } else {
+        out = sim::weeks(static_cast<std::int64_t>(v));
+      }
+    };
+
+    if (key == "seed") {
+      setU64(c.seed);
+    } else if (key == "source_scale") {
+      setScale(c.sourceScale);
+    } else if (key == "volume_scale") {
+      setScale(c.volumeScale);
+    } else if (key == "baseline_weeks") {
+      setWeeks(c.baseline);
+    } else if (key == "cycle_weeks") {
+      setWeeks(c.cycle);
+    } else if (key == "splits") {
+      std::uint64_t v = 0;
+      if (!parseU64(value, v) || v < 1 || v > 90) {
+        error("splits must be 1..90: '" + value + "'");
+      } else {
+        c.splits = static_cast<int>(v);
+      }
+    } else if (key == "withdraw_gap_days") {
+      std::uint64_t v = 0;
+      if (!parseU64(value, v) || v > 13) {
+        error("withdraw_gap_days must be 0..13: '" + value + "'");
+      } else {
+        c.withdrawGap = sim::days(static_cast<std::int64_t>(v));
+      }
+    } else if (key == "route_object_weeks") {
+      setWeeks(c.routeObjectAt);
+    } else if (key == "t1_base") {
+      setPrefix(c.t1Base);
+    } else if (key == "t2_prefix") {
+      setPrefix(c.t2Prefix);
+    } else if (key == "t2_productive") {
+      setPrefix(c.t2Productive);
+    } else if (key == "t2_attractor") {
+      setAddress(c.t2Attractor);
+    } else if (key == "covering") {
+      setPrefix(c.covering);
+    } else if (key == "t3_prefix") {
+      setPrefix(c.t3Prefix);
+    } else if (key == "t4_prefix") {
+      setPrefix(c.t4Prefix);
+    } else if (key == "our_asn") {
+      std::uint64_t v = 0;
+      if (!parseU64(value, v) || v == 0 || v > 0xffffffffULL) {
+        error("bad ASN '" + value + "'");
+      } else {
+        c.ourAsn = net::Asn{static_cast<std::uint32_t>(v)};
+      }
+    } else {
+      error("unknown key '" + key + "'");
+    }
+  }
+
+  // Semantic validation.
+  ++lineNo;
+  if (result.ok()) {
+    if (!result.config.covering.covers(result.config.t3Prefix)) {
+      error("t3_prefix must lie inside covering");
+    }
+    if (!result.config.covering.covers(result.config.t4Prefix)) {
+      error("t4_prefix must lie inside covering");
+    }
+    if (!result.config.t2Prefix.contains(result.config.t2Attractor)) {
+      error("t2_attractor must lie inside t2_prefix");
+    }
+    if (result.config.t2Productive.contains(result.config.t2Attractor)) {
+      error("t2_attractor must not lie inside t2_productive");
+    }
+    const unsigned deepest =
+        result.config.t1Base.length() +
+        static_cast<unsigned>(result.config.splits);
+    if (deepest > 128) {
+      error("splits exceed the host bits of t1_base");
+    }
+  }
+  return result;
+}
+
+ConfigParseResult parseExperimentConfig(const std::string& text) {
+  std::istringstream in{text};
+  return parseExperimentConfig(in);
+}
+
+std::string formatExperimentConfig(const ExperimentConfig& c) {
+  std::ostringstream out;
+  out << "# v6telescope experiment configuration\n"
+      << "seed = " << c.seed << "\n"
+      << "source_scale = " << c.sourceScale << "\n"
+      << "volume_scale = " << c.volumeScale << "\n"
+      << "baseline_weeks = " << c.baseline.millis() / sim::weeks(1).millis()
+      << "\n"
+      << "cycle_weeks = " << c.cycle.millis() / sim::weeks(1).millis() << "\n"
+      << "splits = " << c.splits << "\n"
+      << "withdraw_gap_days = "
+      << c.withdrawGap.millis() / sim::days(1).millis() << "\n"
+      << "route_object_weeks = "
+      << c.routeObjectAt.millis() / sim::weeks(1).millis() << "\n"
+      << "t1_base = " << c.t1Base.toString() << "\n"
+      << "t2_prefix = " << c.t2Prefix.toString() << "\n"
+      << "t2_productive = " << c.t2Productive.toString() << "\n"
+      << "t2_attractor = " << c.t2Attractor.toString() << "\n"
+      << "covering = " << c.covering.toString() << "\n"
+      << "t3_prefix = " << c.t3Prefix.toString() << "\n"
+      << "t4_prefix = " << c.t4Prefix.toString() << "\n"
+      << "our_asn = " << c.ourAsn.value() << "\n";
+  return out.str();
+}
+
+} // namespace v6t::core

@@ -1,0 +1,46 @@
+// v6t::core — experiment configuration files.
+//
+// A small key = value format (with '#' comments) so deployments can be
+// described declaratively and run by the v6t_run tool:
+//
+//     # my-deployment.conf
+//     seed          = 42
+//     source_scale  = 0.25
+//     volume_scale  = 0.02
+//     baseline_weeks = 12
+//     splits        = 16
+//     t1_base       = 3fff:100::/32
+//     t2_prefix     = 3fff:2::/48
+//
+// Unknown keys are reported as errors (typos must not silently become
+// defaults). All keys are optional; defaults reproduce the paper.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace v6t::core {
+
+struct ConfigParseResult {
+  ExperimentConfig config;
+  std::vector<std::string> errors; // empty on success
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// Parse a configuration stream. Returns the config plus any errors
+/// (line-tagged); on error the config holds the values parsed so far.
+[[nodiscard]] ConfigParseResult parseExperimentConfig(std::istream& in);
+
+/// Parse from a string (convenience for tests).
+[[nodiscard]] ConfigParseResult parseExperimentConfig(
+    const std::string& text);
+
+/// Serialize a config back to the file format (round-trips through the
+/// parser).
+[[nodiscard]] std::string formatExperimentConfig(const ExperimentConfig& c);
+
+} // namespace v6t::core

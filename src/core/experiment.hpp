@@ -1,0 +1,115 @@
+// v6t::core — the paper's experiment, end to end.
+//
+// Experiment wires together everything: the BGP control plane with the
+// Fig. 2 split schedule, the four telescopes, the delivery fabric, the
+// hitlist service, the IRR registry, and the calibrated scanner
+// population. run() executes the full 44-week timeline on the simulated
+// clock; afterwards the telescopes' capture stores hold the dataset that
+// every table/figure is computed from.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bgp/feed.hpp"
+#include "bgp/hitlist.hpp"
+#include "bgp/rib.hpp"
+#include "bgp/route_object.hpp"
+#include "bgp/splitter.hpp"
+#include "scanner/population.hpp"
+#include "sim/engine.hpp"
+#include "telescope/fabric.hpp"
+#include "telescope/telescope.hpp"
+
+namespace v6t::core {
+
+struct ExperimentConfig {
+  std::uint64_t seed = 42;
+  double sourceScale = 0.25;
+  double volumeScale = 0.02;
+
+  // Timeline (defaults reproduce the paper: 12-week baseline, 16 bi-weekly
+  // splits with a one-day withdraw gap => 17 prefixes, /48 most specific).
+  sim::Duration baseline = sim::weeks(12);
+  sim::Duration cycle = sim::weeks(2);
+  sim::Duration withdrawGap = sim::days(1);
+  int splits = 16;
+
+  // Address plan. 3fff::/20 is reserved for documentation (RFC 9637), so
+  // like the paper's 2001:db8:: narrative these are stand-in prefixes.
+  net::Prefix t1Base = net::Prefix::mustParse("3fff:100::/32");
+  net::Prefix t2Prefix = net::Prefix::mustParse("3fff:2::/48");
+  net::Prefix t2Productive = net::Prefix::mustParse("3fff:2:0:ff00::/56");
+  net::Ipv6Address t2Attractor =
+      net::Ipv6Address::mustParse("3fff:2:0:5000::31");
+  net::Prefix covering = net::Prefix::mustParse("3fff:e00::/29");
+  net::Prefix t3Prefix = net::Prefix::mustParse("3fff:e03:3::/48");
+  net::Prefix t4Prefix = net::Prefix::mustParse("3fff:e05:7::/48");
+
+  net::Asn ourAsn{65010}; // origin of T1/T2
+  net::Asn coveringAsn{65020}; // third party originating the /29
+
+  /// When (relative to start) the route6 object for the stable /33 is
+  /// created — four months in, per §3.2.
+  sim::Duration routeObjectAt = sim::weeks(17);
+
+  /// Stop the simulation early (e.g. after the baseline only); nullopt
+  /// runs the complete schedule.
+  std::optional<sim::Duration> runLimit;
+};
+
+/// Indexes into telescopes().
+enum TelescopeIndex : std::size_t { T1 = 0, T2 = 1, T3 = 2, T4 = 3 };
+
+class Experiment {
+public:
+  explicit Experiment(ExperimentConfig config);
+
+  /// Execute the full timeline. Call once.
+  void run();
+
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] const bgp::SplitSchedule& schedule() const {
+    return controller_->schedule();
+  }
+  [[nodiscard]] const telescope::Telescope& telescope(std::size_t i) const {
+    return *telescopes_[i];
+  }
+  [[nodiscard]] std::array<const telescope::Telescope*, 4> telescopes() const;
+  [[nodiscard]] const bgp::Rib& rib() const { return rib_; }
+  [[nodiscard]] const bgp::HitlistService& hitlist() const {
+    return *hitlist_;
+  }
+  [[nodiscard]] const bgp::IrrRegistry& irr() const { return irr_; }
+  [[nodiscard]] const telescope::DeliveryFabric& fabric() const {
+    return *fabric_;
+  }
+  [[nodiscard]] const scanner::Population& population() const {
+    return population_;
+  }
+  [[nodiscard]] const sim::Engine& engine() const { return engine_; }
+
+  /// Boundary between the initial observation period and the BGP
+  /// experiment.
+  [[nodiscard]] sim::SimTime baselineEnd() const {
+    return sim::kEpoch + config_.baseline;
+  }
+  [[nodiscard]] sim::SimTime experimentEnd() const;
+
+private:
+  ExperimentConfig config_;
+  sim::Engine engine_;
+  bgp::Rib rib_;
+  bgp::IrrRegistry irr_;
+  std::unique_ptr<bgp::BgpFeed> feed_;
+  std::unique_ptr<bgp::HitlistService> hitlist_;
+  std::unique_ptr<telescope::DeliveryFabric> fabric_;
+  std::array<std::unique_ptr<telescope::Telescope>, 4> telescopes_;
+  std::unique_ptr<bgp::SplitController> controller_;
+  scanner::Population population_;
+  bool ran_ = false;
+};
+
+} // namespace v6t::core

@@ -1,0 +1,30 @@
+// v6t::core — operational guidance for telescope operators (§8).
+//
+// The paper closes with five practical implications. GuidanceEngine
+// recomputes each one from the measured experiment output, with the number
+// that backs it, so an operator evaluating a deployment plan gets findings
+// grounded in their own run rather than copied constants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/summary.hpp"
+
+namespace v6t::core {
+
+struct Finding {
+  std::string topic; // e.g. "BGP visibility"
+  std::string statement; // the recommendation
+  std::string evidence; // the measured number(s) backing it
+};
+
+class GuidanceEngine {
+public:
+  /// Derive the §8 guidance from a completed experiment.
+  [[nodiscard]] static std::vector<Finding> derive(
+      const Experiment& experiment, const ExperimentSummary& summary);
+};
+
+} // namespace v6t::core

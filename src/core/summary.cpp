@@ -1,0 +1,82 @@
+#include "core/summary.hpp"
+
+#include <unordered_set>
+
+namespace v6t::core {
+
+ExperimentSummary ExperimentSummary::compute(const Experiment& experiment) {
+  ExperimentSummary summary;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const telescope::Telescope& t = experiment.telescope(i);
+    TelescopeSummary& out = summary.telescopes_[i];
+    out.name = t.name();
+    out.sessions128 =
+        telescope::sessionize(t.capture().packets(),
+                              telescope::SourceAgg::Addr128);
+    out.sessions64 = telescope::sessionize(t.capture().packets(),
+                                           telescope::SourceAgg::Net64);
+  }
+  return summary;
+}
+
+TelescopeSummary::WindowStats ExperimentSummary::windowStats(
+    const Experiment& experiment, std::size_t telescopeIdx,
+    Period period) const {
+  const auto& packets = experiment.telescope(telescopeIdx).capture().packets();
+  TelescopeSummary::WindowStats stats;
+  std::unordered_set<net::Ipv6Address> s128;
+  std::unordered_set<net::Ipv6Address> s64;
+  std::unordered_set<std::uint32_t> asns;
+  std::unordered_set<net::Ipv6Address> dsts;
+  for (const net::Packet& p : packets) {
+    if (!period.contains(p.ts)) continue;
+    ++stats.packets;
+    s128.insert(p.src);
+    s64.insert(p.src.maskedTo(64));
+    if (!p.srcAsn.unattributed()) asns.insert(p.srcAsn.value());
+    dsts.insert(p.dst);
+  }
+  stats.sources128 = s128.size();
+  stats.sources64 = s64.size();
+  stats.asns = asns.size();
+  stats.destinations = dsts.size();
+  const TelescopeSummary& summary = telescopes_[telescopeIdx];
+  stats.sessions128 = sessionsIn(summary.sessions128, period).size();
+  stats.sessions64 = sessionsIn(summary.sessions64, period).size();
+  return stats;
+}
+
+std::set<net::Ipv6Address> ExperimentSummary::sources128(
+    const Experiment& experiment, std::size_t telescopeIdx,
+    Period period) const {
+  std::set<net::Ipv6Address> out;
+  for (const net::Packet& p :
+       experiment.telescope(telescopeIdx).capture().packets()) {
+    if (period.contains(p.ts)) out.insert(p.src);
+  }
+  return out;
+}
+
+std::set<std::uint32_t> ExperimentSummary::sourceAsns(
+    const Experiment& experiment, std::size_t telescopeIdx,
+    Period period) const {
+  std::set<std::uint32_t> out;
+  for (const net::Packet& p :
+       experiment.telescope(telescopeIdx).capture().packets()) {
+    if (period.contains(p.ts) && !p.srcAsn.unattributed()) {
+      out.insert(p.srcAsn.value());
+    }
+  }
+  return out;
+}
+
+std::vector<telescope::Session> sessionsIn(
+    std::span<const telescope::Session> sessions, Period period) {
+  std::vector<telescope::Session> out;
+  for (const telescope::Session& s : sessions) {
+    if (period.contains(s.start)) out.push_back(s);
+  }
+  return out;
+}
+
+} // namespace v6t::core

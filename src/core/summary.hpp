@@ -1,0 +1,78 @@
+// v6t::core — shared post-run computation.
+//
+// Most benches and examples need the same derived views: per-telescope
+// session lists at both aggregation levels and time-window filters for the
+// initial vs. split periods. Computing them once here keeps every bench
+// binary small and consistent.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "telescope/session.hpp"
+
+namespace v6t::core {
+
+struct Period {
+  sim::SimTime from;
+  sim::SimTime to; // exclusive
+
+  [[nodiscard]] bool contains(sim::SimTime t) const {
+    return t >= from && t < to;
+  }
+};
+
+struct TelescopeSummary {
+  std::string name;
+  std::vector<telescope::Session> sessions128;
+  std::vector<telescope::Session> sessions64;
+
+  /// Distinct sources/ASes/destinations within a window, straight from the
+  /// packet records.
+  struct WindowStats {
+    std::uint64_t packets = 0;
+    std::size_t sources128 = 0;
+    std::size_t sources64 = 0;
+    std::size_t asns = 0;
+    std::size_t destinations = 0;
+    std::size_t sessions128 = 0;
+    std::size_t sessions64 = 0;
+  };
+};
+
+class ExperimentSummary {
+public:
+  /// Sessionize all four captures (both aggregation levels).
+  static ExperimentSummary compute(const Experiment& experiment);
+
+  [[nodiscard]] const TelescopeSummary& telescope(std::size_t i) const {
+    return telescopes_[i];
+  }
+
+  [[nodiscard]] TelescopeSummary::WindowStats windowStats(
+      const Experiment& experiment, std::size_t telescopeIdx,
+      Period period) const;
+
+  /// Distinct /128 sources (or origin ASes) seen at a telescope in a
+  /// window — used by the overlap analyses (Fig. 8/16).
+  [[nodiscard]] std::set<net::Ipv6Address> sources128(
+      const Experiment& experiment, std::size_t telescopeIdx,
+      Period period) const;
+  [[nodiscard]] std::set<std::uint32_t> sourceAsns(
+      const Experiment& experiment, std::size_t telescopeIdx,
+      Period period) const;
+
+private:
+  std::array<TelescopeSummary, 4> telescopes_;
+};
+
+/// Sessions whose start time falls inside the period.
+[[nodiscard]] std::vector<telescope::Session> sessionsIn(
+    std::span<const telescope::Session> sessions, Period period);
+
+} // namespace v6t::core

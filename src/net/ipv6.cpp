@@ -1,0 +1,208 @@
+#include "net/ipv6.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace v6t::net {
+
+namespace {
+
+int hexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+// Parse a 16-bit hex group of 1-4 digits. Returns -1 on failure.
+int parseGroup(std::string_view text) {
+  if (text.empty() || text.size() > 4) return -1;
+  int v = 0;
+  for (char c : text) {
+    const int d = hexDigit(c);
+    if (d < 0) return -1;
+    v = (v << 4) | d;
+  }
+  return v;
+}
+
+// Parse a dotted-quad IPv4 tail into 4 bytes. Strict: no leading zeros
+// beyond a bare "0", each octet 0..255.
+bool parseV4Tail(std::string_view text, std::uint8_t out[4]) {
+  int octet = 0;
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size()) return false;
+    int v = 0;
+    std::size_t digits = 0;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+      v = v * 10 + (text[pos] - '0');
+      ++digits;
+      ++pos;
+      if (digits > 3 || v > 255) return false;
+    }
+    if (digits == 0) return false;
+    if (digits > 1 && text[pos - digits] == '0') return false;
+    out[octet++] = static_cast<std::uint8_t>(v);
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') return false;
+      ++pos;
+    }
+  }
+  return pos == text.size();
+}
+
+} // namespace
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  if (text.size() < 2) return std::nullopt;
+
+  // Split on "::" if present (at most one occurrence is legal).
+  const std::size_t gap = text.find("::");
+  if (gap != std::string_view::npos &&
+      text.find("::", gap + 1) != std::string_view::npos) {
+    return std::nullopt;
+  }
+
+  auto splitGroups = [](std::string_view part,
+                        std::vector<std::string_view>& out) -> bool {
+    if (part.empty()) return true;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t colon = part.find(':', start);
+      if (colon == std::string_view::npos) {
+        out.push_back(part.substr(start));
+        return true;
+      }
+      if (colon == start) return false; // empty group (stray colon)
+      out.push_back(part.substr(start, colon - start));
+      start = colon + 1;
+      if (start >= part.size()) return false; // trailing single colon
+    }
+  };
+
+  std::vector<std::string_view> head;
+  std::vector<std::string_view> tail;
+  if (gap == std::string_view::npos) {
+    if (!splitGroups(text, head)) return std::nullopt;
+  } else {
+    if (!splitGroups(text.substr(0, gap), head)) return std::nullopt;
+    if (!splitGroups(text.substr(gap + 2), tail)) return std::nullopt;
+  }
+
+  // An embedded IPv4 address may only terminate the address.
+  std::uint8_t v4[4];
+  bool hasV4 = false;
+  std::vector<std::string_view>& last =
+      (gap == std::string_view::npos) ? head : tail;
+  if (!last.empty() && last.back().find('.') != std::string_view::npos) {
+    if (!parseV4Tail(last.back(), v4)) return std::nullopt;
+    last.pop_back();
+    hasV4 = true;
+  }
+
+  const std::size_t groupsNeeded = hasV4 ? 6 : 8;
+  const std::size_t present = head.size() + tail.size();
+  if (gap == std::string_view::npos) {
+    if (present != groupsNeeded) return std::nullopt;
+  } else {
+    // "::" stands for at least one zero group.
+    if (present + 1 > groupsNeeded) return std::nullopt;
+  }
+
+  std::array<std::uint8_t, 16> bytes{};
+  std::size_t idx = 0;
+  for (std::string_view g : head) {
+    const int v = parseGroup(g);
+    if (v < 0) return std::nullopt;
+    bytes[idx++] = static_cast<std::uint8_t>(v >> 8);
+    bytes[idx++] = static_cast<std::uint8_t>(v & 0xff);
+  }
+  // Zero fill for the "::".
+  const std::size_t tailBytes = tail.size() * 2 + (hasV4 ? 4 : 0);
+  idx = 16 - tailBytes;
+  for (std::string_view g : tail) {
+    const int v = parseGroup(g);
+    if (v < 0) return std::nullopt;
+    bytes[idx++] = static_cast<std::uint8_t>(v >> 8);
+    bytes[idx++] = static_cast<std::uint8_t>(v & 0xff);
+  }
+  if (hasV4) {
+    for (int i = 0; i < 4; ++i) bytes[12 + static_cast<std::size_t>(i)] = v4[i];
+  }
+  return Ipv6Address{bytes};
+}
+
+Ipv6Address Ipv6Address::mustParse(std::string_view text) {
+  auto a = parse(text);
+  if (!a) {
+    std::fprintf(stderr, "Ipv6Address::mustParse: bad literal '%.*s'\n",
+                 static_cast<int>(text.size()), text.data());
+    std::abort();
+  }
+  return *a;
+}
+
+std::string Ipv6Address::toString() const {
+  // Collect the eight 16-bit groups.
+  std::uint16_t groups[8];
+  for (int i = 0; i < 8; ++i) {
+    groups[i] = static_cast<std::uint16_t>(
+        (b_[static_cast<std::size_t>(2 * i)] << 8) |
+        b_[static_cast<std::size_t>(2 * i + 1)]);
+  }
+
+  // RFC 5952 §4.2: compress the longest run of zero groups (length >= 2),
+  // leftmost on ties.
+  int bestStart = -1;
+  int bestLen = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > bestLen) {
+      bestStart = i;
+      bestLen = j - i;
+    }
+    i = j;
+  }
+  if (bestLen < 2) bestStart = -1;
+
+  std::string out;
+  out.reserve(40);
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    if (i == bestStart) {
+      out += (i == 0) ? "::" : ":";
+      i += bestLen - 1;
+      continue;
+    }
+    std::snprintf(buf, sizeof(buf), "%x", groups[i]);
+    out += buf;
+    if (i != 7) out += ':';
+  }
+  if (bestStart >= 0 && bestStart + bestLen == 8 && out.back() != ':')
+    out += ':';
+  return out;
+}
+
+std::string Ipv6Address::toHexString() const {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (std::size_t i = 0; i < 32; ++i) out[i] = digits[nibble(i)];
+  return out;
+}
+
+Ipv6Address Ipv6Address::maskedTo(unsigned prefixLen) const {
+  if (prefixLen >= 128) return *this;
+  const u128 mask =
+      prefixLen == 0 ? static_cast<u128>(0)
+                     : ~static_cast<u128>(0) << (128 - prefixLen);
+  return fromValue(value() & mask);
+}
+
+} // namespace v6t::net

@@ -1,0 +1,142 @@
+// v6t::net — 128-bit IPv6 address value type.
+//
+// Parsing accepts every textual form of RFC 4291 §2.2 (full, compressed
+// "::" form, embedded dotted-quad IPv4 tail); formatting produces the RFC
+// 5952 canonical representation (lowercase, longest zero run compressed,
+// leftmost on ties, single groups never compressed).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace v6t::net {
+
+/// Unsigned 128-bit helper used for address arithmetic and offsets within
+/// prefixes. GCC/Clang builtin; this library targets those compilers.
+using u128 = unsigned __int128;
+
+class Ipv6Address {
+public:
+  /// The unspecified address "::".
+  constexpr Ipv6Address() = default;
+
+  constexpr explicit Ipv6Address(const std::array<std::uint8_t, 16>& bytes)
+      : b_(bytes) {}
+
+  /// Build from the two 64-bit halves (network byte significance: `hi` holds
+  /// bits 0..63, i.e. the routing prefix + subnet, `lo` the interface ID).
+  constexpr Ipv6Address(std::uint64_t hi, std::uint64_t lo) {
+    for (int i = 0; i < 8; ++i) {
+      b_[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(hi >> (56 - 8 * i));
+      b_[static_cast<std::size_t>(8 + i)] =
+          static_cast<std::uint8_t>(lo >> (56 - 8 * i));
+    }
+  }
+
+  /// Parse any RFC 4291 textual form. Returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv6Address> parse(std::string_view text);
+
+  /// Parse or abort — for literals in tests/examples known to be valid.
+  [[nodiscard]] static Ipv6Address mustParse(std::string_view text);
+
+  /// RFC 5952 canonical text form.
+  [[nodiscard]] std::string toString() const;
+
+  /// Full 32-nibble hexadecimal form without separators (used by the
+  /// target-pattern visualizations of Fig. 12/13).
+  [[nodiscard]] std::string toHexString() const;
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 16>& bytes() const {
+    return b_;
+  }
+  [[nodiscard]] constexpr std::uint8_t byte(std::size_t i) const {
+    return b_[i];
+  }
+
+  /// Nibble 0 is the most significant (leftmost) hex digit; 31 the least.
+  [[nodiscard]] constexpr std::uint8_t nibble(std::size_t i) const {
+    const std::uint8_t byteValue = b_[i / 2];
+    return (i % 2 == 0) ? static_cast<std::uint8_t>(byteValue >> 4)
+                        : static_cast<std::uint8_t>(byteValue & 0x0f);
+  }
+  constexpr void setNibble(std::size_t i, std::uint8_t value) {
+    std::uint8_t& byteRef = b_[i / 2];
+    if (i % 2 == 0) {
+      byteRef = static_cast<std::uint8_t>((byteRef & 0x0f) |
+                                          ((value & 0x0f) << 4));
+    } else {
+      byteRef = static_cast<std::uint8_t>((byteRef & 0xf0) | (value & 0x0f));
+    }
+  }
+
+  [[nodiscard]] constexpr std::uint64_t hi64() const {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v = (v << 8) | b_[static_cast<std::size_t>(i)];
+    return v;
+  }
+  [[nodiscard]] constexpr std::uint64_t lo64() const {
+    std::uint64_t v = 0;
+    for (int i = 8; i < 16; ++i)
+      v = (v << 8) | b_[static_cast<std::size_t>(i)];
+    return v;
+  }
+  [[nodiscard]] constexpr u128 value() const {
+    return (static_cast<u128>(hi64()) << 64) | lo64();
+  }
+  [[nodiscard]] static constexpr Ipv6Address fromValue(u128 v) {
+    return Ipv6Address{static_cast<std::uint64_t>(v >> 64),
+                       static_cast<std::uint64_t>(v)};
+  }
+
+  /// Extract bit `i` (0 = most significant).
+  [[nodiscard]] constexpr bool bit(std::size_t i) const {
+    return (b_[i / 8] >> (7 - i % 8)) & 1;
+  }
+  constexpr void setBit(std::size_t i, bool v) {
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (7 - i % 8));
+    if (v)
+      b_[i / 8] |= mask;
+    else
+      b_[i / 8] &= static_cast<std::uint8_t>(~mask);
+  }
+
+  /// Address plus an unsigned offset (wraps modulo 2^128).
+  [[nodiscard]] constexpr Ipv6Address plus(u128 offset) const {
+    return fromValue(value() + offset);
+  }
+
+  /// Zero all bits at position >= prefixLen (the host part).
+  [[nodiscard]] Ipv6Address maskedTo(unsigned prefixLen) const;
+
+  constexpr auto operator<=>(const Ipv6Address&) const = default;
+
+private:
+  std::array<std::uint8_t, 16> b_{};
+};
+
+} // namespace v6t::net
+
+template <>
+struct std::hash<v6t::net::Ipv6Address> {
+  std::size_t operator()(const v6t::net::Ipv6Address& a) const noexcept {
+    // FNV-1a over the halves, then a strong final mix.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const std::uint64_t parts[2] = {a.hi64(), a.lo64()};
+    for (std::uint64_t p : parts) {
+      h ^= p;
+      h *= 0x100000001b3ULL;
+    }
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+};

@@ -1,0 +1,73 @@
+// v6t::net — the capture record.
+//
+// A Packet is what a telescope records for one arriving probe: timestamp,
+// addresses, transport protocol, ports / ICMPv6 type, hop limit, the origin
+// AS of the source (annotated by the routing layer, as a real operator
+// would derive it from BGP), and the raw payload bytes used for tool
+// fingerprinting.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "net/asn.hpp"
+#include "net/ipv6.hpp"
+#include "sim/time.hpp"
+
+namespace v6t::net {
+
+enum class Protocol : std::uint8_t {
+  Icmpv6 = 0,
+  Tcp = 1,
+  Udp = 2,
+};
+
+[[nodiscard]] constexpr std::string_view toString(Protocol p) {
+  switch (p) {
+    case Protocol::Icmpv6: return "ICMPv6";
+    case Protocol::Tcp: return "TCP";
+    case Protocol::Udp: return "UDP";
+  }
+  return "?";
+}
+
+/// ICMPv6 message types we model (RFC 4443).
+inline constexpr std::uint8_t kIcmpEchoRequest = 128;
+inline constexpr std::uint8_t kIcmpEchoReply = 129;
+
+/// Well-known ports that appear in the paper's Table 4.
+inline constexpr std::uint16_t kPortHttp = 80;
+inline constexpr std::uint16_t kPortHttps = 443;
+inline constexpr std::uint16_t kPortFtp = 21;
+inline constexpr std::uint16_t kPortSsh = 22;
+inline constexpr std::uint16_t kPortDns = 53;
+inline constexpr std::uint16_t kPortNtp = 123;
+inline constexpr std::uint16_t kPortSnmp = 161;
+inline constexpr std::uint16_t kPortIsakmp = 500;
+inline constexpr std::uint16_t kPortHttpAlt = 8080;
+/// Default UDP traceroute destination port range [33434, 33523].
+inline constexpr std::uint16_t kTracerouteLo = 33434;
+inline constexpr std::uint16_t kTracerouteHi = 33523;
+
+[[nodiscard]] constexpr bool isTraceroutePort(std::uint16_t port) {
+  return port >= kTracerouteLo && port <= kTracerouteHi;
+}
+
+struct Packet {
+  sim::SimTime ts{};
+  Ipv6Address src{};
+  Ipv6Address dst{};
+  Protocol proto = Protocol::Icmpv6;
+  std::uint16_t srcPort = 0; // TCP/UDP only
+  std::uint16_t dstPort = 0; // TCP/UDP only
+  std::uint8_t icmpType = 0; // ICMPv6 only
+  std::uint8_t icmpCode = 0; // ICMPv6 only
+  std::uint8_t hopLimit = 64;
+  Asn srcAsn{}; // routing-layer annotation; 0 if unattributed
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] bool hasPayload() const { return !payload.empty(); }
+};
+
+} // namespace v6t::net

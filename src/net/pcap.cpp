@@ -1,0 +1,112 @@
+#include "net/pcap.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace v6t::net {
+
+namespace {
+
+template <typename T>
+void putLe(std::ostream& out, T value) {
+  std::array<char, sizeof(T)> buf;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<char>((static_cast<std::uint64_t>(value) >> (8 * i)) &
+                               0xff);
+  }
+  out.write(buf.data(), buf.size());
+}
+
+template <typename T>
+bool getLe(std::istream& in, T& value) {
+  std::array<char, sizeof(T)> buf;
+  in.read(buf.data(), buf.size());
+  if (in.gcount() != static_cast<std::streamsize>(buf.size())) return false;
+  std::uint64_t v = 0;
+  for (std::size_t i = sizeof(T); i-- > 0;) {
+    v = (v << 8) | static_cast<std::uint8_t>(buf[i]);
+  }
+  value = static_cast<T>(v);
+  return true;
+}
+
+} // namespace
+
+CaptureWriter::CaptureWriter(std::ostream& out) : out_(out) {
+  out_.write(kCaptureMagic, sizeof(kCaptureMagic));
+}
+
+void CaptureWriter::write(const Packet& p) {
+  putLe<std::int64_t>(out_, p.ts.millis());
+  out_.write(reinterpret_cast<const char*>(p.src.bytes().data()), 16);
+  out_.write(reinterpret_cast<const char*>(p.dst.bytes().data()), 16);
+  putLe<std::uint8_t>(out_, static_cast<std::uint8_t>(p.proto));
+  putLe<std::uint16_t>(out_, p.srcPort);
+  putLe<std::uint16_t>(out_, p.dstPort);
+  putLe<std::uint8_t>(out_, p.icmpType);
+  putLe<std::uint8_t>(out_, p.icmpCode);
+  putLe<std::uint8_t>(out_, p.hopLimit);
+  putLe<std::uint32_t>(out_, p.srcAsn.value());
+  const std::size_t len = p.payload.size() > 0xffff ? 0xffff : p.payload.size();
+  putLe<std::uint16_t>(out_, static_cast<std::uint16_t>(len));
+  if (len > 0) {
+    out_.write(reinterpret_cast<const char*>(p.payload.data()),
+               static_cast<std::streamsize>(len));
+  }
+  ++records_;
+}
+
+CaptureReader::CaptureReader(std::istream& in) : in_(in) {
+  char magic[8];
+  in_.read(magic, sizeof(magic));
+  ok_ = in_.gcount() == sizeof(magic) &&
+        std::memcmp(magic, kCaptureMagic, sizeof(magic)) == 0;
+}
+
+std::optional<Packet> CaptureReader::next() {
+  if (!ok_) return std::nullopt;
+  std::int64_t ts = 0;
+  if (!getLe(in_, ts)) return std::nullopt; // clean EOF
+  Packet p;
+  p.ts = sim::SimTime{ts};
+  std::array<std::uint8_t, 16> addr{};
+  auto readAddr = [&](Ipv6Address& out) {
+    in_.read(reinterpret_cast<char*>(addr.data()), 16);
+    if (in_.gcount() != 16) return false;
+    out = Ipv6Address{addr};
+    return true;
+  };
+  std::uint8_t proto = 0;
+  std::uint32_t asn = 0;
+  std::uint16_t payloadLen = 0;
+  if (!readAddr(p.src) || !readAddr(p.dst) || !getLe(in_, proto) ||
+      !getLe(in_, p.srcPort) || !getLe(in_, p.dstPort) ||
+      !getLe(in_, p.icmpType) || !getLe(in_, p.icmpCode) ||
+      !getLe(in_, p.hopLimit) || !getLe(in_, asn) || !getLe(in_, payloadLen)) {
+    ok_ = false; // torn record
+    return std::nullopt;
+  }
+  if (proto > 2) {
+    ok_ = false;
+    return std::nullopt;
+  }
+  p.proto = static_cast<Protocol>(proto);
+  p.srcAsn = Asn{asn};
+  if (payloadLen > 0) {
+    p.payload.resize(payloadLen);
+    in_.read(reinterpret_cast<char*>(p.payload.data()), payloadLen);
+    if (in_.gcount() != payloadLen) {
+      ok_ = false;
+      return std::nullopt;
+    }
+  }
+  return p;
+}
+
+std::vector<Packet> CaptureReader::readAll() {
+  std::vector<Packet> out;
+  while (auto p = next()) out.push_back(std::move(*p));
+  return out;
+}
+
+} // namespace v6t::net

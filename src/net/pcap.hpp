@@ -1,0 +1,62 @@
+// v6t::net — capture serialization ("v6tcap" format).
+//
+// A compact binary container for Packet records so captures can be written
+// to disk during a run and replayed through the analysis pipeline later —
+// the role tcpdump/pcap files play in the paper's measurement workflow.
+//
+// Layout (all integers little-endian):
+//   file   := magic:8 ("V6TCAP\x01\x00") record*
+//   record := ts:i64 src:16 dst:16 proto:u8 sport:u16 dport:u16
+//             icmpType:u8 icmpCode:u8 hopLimit:u8 srcAsn:u32
+//             payloadLen:u16 payload:bytes
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace v6t::net {
+
+inline constexpr char kCaptureMagic[8] = {'V', '6', 'T', 'C',
+                                          'A', 'P', 1,   0};
+
+class CaptureWriter {
+public:
+  /// Writes the file header immediately. The stream must outlive the writer.
+  explicit CaptureWriter(std::ostream& out);
+
+  /// Append one record. Payloads longer than 65535 bytes are truncated
+  /// (they cannot occur in this model; probes carry tiny payloads).
+  void write(const Packet& p);
+
+  [[nodiscard]] std::uint64_t recordsWritten() const { return records_; }
+
+private:
+  std::ostream& out_;
+  std::uint64_t records_ = 0;
+};
+
+class CaptureReader {
+public:
+  /// Validates the header; `ok()` is false on a foreign or truncated file.
+  explicit CaptureReader(std::istream& in);
+
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  /// Read the next record; nullopt at clean EOF. A torn final record also
+  /// yields nullopt but flips ok() to false.
+  [[nodiscard]] std::optional<Packet> next();
+
+  /// Drain the remaining records.
+  [[nodiscard]] std::vector<Packet> readAll();
+
+private:
+  std::istream& in_;
+  bool ok_ = false;
+};
+
+} // namespace v6t::net

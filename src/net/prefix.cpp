@@ -1,0 +1,68 @@
+#include "net/prefix.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace v6t::net {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const std::size_t slash = text.rfind('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv6Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const std::string_view lenText = text.substr(slash + 1);
+  if (lenText.empty() || lenText.size() > 3) return std::nullopt;
+  unsigned len = 0;
+  for (char c : lenText) {
+    if (c < '0' || c > '9') return std::nullopt;
+    len = len * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (len > 128) return std::nullopt;
+  return Prefix{*addr, len};
+}
+
+Prefix Prefix::mustParse(std::string_view text) {
+  auto p = parse(text);
+  if (!p) {
+    std::fprintf(stderr, "Prefix::mustParse: bad literal '%.*s'\n",
+                 static_cast<int>(text.size()), text.data());
+    std::abort();
+  }
+  return *p;
+}
+
+std::string Prefix::toString() const {
+  return addr_.toString() + "/" + std::to_string(len_);
+}
+
+std::pair<Prefix, Prefix> Prefix::split() const {
+  const unsigned childLen = len_ + 1u;
+  Ipv6Address upper = addr_;
+  upper.setBit(len_, true);
+  return {Prefix{addr_, childLen}, Prefix{upper, childLen}};
+}
+
+Prefix Prefix::subPrefix(std::uint64_t k, unsigned newLen) const {
+  const unsigned extra = newLen - len_;
+  const u128 offset = static_cast<u128>(k) << (128u - newLen);
+  (void)extra;
+  return Prefix{addr_.plus(offset), newLen};
+}
+
+Ipv6Address Prefix::lastAddress() const {
+  if (len_ == 0) return Ipv6Address::fromValue(~static_cast<u128>(0));
+  const u128 hostMask = (len_ == 128)
+                            ? static_cast<u128>(0)
+                            : (~static_cast<u128>(0) >> len_);
+  return Ipv6Address::fromValue(addr_.value() | hostMask);
+}
+
+Ipv6Address Prefix::addressAt(u128 off) const {
+  if (len_ == 0) return Ipv6Address::fromValue(off);
+  const u128 hostMask = (len_ == 128)
+                            ? static_cast<u128>(0)
+                            : (~static_cast<u128>(0) >> len_);
+  return Ipv6Address::fromValue(addr_.value() | (off & hostMask));
+}
+
+} // namespace v6t::net

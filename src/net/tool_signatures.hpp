@@ -1,0 +1,85 @@
+// v6t::net — wire fingerprints of public IPv6 scan tools (§5.4, Table 7).
+//
+// These byte patterns model the payload fingerprints of the public tools
+// the paper identifies. In reality each fingerprint comes from the tool's
+// published source (Yarrp encodes instrumentation in the probe payload,
+// Atlas probes carry measurement ids, classic traceroute fills a fixed
+// pattern, …). Both the traffic generator and — independently — the
+// payload classifier reference this table, exactly as a real scanner and a
+// real analyst both derive the format from the same public code.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace v6t::net {
+
+enum class ScanTool : std::uint8_t {
+  RipeAtlas,
+  Yarrp6,
+  Traceroute,
+  Htrace6,
+  SixSeeks,
+  SixScan,
+  CaidaArk,
+  SixSense,
+  Unknown, // no payload / unrecognized payload
+};
+
+inline constexpr std::size_t kScanToolCount = 9;
+
+[[nodiscard]] constexpr std::string_view toString(ScanTool t) {
+  switch (t) {
+    case ScanTool::RipeAtlas: return "RIPEAtlasProbe";
+    case ScanTool::Yarrp6: return "Yarrp6";
+    case ScanTool::Traceroute: return "Traceroute";
+    case ScanTool::Htrace6: return "Htrace6";
+    case ScanTool::SixSeeks: return "6Seeks";
+    case ScanTool::SixScan: return "6Scan";
+    case ScanTool::CaidaArk: return "CAIDA Ark";
+    case ScanTool::SixSense: return "6Sense";
+    case ScanTool::Unknown: return "Unknown";
+  }
+  return "?";
+}
+
+/// Leading payload bytes that identify a tool.
+struct ToolSignature {
+  ScanTool tool;
+  std::array<std::uint8_t, 4> magic;
+  std::size_t magicLen;
+  /// Reverse-DNS suffix associated with the tool's sources ("" if none).
+  std::string_view rdnsSuffix;
+};
+
+inline constexpr std::array<ToolSignature, 8> kToolSignatures{{
+    {ScanTool::RipeAtlas, {'R', 'A', 0x06, 0x01}, 4, ".probe.atlas.example"},
+    {ScanTool::Yarrp6, {'y', 'r', 'p', '6'}, 4, ""},
+    {ScanTool::Traceroute, {0x40, 0x41, 0x42, 0x43}, 4, ""},
+    {ScanTool::Htrace6, {'H', 't', 'r', '6'}, 4, ""},
+    {ScanTool::SixSeeks, {'6', 'S', 'K', 'S'}, 4, ""},
+    {ScanTool::SixScan, {'6', 'S', 'C', 'N'}, 4, ""},
+    {ScanTool::CaidaArk, {'a', 'r', 'k', 0x20}, 4, ".ark.caida.example"},
+    {ScanTool::SixSense, {'6', 'S', 'N', 'S'}, 4, ".sixsense.example"},
+}};
+
+/// Match a payload against the signature table; Unknown if nothing fits.
+[[nodiscard]] constexpr ScanTool matchToolSignature(
+    std::span<const std::uint8_t> payload) {
+  for (const ToolSignature& sig : kToolSignatures) {
+    if (payload.size() < sig.magicLen) continue;
+    bool match = true;
+    for (std::size_t i = 0; i < sig.magicLen; ++i) {
+      if (payload[i] != sig.magic[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return sig.tool;
+  }
+  return ScanTool::Unknown;
+}
+
+} // namespace v6t::net

@@ -1,0 +1,769 @@
+#include "scanner/population.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace v6t::scanner {
+
+namespace {
+
+/// Two-letter country codes assigned round-robin to the AS universe; the
+/// paper observes sources from 127 countries.
+std::string countryCode(std::size_t i) {
+  std::string code = "AA";
+  code[0] = static_cast<char>('A' + (i / 26) % 26);
+  code[1] = static_cast<char>('A' + i % 26);
+  return code;
+}
+
+} // namespace
+
+std::uint64_t PopulationBuilder::scaledCount(double paperCount) const {
+  const double scaled = paperCount * params_.sourceScale;
+  const auto n = static_cast<std::uint64_t>(scaled + 0.5);
+  return std::max<std::uint64_t>(n, paperCount > 0 ? 1 : 0);
+}
+
+void PopulationBuilder::buildAsUniverse(Population& pop) {
+  // Table 8 mix over ~2k source ASes (scaled down with the population).
+  struct Quota {
+    net::NetworkType type;
+    std::size_t count;
+    double researchShare;
+  };
+  const Quota quotas[] = {
+      {net::NetworkType::Hosting, 800, 0.35},
+      {net::NetworkType::Isp, 700, 0.80}, // Atlas probes dominate ISP space
+      {net::NetworkType::Education, 120, 0.95},
+      {net::NetworkType::Business, 90, 0.05},
+      {net::NetworkType::Government, 8, 0.0},
+      {net::NetworkType::Unknown, 50, 0.0},
+  };
+  std::size_t index = 0;
+  for (const Quota& q : quotas) {
+    for (std::size_t i = 0; i < q.count; ++i, ++index) {
+      AsSlot slot;
+      slot.asn = net::Asn{static_cast<std::uint32_t>(64500 + index)};
+      // Source space: one /32 per AS out of a synthetic 2400::/12 block,
+      // far away from the telescope prefixes.
+      slot.space = net::Prefix{
+          net::Ipv6Address{(0x2400ULL << 48) | (static_cast<std::uint64_t>(
+                                                    index)
+                                                << 16),
+                           0},
+          32};
+      slot.type = q.type;
+      slot.research = rng_.chance(q.researchShare);
+      asSlots_.push_back(slot);
+
+      net::AsInfo info;
+      info.asn = slot.asn;
+      info.name = std::string{"AS-"} + std::string{net::toString(q.type)} +
+                  "-" + std::to_string(index);
+      info.type = q.type;
+      info.country = countryCode(rng_.below(130));
+      info.research = slot.research;
+      pop.asRegistry.add(info);
+    }
+  }
+}
+
+const PopulationBuilder::AsSlot& PopulationBuilder::pickAs(
+    net::NetworkType type) {
+  // Deterministic scan for a random slot of the requested type.
+  const std::size_t start = rng_.below(asSlots_.size());
+  for (std::size_t k = 0; k < asSlots_.size(); ++k) {
+    const AsSlot& slot = asSlots_[(start + k) % asSlots_.size()];
+    if (slot.type == type) return slot;
+  }
+  return asSlots_.front();
+}
+
+net::Prefix PopulationBuilder::allocateSourceNet(const AsSlot& slot) {
+  // A fresh /64 inside the AS's /32.
+  const std::uint64_t subnet = nextSourceNet_++;
+  return net::Prefix{
+      net::Ipv6Address{slot.space.address().hi64() | (subnet & 0xffffffffULL),
+                       0},
+      64};
+}
+
+ScannerConfig PopulationBuilder::baseConfig() {
+  ScannerConfig cfg;
+  cfg.id = nextScannerId_++;
+  cfg.seed = rng_.next();
+  cfg.activeFrom = params_.start;
+  cfg.activeUntil = params_.end;
+  return cfg;
+}
+
+// ---------------------------------------------------------------- groups
+
+void PopulationBuilder::addAtlasProbes(Population& pop) {
+  // One-off topology probes: 55% of T1's split-period sources. The pool is
+  // larger than the observed count — probes with no interest roll never
+  // fire and stay invisible.
+  const std::uint64_t pool = scaledCount(6483 * 2.8);
+  const sim::Duration span = params_.end - params_.start;
+  for (std::uint64_t i = 0; i < pool; ++i) {
+    ScannerConfig cfg = baseConfig();
+    const AsSlot& slot = pickAs(rng_.chance(0.72) ? net::NetworkType::Isp
+                                                  : net::NetworkType::Hosting);
+    cfg.sourceNet = allocateSourceNet(slot);
+    cfg.asn = slot.asn;
+    cfg.tool = net::ScanTool::RipeAtlas;
+    cfg.payloadProbability = 1.0;
+    cfg.tracerouteHops = true;
+    cfg.temporal = TemporalBehavior::OneOff;
+    // Activation staggered over the whole experiment (a little before the
+    // start too — the platform predates the telescope).
+    const auto offset = static_cast<std::int64_t>(
+        rng_.uniform() * static_cast<double>(span.millis()));
+    cfg.activeFrom = params_.start + sim::millis(offset) - sim::days(3);
+    cfg.netsel = NetSelStrategy::SinglePrefix;
+    cfg.prefixInterest = 0.08;
+    cfg.addrsel = TargetStrategy::LowByte; // always the ::1 addresses
+    cfg.packetsPerSessionMean = 3.0;
+    cfg.packetsPerSessionSigma = 0.3;
+    cfg.interPacketMean = sim::seconds(1);
+    cfg.knowledge = Knowledge::BgpReactive;
+    cfg.reaction = {sim::hours(1), sim::days(5)};
+    cfg.protocol = ProtocolProfile{}; // pure ICMPv6
+    auto scanner = std::make_unique<Scanner>(cfg, engine_, fabric_);
+    // A probe's stable address has an rDNS name pointing at the platform.
+    pop.rdns.add(scanner->currentSource(),
+                 "p" + std::to_string(cfg.id) + ".probe.atlas.example");
+    pop.scanners.push_back(std::move(scanner));
+  }
+}
+
+void PopulationBuilder::addResearchFarm(Population& pop) {
+  // Alpha-Strike-like: one hosting AS, many /64 sources, single-prefix
+  // structured scans, TCP-heavy, 58% of hosting-category sources.
+  const AsSlot& farmAs = pickAs(net::NetworkType::Hosting);
+  const std::uint64_t pool = scaledCount(3842 * 1.3);
+  // The farm ramps up with the split experiment; during the baseline T1
+  // sees almost no TCP sources (Table 5b).
+  const sim::SimTime rampUp = params_.start + sim::weeks(11);
+  const sim::Duration span = params_.end - rampUp;
+  for (std::uint64_t i = 0; i < pool; ++i) {
+    ScannerConfig cfg = baseConfig();
+    cfg.sourceNet = allocateSourceNet(farmAs);
+    cfg.asn = farmAs.asn;
+    cfg.tool = net::ScanTool::Unknown;
+    cfg.payloadProbability = 0.25;
+    const double roll = rng_.uniform();
+    if (roll < 0.45) {
+      cfg.temporal = TemporalBehavior::OneOff;
+      const auto offset = static_cast<std::int64_t>(
+          rng_.uniform() * static_cast<double>(span.millis()));
+      cfg.activeFrom = rampUp + sim::millis(offset);
+    } else if (roll < 0.80) {
+      cfg.temporal = TemporalBehavior::Intermittent;
+      cfg.sweepsPerWeek = 0.8 + rng_.uniform() * 1.4;
+      const auto offset = static_cast<std::int64_t>(
+          rng_.uniform() * 0.7 * static_cast<double>(span.millis()));
+      cfg.activeFrom = rampUp + sim::millis(offset);
+      cfg.activeUntil =
+          std::min(params_.end, cfg.activeFrom + sim::weeks(3 + static_cast<std::int64_t>(rng_.below(8))));
+    } else {
+      cfg.temporal = TemporalBehavior::Periodic;
+      cfg.period = sim::days(5 + static_cast<std::int64_t>(rng_.below(9)));
+      cfg.activeFrom = rampUp;
+    }
+    cfg.netsel = NetSelStrategy::SinglePrefix;
+    cfg.prefixInterest = 0.25;
+    const double addrRoll = rng_.uniform();
+    cfg.addrsel = addrRoll < 0.6   ? TargetStrategy::LowByte
+                  : addrRoll < 0.8 ? TargetStrategy::EmbeddedIpv4
+                                   : TargetStrategy::EmbeddedPort;
+    cfg.packetsPerSessionMean = 6.0;
+    cfg.packetsPerSessionSigma = 0.7;
+    cfg.interPacketMean = sim::seconds(3);
+    cfg.knowledge = Knowledge::BgpReactive;
+    cfg.reaction = {sim::hours(2), sim::days(2)};
+    cfg.protocol.icmpWeight = 0.25;
+    cfg.protocol.tcpWeight = 0.75;
+    cfg.protocol.tcpPorts = {net::kPortHttp, net::kPortHttps, net::kPortFtp,
+                             net::kPortSsh, net::kPortHttpAlt};
+    cfg.protocol.tcpPortWeights = {0.52, 0.26, 0.08, 0.07, 0.07};
+    pop.scanners.push_back(
+        std::make_unique<Scanner>(cfg, engine_, fabric_));
+  }
+}
+
+void PopulationBuilder::addSizeIndependentScanners(Population& pop) {
+  // BGP-aware research scanners that cover every announced prefix with a
+  // roughly equal number of sessions. Carry the public tool fingerprints.
+  struct ToolQuota {
+    net::ScanTool tool;
+    double paperSources;
+    bool periodic;
+    bool fullSpan; // observed over the complete period (Yarrp6, Ark)
+  };
+  const ToolQuota tools[] = {
+      {net::ScanTool::Yarrp6, 22, true, true},
+      {net::ScanTool::CaidaArk, 8, true, true},
+      {net::ScanTool::SixScan, 12, true, false},
+      {net::ScanTool::SixSeeks, 20, false, false},
+      {net::ScanTool::Htrace6, 36, false, false},
+      {net::ScanTool::Traceroute, 76, false, false},
+      {net::ScanTool::Unknown, 860, true, false},
+  };
+  const sim::Duration span = params_.end - params_.start;
+  for (const ToolQuota& quota : tools) {
+    const std::uint64_t count = scaledCount(quota.paperSources);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      ScannerConfig cfg = baseConfig();
+      const double typeRoll = rng_.uniform();
+      const AsSlot& slot =
+          pickAs(typeRoll < 0.5    ? net::NetworkType::Hosting
+                 : typeRoll < 0.82 ? net::NetworkType::Isp
+                 : typeRoll < 0.93 ? net::NetworkType::Education
+                 : typeRoll < 0.99 ? net::NetworkType::Business
+                                   : net::NetworkType::Government);
+      cfg.sourceNet = allocateSourceNet(slot);
+      cfg.asn = slot.asn;
+      cfg.tool = quota.tool;
+      cfg.payloadProbability = quota.tool == net::ScanTool::Unknown ? 0.4 : 0.9;
+      cfg.tracerouteHops = quota.tool != net::ScanTool::Unknown;
+      if (quota.periodic || rng_.chance(0.55)) {
+        cfg.temporal = TemporalBehavior::Periodic;
+        cfg.period = quota.tool == net::ScanTool::CaidaArk
+                         ? sim::days(17)
+                         : sim::days(2 + static_cast<std::int64_t>(
+                                            rng_.below(8)));
+      } else {
+        cfg.temporal = TemporalBehavior::Intermittent;
+        cfg.sweepsPerWeek = 0.5 + rng_.uniform();
+      }
+      if (quota.fullSpan) {
+        cfg.activeFrom = params_.start;
+      } else {
+        const auto offset = static_cast<std::int64_t>(
+            rng_.uniform() * 0.85 * static_cast<double>(span.millis()));
+        cfg.activeFrom = params_.start + sim::millis(offset);
+        cfg.activeUntil = std::min(
+            params_.end,
+            cfg.activeFrom +
+                sim::weeks(1 + static_cast<std::int64_t>(rng_.below(4))));
+      }
+      // Htrace6 shows up before its public code release — late in the
+      // baseline period (§7.2's oddity).
+      if (quota.tool == net::ScanTool::Htrace6) {
+        cfg.activeFrom = std::max(cfg.activeFrom, params_.start + sim::weeks(10));
+      }
+      cfg.netsel = quota.tool == net::ScanTool::Yarrp6
+                       ? NetSelStrategy::SinglePrefix
+                       : NetSelStrategy::SizeIndependent;
+      cfg.prefixInterest = 0.85;
+      const double addrRoll = rng_.uniform();
+      cfg.addrsel = addrRoll < 0.40   ? TargetStrategy::RandomIid
+                    : addrRoll < 0.65 ? TargetStrategy::LowByte
+                    : addrRoll < 0.80 ? TargetStrategy::SequentialSubnets
+                    : addrRoll < 0.88 ? TargetStrategy::TreeWalk
+                    : addrRoll < 0.94 ? TargetStrategy::PatternBytes
+                                      : TargetStrategy::IeeeDerived;
+      // Topology sessions are packet-rich; volume-scaled.
+      cfg.packetsPerSessionMean =
+          std::max(4.0, 400.0 * params_.volumeScale / params_.sourceScale);
+      cfg.packetsPerSessionSigma = 1.0;
+      cfg.interPacketMean = sim::millis(600);
+      cfg.knowledge = Knowledge::BgpReactive;
+      cfg.reaction = {sim::minutes(30), sim::hours(30)};
+      // Mostly ICMPv6 with UDP-traceroute mixed in.
+      cfg.protocol.icmpWeight = 0.90;
+      cfg.protocol.udpWeight = 0.07;
+      cfg.protocol.tcpWeight = 0.03;
+      cfg.protocol.udpTracerouteRange = true;
+      cfg.protocol.tcpPorts = {net::kPortHttp, net::kPortHttps};
+      cfg.protocol.tcpPortWeights = {0.7, 0.3};
+      auto scanner = std::make_unique<Scanner>(cfg, engine_, fabric_);
+      if (quota.tool == net::ScanTool::CaidaArk) {
+        pop.rdns.add(scanner->currentSource(),
+                     "mon" + std::to_string(cfg.id) + ".ark.caida.example");
+      }
+      pop.scanners.push_back(std::move(scanner));
+    }
+  }
+}
+
+void PopulationBuilder::addLiveBgpMonitors(Population& pop) {
+  // 18 sources arrive within 30 minutes of every new announcement (§7.2).
+  const std::uint64_t count = scaledCount(18);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ScannerConfig cfg = baseConfig();
+    const AsSlot& slot = pickAs(net::NetworkType::Hosting);
+    cfg.sourceNet = allocateSourceNet(slot);
+    cfg.asn = slot.asn;
+    cfg.tool = net::ScanTool::Unknown;
+    cfg.payloadProbability = 0.5;
+    cfg.temporal = TemporalBehavior::Periodic;
+    cfg.period = sim::days(4);
+    cfg.netsel = NetSelStrategy::SizeIndependent;
+    cfg.prefixInterest = 1.0;
+    cfg.sweepOnLearn = true;
+    cfg.addrsel = TargetStrategy::LowByte;
+    cfg.packetsPerSessionMean = 5.0;
+    cfg.packetsPerSessionSigma = 0.5;
+    cfg.interPacketMean = sim::seconds(1);
+    cfg.knowledge = Knowledge::LiveBgpMonitor;
+    cfg.reaction = {sim::seconds(45), sim::minutes(6)};
+    cfg.protocol.icmpWeight = 0.6;
+    cfg.protocol.tcpWeight = 0.4;
+    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+  }
+}
+
+void PopulationBuilder::addInconsistentScanners(Population& pop) {
+  // 64 sources producing almost half of all sessions: high-rate scanners
+  // that first prefer the large prefixes, then flatten out (§7.1).
+  const std::uint64_t count = scaledCount(64);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ScannerConfig cfg = baseConfig();
+    const AsSlot& slot = pickAs(i % 5 == 0 ? net::NetworkType::Education
+                                           : net::NetworkType::Hosting);
+    cfg.sourceNet = allocateSourceNet(slot);
+    cfg.asn = slot.asn;
+    cfg.tool = net::ScanTool::Unknown;
+    cfg.payloadProbability = 0.6;
+    if (i % 5 == 4) {
+      cfg.temporal = TemporalBehavior::Intermittent;
+      cfg.sweepsPerWeek = 2.5;
+    } else {
+      cfg.temporal = TemporalBehavior::Periodic;
+      cfg.period = sim::hours(60 + static_cast<std::int64_t>(rng_.below(48)));
+    }
+    cfg.netsel = NetSelStrategy::Inconsistent;
+    cfg.prefixInterest = 1.0;
+    cfg.addrsel = rng_.chance(0.5) ? TargetStrategy::RandomIid
+                                   : TargetStrategy::LowByte;
+    cfg.packetsPerSessionMean =
+        std::max(3.0, 220.0 * params_.volumeScale / params_.sourceScale);
+    cfg.packetsPerSessionSigma = 0.9;
+    cfg.interPacketMean = sim::millis(800);
+    cfg.knowledge = Knowledge::BgpReactive;
+    cfg.reaction = {sim::minutes(20), sim::hours(8)};
+    cfg.protocol.icmpWeight = 0.7;
+    cfg.protocol.tcpWeight = 0.2;
+    cfg.protocol.udpWeight = 0.1;
+    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+  }
+}
+
+void PopulationBuilder::addSizeDependentScanners(Population& pop) {
+  // 24 sources that probe large prefixes only — a /48-only telescope
+  // would never see them.
+  const std::uint64_t count = scaledCount(24);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ScannerConfig cfg = baseConfig();
+    const AsSlot& slot = pickAs(net::NetworkType::Hosting);
+    cfg.sourceNet = allocateSourceNet(slot);
+    cfg.asn = slot.asn;
+    cfg.temporal = TemporalBehavior::Intermittent;
+    cfg.sweepsPerWeek = 1.2;
+    cfg.netsel = NetSelStrategy::SizeDependent;
+    cfg.prefixInterest = 1.0;
+    cfg.addrsel = TargetStrategy::FullRandom;
+    cfg.packetsPerSessionMean =
+        std::max(3.0, 80.0 * params_.volumeScale / params_.sourceScale);
+    cfg.packetsPerSessionSigma = 0.8;
+    cfg.interPacketMean = sim::seconds(1);
+    cfg.knowledge = Knowledge::BgpReactive;
+    cfg.reaction = {sim::hours(1), sim::hours(20)};
+    cfg.protocol.icmpWeight = 1.0;
+    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+  }
+}
+
+void PopulationBuilder::addDnsAttractorScanners(Population& pop) {
+  // T2's signature crowd: scanners that found the one DNS-named address
+  // (it co-exists in IPv4 and sits on a popularity list) and come back for
+  // its web ports. Includes the /64 source rotators only T2 attracts.
+  const std::uint64_t stable = scaledCount(2000);
+  const std::uint64_t rotators = scaledCount(350);
+  const sim::Duration span = params_.end - params_.start;
+  for (std::uint64_t i = 0; i < stable + rotators; ++i) {
+    ScannerConfig cfg = baseConfig();
+    const double typeRoll = rng_.uniform();
+    const AsSlot& slot =
+        pickAs(typeRoll < 0.55   ? net::NetworkType::Hosting
+               : typeRoll < 0.9  ? net::NetworkType::Isp
+               : typeRoll < 0.97 ? net::NetworkType::Business
+                                 : net::NetworkType::Unknown);
+    cfg.sourceNet = allocateSourceNet(slot);
+    cfg.asn = slot.asn;
+    cfg.rotateSourceIid = i >= stable;
+    cfg.tool = net::ScanTool::Unknown;
+    cfg.payloadProbability = 0.3;
+    const double roll = rng_.uniform();
+    if (roll < 0.5) {
+      cfg.temporal = TemporalBehavior::OneOff;
+      const auto offset = static_cast<std::int64_t>(
+          rng_.uniform() * static_cast<double>(span.millis()));
+      cfg.activeFrom = params_.start + sim::millis(offset);
+    } else if (roll < 0.85) {
+      cfg.temporal = TemporalBehavior::Intermittent;
+      cfg.sweepsPerWeek = cfg.rotateSourceIid ? 0.8 : 0.8;
+      const auto offset = static_cast<std::int64_t>(
+          rng_.uniform() * 0.6 * static_cast<double>(span.millis()));
+      cfg.activeFrom = params_.start + sim::millis(offset);
+    } else {
+      cfg.temporal = TemporalBehavior::Periodic;
+      cfg.period = sim::days(1 + static_cast<std::int64_t>(rng_.below(13)));
+    }
+    cfg.knowledge = Knowledge::DnsAttractor;
+    cfg.fixedTarget = params_.t2Attractor;
+    cfg.sessionsPerSweep = cfg.rotateSourceIid ? 3 : 1;
+    cfg.packetsPerSessionMean = 2.5;
+    cfg.packetsPerSessionSigma = 0.6;
+    cfg.interPacketMean = sim::seconds(2);
+    cfg.protocol.icmpWeight = 0.15;
+    cfg.protocol.tcpWeight = 0.8;
+    cfg.protocol.udpWeight = 0.05;
+    cfg.protocol.tcpPorts = {net::kPortHttp, net::kPortHttps, net::kPortSsh,
+                             net::kPortHttpAlt, net::kPortFtp};
+    cfg.protocol.tcpPortWeights = {0.55, 0.3, 0.05, 0.05, 0.05};
+    cfg.protocol.udpTracerouteRange = false;
+    cfg.protocol.udpPorts = {net::kPortDns, net::kPortSnmp, net::kPortIsakmp,
+                             net::kPortNtp};
+    cfg.protocol.udpPortWeights = {0.5, 0.2, 0.15, 0.15};
+    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+  }
+}
+
+void PopulationBuilder::addStaticListScanners(Population& pop) {
+  // Scanners working through long-known announced space: they have T2's
+  // 13-year-old /48 on file and revisit it, BGP changes or not.
+  const std::uint64_t count = scaledCount(900);
+  const sim::Duration span = params_.end - params_.start;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ScannerConfig cfg = baseConfig();
+    const AsSlot& slot = pickAs(rng_.chance(0.6) ? net::NetworkType::Hosting
+                                                 : net::NetworkType::Isp);
+    cfg.sourceNet = allocateSourceNet(slot);
+    cfg.asn = slot.asn;
+    cfg.tool = net::ScanTool::Unknown;
+    cfg.payloadProbability = 0.35;
+    const double roll = rng_.uniform();
+    if (roll < 0.45) {
+      cfg.temporal = TemporalBehavior::OneOff;
+      const auto offset = static_cast<std::int64_t>(
+          rng_.uniform() * static_cast<double>(span.millis()));
+      cfg.activeFrom = params_.start + sim::millis(offset);
+    } else if (roll < 0.8) {
+      cfg.temporal = TemporalBehavior::Intermittent;
+      cfg.sweepsPerWeek = 0.5;
+    } else {
+      cfg.temporal = TemporalBehavior::Periodic;
+      cfg.period = sim::days(3 + static_cast<std::int64_t>(rng_.below(11)));
+    }
+    cfg.netsel = NetSelStrategy::SinglePrefix;
+    cfg.knowledge = Knowledge::StaticList;
+    cfg.staticPrefixes = {params_.t2Prefix};
+    const double addrRoll = rng_.uniform();
+    cfg.addrsel = addrRoll < 0.5    ? TargetStrategy::LowByte
+                  : addrRoll < 0.75 ? TargetStrategy::RandomIid
+                  : addrRoll < 0.9  ? TargetStrategy::SubnetAnycast
+                                    : TargetStrategy::EmbeddedIpv4;
+    cfg.packetsPerSessionMean = 4.0;
+    cfg.packetsPerSessionSigma = 0.8;
+    cfg.interPacketMean = sim::seconds(2);
+    cfg.protocol.icmpWeight = 0.45;
+    cfg.protocol.tcpWeight = 0.45;
+    cfg.protocol.udpWeight = 0.10;
+    cfg.protocol.tcpPorts = {net::kPortHttp, net::kPortHttps, net::kPortSsh};
+    cfg.protocol.tcpPortWeights = {0.6, 0.3, 0.1};
+    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+  }
+}
+
+void PopulationBuilder::addSweepersAndExplorers(Population& pop) {
+  // Systematic sub-prefix walkers over the covering /29 — the only way
+  // silent space gets touched at all. Unscaled: this traffic is a trickle.
+  for (int i = 0; i < 7; ++i) {
+    ScannerConfig cfg = baseConfig();
+    const AsSlot& slot = pickAs(net::NetworkType::Hosting);
+    cfg.sourceNet = allocateSourceNet(slot);
+    cfg.asn = slot.asn;
+    cfg.temporal = TemporalBehavior::Intermittent;
+    cfg.sweepsPerWeek = 0.6;
+    cfg.knowledge = Knowledge::SubprefixSweeper;
+    cfg.staticPrefixes = {params_.t3Prefix, params_.t4Prefix};
+    cfg.hitProbability = 0.35;
+    cfg.exploreProbePackets = 2;
+    cfg.addrsel = TargetStrategy::LowByte;
+    cfg.interPacketMean = sim::seconds(5);
+    cfg.protocol.icmpWeight = 1.0;
+    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+  }
+  // Shallow probers of responsive space: T4 answers from every address, so
+  // its space circulates on responsive-address lists and draws a steady
+  // crowd of light ICMP probers that never touch the silent T3 (the paper:
+  // 253 sources at T4 vs 7 at T3 in twelve weeks, 97% ICMPv6).
+  const std::uint64_t probers = 240;
+  const sim::Duration span = params_.end - params_.start;
+  for (std::uint64_t i = 0; i < probers; ++i) {
+    ScannerConfig cfg = baseConfig();
+    const AsSlot& slot = pickAs(i % 9 == 0 ? net::NetworkType::Education
+                                           : net::NetworkType::Hosting);
+    cfg.sourceNet = allocateSourceNet(slot);
+    cfg.asn = slot.asn;
+    cfg.temporal = TemporalBehavior::Intermittent;
+    cfg.sweepsPerWeek = 0.45;
+    const auto offset = static_cast<std::int64_t>(
+        rng_.uniform() * 0.9 * static_cast<double>(span.millis()));
+    cfg.activeFrom = params_.start + sim::millis(offset) - sim::weeks(1);
+    cfg.knowledge = Knowledge::SubprefixSweeper;
+    cfg.staticPrefixes = {params_.t4Prefix};
+    cfg.hitProbability = 0.5;
+    cfg.exploreProbePackets = 3;
+    cfg.addrsel = TargetStrategy::LowByte;
+    cfg.interPacketMean = sim::seconds(2);
+    if (i % 40 == 0) {
+      cfg.protocol.icmpWeight = 0.4;
+      cfg.protocol.tcpWeight = 0.6;
+    } else {
+      cfg.protocol.icmpWeight = 1.0;
+    }
+    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+  }
+  // A handful of global sweepers touch every telescope (the paper finds
+  // ten /128 sources at all four telescopes over the full period; one of
+  // them carries a Yarrp6 signature). They know the long-announced space
+  // and pick up T1 via BGP-learned children of the base /32.
+  for (int i = 0; i < 10; ++i) {
+    ScannerConfig cfg = baseConfig();
+    const AsSlot& slot = pickAs(i < 6 ? net::NetworkType::Hosting
+                                      : net::NetworkType::Education);
+    cfg.sourceNet = allocateSourceNet(slot);
+    cfg.asn = slot.asn;
+    cfg.tool = i == 0 ? net::ScanTool::Yarrp6 : net::ScanTool::Unknown;
+    cfg.payloadProbability = i == 0 ? 0.9 : 0.3;
+    cfg.tracerouteHops = i == 0;
+    cfg.temporal = TemporalBehavior::Intermittent;
+    cfg.sweepsPerWeek = 0.12;
+    cfg.netsel = NetSelStrategy::SizeIndependent;
+    cfg.knowledge = Knowledge::StaticList;
+    cfg.staticPrefixes = {params_.t1Base, params_.t2Prefix,
+                          params_.t3Prefix, params_.t4Prefix};
+    cfg.addrsel = TargetStrategy::LowByte;
+    cfg.packetsPerSessionMean = 3.0;
+    cfg.packetsPerSessionSigma = 0.4;
+    cfg.interPacketMean = sim::seconds(2);
+    cfg.protocol.icmpWeight = 1.0;
+    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+  }
+
+  // Dynamic-TGA explorers: probe shallowly, drill where something answers.
+  // T4 responds; T3 never does — two orders of magnitude follow.
+  const std::uint64_t explorers = 40;
+  for (std::uint64_t i = 0; i < explorers; ++i) {
+    ScannerConfig cfg = baseConfig();
+    const AsSlot& slot = pickAs(i % 8 == 0 ? net::NetworkType::Education
+                                           : net::NetworkType::Hosting);
+    cfg.sourceNet = allocateSourceNet(slot);
+    cfg.asn = slot.asn;
+    cfg.temporal = TemporalBehavior::Intermittent;
+    cfg.sweepsPerWeek = 0.4;
+    const auto offset = static_cast<std::int64_t>(
+        rng_.uniform() * 0.8 * static_cast<double>(span.millis()));
+    cfg.activeFrom = params_.start + sim::millis(offset);
+    cfg.knowledge = Knowledge::ResponsiveExplorer;
+    cfg.staticPrefixes = {params_.t3Prefix, params_.t4Prefix};
+    cfg.hitProbability = 0.04;
+    cfg.exploreProbePackets = 2;
+    cfg.drillInterval = sim::weeks(4);
+    cfg.addrsel = rng_.chance(0.8) ? TargetStrategy::LowByte
+                                   : TargetStrategy::RandomIid;
+    cfg.packetsPerSessionMean = 18.0;
+    cfg.packetsPerSessionSigma = 0.7;
+    cfg.interPacketMean = sim::seconds(2);
+    if (i % 10 == 0) {
+      cfg.protocol.icmpWeight = 0.5;
+      cfg.protocol.tcpWeight = 0.5;
+    } else {
+      cfg.protocol.icmpWeight = 1.0;
+    }
+    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+  }
+}
+
+void PopulationBuilder::addHeavyHitters(Population& pop) {
+  const double volume = params_.volumeScale;
+  auto add = [&](net::NetworkType type, bool research,
+                 std::function<void(ScannerConfig&)> tweak,
+                 const char* rdnsName) {
+    ScannerConfig cfg = baseConfig();
+    const AsSlot& slot = pickAs(type);
+    cfg.sourceNet = allocateSourceNet(slot);
+    cfg.asn = slot.asn;
+    (void)research;
+    tweak(cfg);
+    auto scanner = std::make_unique<Scanner>(cfg, engine_, fabric_);
+    if (rdnsName != nullptr && *rdnsName != '\0') {
+      pop.rdns.add(scanner->currentSource(), rdnsName);
+    }
+    pop.scanners.push_back(std::move(scanner));
+  };
+
+  // HH1: the DNS megaspeaker — 85% of all UDP packets, education network.
+  add(net::NetworkType::Education, true,
+      [&](ScannerConfig& cfg) {
+        cfg.temporal = TemporalBehavior::Intermittent;
+        cfg.sweepsPerWeek = 0.2;
+        cfg.activeFrom = params_.start + sim::weeks(14);
+        cfg.netsel = NetSelStrategy::SinglePrefix;
+        cfg.knowledge = Knowledge::StaticList;
+        cfg.staticPrefixes = {params_.t1Base, params_.t2Prefix};
+        // Uniform over the whole target prefix: the megaspeaker must not
+        // skew the split-/33 vs companion-/33 comparison of §7.1.
+        cfg.addrsel = TargetStrategy::FullRandom;
+        cfg.packetsPerSessionMean = 2.2e6 * volume;
+        cfg.packetsPerSessionSigma = 0.3;
+        cfg.interPacketMean = sim::millis(40);
+        cfg.protocol.icmpWeight = 0.0;
+        cfg.protocol.udpWeight = 1.0;
+        cfg.protocol.udpTracerouteRange = false;
+        cfg.protocol.udpPorts = {net::kPortDns};
+        cfg.protocol.udpPortWeights = {1.0};
+        cfg.payloadProbability = 1.0;
+      },
+      "resolver-survey.cs.uni.example");
+
+  // HH2: 6Sense-style research campaign — periodic over the whole period,
+  // seen at T2.
+  add(net::NetworkType::Education, true,
+      [&](ScannerConfig& cfg) {
+        cfg.tool = net::ScanTool::SixSense;
+        cfg.payloadProbability = 0.9;
+        cfg.temporal = TemporalBehavior::Periodic;
+        cfg.period = sim::days(6);
+        cfg.netsel = NetSelStrategy::SinglePrefix;
+        cfg.knowledge = Knowledge::StaticList;
+        cfg.staticPrefixes = {params_.t2Prefix};
+        cfg.addrsel = TargetStrategy::RandomIid;
+        cfg.packetsPerSessionMean = 2.0e4 * volume;
+        cfg.packetsPerSessionSigma = 0.4;
+        cfg.interPacketMean = sim::millis(60);
+        cfg.protocol.icmpWeight = 0.8;
+        cfg.protocol.tcpWeight = 0.2;
+      },
+      "scan.sixsense.example");
+
+  // HH2b: the heavy hitter shared between T2 and T4 (§4.2 notes one source
+  // is a heavy hitter at both).
+  add(net::NetworkType::Education, true, [&](ScannerConfig& cfg) {
+    cfg.temporal = TemporalBehavior::Periodic;
+    cfg.period = sim::weeks(3);
+    cfg.netsel = NetSelStrategy::SizeIndependent;
+    cfg.knowledge = Knowledge::StaticList;
+    cfg.staticPrefixes = {params_.t2Prefix, params_.t4Prefix};
+    cfg.addrsel = TargetStrategy::LowByte;
+    cfg.packetsPerSessionMean = 150.0;
+    cfg.packetsPerSessionSigma = 0.3;
+    cfg.interPacketMean = sim::seconds(1);
+    cfg.protocol.icmpWeight = 0.9;
+    cfg.protocol.tcpWeight = 0.1;
+    cfg.payloadProbability = 0.5;
+  }, nullptr);
+
+  // HH3: second full-period T2 repeater (research, no rDNS).
+  add(net::NetworkType::Education, true, [&](ScannerConfig& cfg) {
+    cfg.temporal = TemporalBehavior::Periodic;
+    cfg.period = sim::days(14);
+    cfg.knowledge = Knowledge::StaticList;
+    cfg.staticPrefixes = {params_.t2Prefix};
+    cfg.netsel = NetSelStrategy::SinglePrefix;
+    cfg.addrsel = TargetStrategy::SequentialSubnets;
+    cfg.packetsPerSessionMean = 2.8e4 * volume;
+    cfg.packetsPerSessionSigma = 0.4;
+    cfg.interPacketMean = sim::millis(80);
+    cfg.protocol.icmpWeight = 1.0;
+    cfg.payloadProbability = 0.7;
+  }, nullptr);
+
+  // HH4–HH6: burst scanners at T1 from hosting networks; one of them sits
+  // in a "bullet-proof" hoster (malicious context). One-off monster
+  // sessions shortly after a split announcement.
+  const double bursts[3] = {5.5e6, 2.5e6, 1.5e6};
+  const std::int64_t burstWeek[3] = {16, 24, 34};
+  for (int i = 0; i < 3; ++i) {
+    add(net::NetworkType::Hosting, false,
+        [&, i](ScannerConfig& cfg) {
+          cfg.temporal = TemporalBehavior::OneOff;
+          cfg.activeFrom = params_.start + sim::weeks(burstWeek[i]);
+          cfg.knowledge = Knowledge::BgpReactive;
+          cfg.reaction = {sim::hours(1), sim::hours(12)};
+          cfg.netsel = NetSelStrategy::SinglePrefix;
+          cfg.preferNewest = true; // bursts chase the fresh announcement
+          cfg.prefixInterest = 1.0;
+          cfg.addrsel = i == 0 ? TargetStrategy::FullRandom
+                               : TargetStrategy::RandomIid;
+          cfg.packetsPerSessionMean = bursts[i] * volume;
+          cfg.packetsPerSessionSigma = 0.2;
+          cfg.interPacketMean = sim::millis(25);
+          cfg.protocol.icmpWeight = 0.85;
+          cfg.protocol.tcpWeight = 0.15;
+          cfg.payloadProbability = 0.0;
+        },
+        nullptr);
+  }
+
+  // HH7: the October T4 campaign — a single deep dive into the reactive
+  // telescope (unscaled: T4-grade volume is small in absolute terms).
+  add(net::NetworkType::Hosting, false, [&](ScannerConfig& cfg) {
+    cfg.temporal = TemporalBehavior::OneOff;
+    cfg.activeFrom = params_.start + sim::weeks(9);
+    cfg.knowledge = Knowledge::StaticList;
+    cfg.staticPrefixes = {params_.t4Prefix};
+    cfg.netsel = NetSelStrategy::SinglePrefix;
+    cfg.addrsel = TargetStrategy::LowByte;
+    cfg.packetsPerSessionMean = 1800.0;
+    cfg.packetsPerSessionSigma = 0.1;
+    cfg.interPacketMean = sim::seconds(2);
+    cfg.protocol.icmpWeight = 0.9;
+    cfg.protocol.tcpWeight = 0.1;
+  }, nullptr);
+
+  // HH8/HH9: T3's "heavy hitters" are trivial in absolute terms — any
+  // sweeper with a handful of packets crosses 10% of T3's tiny total; they
+  // emerge from the sweeper group, nothing to add here.
+
+  // HH10: a T1 research burst with an rDNS entry (3 of 10 hitters have
+  // one, 7 of 10 are research).
+  add(net::NetworkType::Education, true, [&](ScannerConfig& cfg) {
+    cfg.temporal = TemporalBehavior::OneOff;
+    cfg.activeFrom = params_.start + sim::weeks(20);
+    cfg.knowledge = Knowledge::BgpReactive;
+    cfg.reaction = {sim::hours(2), sim::hours(24)};
+    cfg.netsel = NetSelStrategy::SizeIndependent;
+    cfg.addrsel = TargetStrategy::TreeWalk;
+    cfg.packetsPerSessionMean = 8.0e5 * volume;
+    cfg.packetsPerSessionSigma = 0.2;
+    cfg.interPacketMean = sim::millis(50);
+    cfg.protocol.icmpWeight = 1.0;
+    cfg.payloadProbability = 0.8;
+    cfg.tool = net::ScanTool::Yarrp6;
+  }, "topo.measurement.uni.example");
+}
+
+Population PopulationBuilder::build() {
+  rng_ = sim::Rng{params_.seed};
+  Population pop;
+  buildAsUniverse(pop);
+  addAtlasProbes(pop);
+  addResearchFarm(pop);
+  addSizeIndependentScanners(pop);
+  addLiveBgpMonitors(pop);
+  addInconsistentScanners(pop);
+  addSizeDependentScanners(pop);
+  addDnsAttractorScanners(pop);
+  addStaticListScanners(pop);
+  addSweepersAndExplorers(pop);
+  addHeavyHitters(pop);
+  return pop;
+}
+
+} // namespace v6t::scanner

@@ -1,0 +1,117 @@
+// v6t::scanner — the calibrated scanner ecosystem (DESIGN.md §6).
+//
+// PopulationBuilder assembles every scanner class the paper observes into
+// one agent population:
+//
+//   * RIPE-Atlas-style one-off probes (55% of T1 sources; always ::1)
+//   * a commercial research scanner farm (Alpha-Strike-like: many sources,
+//     one hosting AS, single-prefix structured scans)
+//   * BGP-aware size-independent periodic/intermittent scanners carrying
+//     the public tool fingerprints of Table 7 (Yarrp6, CAIDA Ark, 6Scan,
+//     6Seeks, Htrace6, classic traceroute)
+//   * live BGP monitors (react < 30 min, §7.2)
+//   * inconsistent high-rate scanners (few sources, ~half of all sessions)
+//   * size-dependent coarse scanners (skip small prefixes)
+//   * DNS-attractor chasers and /64 source rotators (T2's signature crowd)
+//   * static-list scanners of long-announced space (T2)
+//   * sub-prefix sweepers and responsive explorers (how T3 stays near-dark
+//     while T4 accumulates two orders of magnitude more)
+//   * heavy hitters (10 sources, ~73% of packets, incl. a DNS megaspeaker
+//     and 6Sense-style research campaigns)
+//
+// Counts and volumes follow the paper's marginals, multiplied by
+// `sourceScale` / `volumeScale` so a full 44-week run fits in seconds.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bgp/feed.hpp"
+#include "bgp/hitlist.hpp"
+#include "net/asn.hpp"
+#include "scanner/scanner.hpp"
+#include "sim/engine.hpp"
+#include "telescope/fabric.hpp"
+
+namespace v6t::scanner {
+
+struct PopulationParams {
+  std::uint64_t seed = 42;
+  /// Multiplier on agent counts (1.0 = the paper's source population).
+  double sourceScale = 0.25;
+  /// Multiplier on the packet volume of high-volume classes (heavy
+  /// hitters, large topology sessions). T3/T4-grade trickle traffic is
+  /// never scaled — it is already tiny.
+  double volumeScale = 0.02;
+
+  // Experiment context (addresses of the observable world).
+  net::Prefix t1Base; // the /32 under BGP control
+  net::Prefix t2Prefix; // the long-announced /48
+  net::Ipv6Address t2Attractor; // the DNS-named address in T2
+  net::Prefix t3Prefix; // silent /48 within the covering prefix
+  net::Prefix t4Prefix; // reactive /48 within the covering prefix
+  net::Prefix coveringPrefix; // the /29 announced by a third party
+
+  sim::SimTime start; // first telescope goes live
+  sim::SimTime end; // end of measurement
+};
+
+struct Population {
+  std::vector<std::unique_ptr<Scanner>> scanners;
+  net::AsRegistry asRegistry;
+  net::RdnsRegistry rdns;
+
+  /// Wire every agent to its knowledge channels. Call once.
+  void startAll(bgp::BgpFeed* feed, bgp::HitlistService* hitlist) {
+    for (auto& s : scanners) s->start(feed, hitlist);
+  }
+
+  [[nodiscard]] std::size_t size() const { return scanners.size(); }
+};
+
+class PopulationBuilder {
+public:
+  PopulationBuilder(PopulationParams params, sim::Engine& engine,
+                    telescope::DeliveryFabric& fabric)
+      : params_(std::move(params)), engine_(engine), fabric_(fabric) {}
+
+  [[nodiscard]] Population build();
+
+private:
+  struct AsSlot {
+    net::Asn asn;
+    net::Prefix space; // /32 the AS assigns sources from
+    net::NetworkType type;
+    bool research;
+  };
+
+  /// Generate the AS universe with Table 8's type mix.
+  void buildAsUniverse(Population& pop);
+  [[nodiscard]] const AsSlot& pickAs(net::NetworkType type);
+  [[nodiscard]] net::Prefix allocateSourceNet(const AsSlot& slot);
+
+  [[nodiscard]] std::uint64_t scaledCount(double paperCount) const;
+
+  void addAtlasProbes(Population& pop);
+  void addResearchFarm(Population& pop);
+  void addSizeIndependentScanners(Population& pop);
+  void addLiveBgpMonitors(Population& pop);
+  void addInconsistentScanners(Population& pop);
+  void addSizeDependentScanners(Population& pop);
+  void addDnsAttractorScanners(Population& pop);
+  void addStaticListScanners(Population& pop);
+  void addSweepersAndExplorers(Population& pop);
+  void addHeavyHitters(Population& pop);
+
+  ScannerConfig baseConfig();
+
+  PopulationParams params_;
+  sim::Engine& engine_;
+  telescope::DeliveryFabric& fabric_;
+  sim::Rng rng_{0};
+  std::vector<AsSlot> asSlots_;
+  std::uint64_t nextScannerId_ = 1;
+  std::uint64_t nextSourceNet_ = 1;
+};
+
+} // namespace v6t::scanner

@@ -1,0 +1,130 @@
+#include "scanner/target_gen.hpp"
+
+#include <algorithm>
+
+namespace v6t::scanner {
+
+namespace {
+
+// Ports embedded by the EmbeddedPort strategy, in the "decimal-as-hex"
+// form scanners favor (2001:db8::443 probes the HTTPS service).
+constexpr std::uint64_t kPortIids[] = {0x80, 0x443, 0x22, 0x53,
+                                       0x25, 0x8080, 0x21, 0x143};
+
+} // namespace
+
+std::string_view toString(TargetStrategy s) {
+  switch (s) {
+    case TargetStrategy::LowByte: return "low-byte";
+    case TargetStrategy::SubnetAnycast: return "subnet-anycast";
+    case TargetStrategy::RandomIid: return "random-iid";
+    case TargetStrategy::FullRandom: return "full-random";
+    case TargetStrategy::EmbeddedIpv4: return "embedded-ipv4";
+    case TargetStrategy::EmbeddedPort: return "embedded-port";
+    case TargetStrategy::PatternBytes: return "pattern-bytes";
+    case TargetStrategy::IeeeDerived: return "ieee-derived";
+    case TargetStrategy::Wordy: return "wordy";
+    case TargetStrategy::SequentialSubnets: return "sequential-subnets";
+    case TargetStrategy::TreeWalk: return "tree-walk";
+  }
+  return "?";
+}
+
+TargetGenerator::TargetGenerator(TargetStrategy strategy, net::Prefix prefix,
+                                 sim::Rng& rng)
+    : strategy_(strategy), prefix_(std::move(prefix)), rng_(rng) {}
+
+net::Ipv6Address TargetGenerator::subnetBase(std::uint64_t subnetIndex) const {
+  // Subnets are /64s inside the prefix. For prefixes longer than /64 the
+  // prefix itself is the (only) subnet.
+  if (prefix_.length() >= 64) return prefix_.address();
+  const unsigned subnetBits = 64u - prefix_.length();
+  const std::uint64_t mask = subnetBits >= 64
+                                 ? ~0ULL
+                                 : ((1ULL << subnetBits) - 1);
+  const net::u128 offset = static_cast<net::u128>(subnetIndex & mask) << 64;
+  return prefix_.addressAt(offset);
+}
+
+net::Ipv6Address TargetGenerator::next() {
+  const std::uint64_t i = seq_++;
+  switch (strategy_) {
+    case TargetStrategy::LowByte: {
+      // Walk low subnets, probing ::1, ::2, … ::ff in each.
+      const std::uint64_t subnet = i / 16;
+      const std::uint64_t low = 1 + i % 16;
+      return subnetBase(subnet).plus(low);
+    }
+    case TargetStrategy::SubnetAnycast: {
+      return subnetBase(i);
+    }
+    case TargetStrategy::RandomIid: {
+      // Low subnets, uniformly random interface ID.
+      const net::Ipv6Address base = subnetBase(i % 4);
+      return net::Ipv6Address{base.hi64(), rng_.next()};
+    }
+    case TargetStrategy::FullRandom: {
+      // Anywhere in the prefix — the aliased-prefix/topology probe.
+      const net::u128 offset =
+          (static_cast<net::u128>(rng_.next()) << 64) | rng_.next();
+      return prefix_.addressAt(offset);
+    }
+    case TargetStrategy::EmbeddedIpv4: {
+      // Plausible dotted-quad in the low 32 bits; first octet non-zero.
+      const std::uint64_t v4 =
+          ((1 + rng_.below(223)) << 24) | (rng_.next() & 0x00ffffff);
+      return net::Ipv6Address{subnetBase(0).hi64(), v4};
+    }
+    case TargetStrategy::EmbeddedPort: {
+      const std::uint64_t iid =
+          kPortIids[i % (sizeof(kPortIids) / sizeof(kPortIids[0]))];
+      return net::Ipv6Address{subnetBase(i / 8).hi64(), iid};
+    }
+    case TargetStrategy::PatternBytes: {
+      // One byte value repeated across the IID.
+      const std::uint64_t b = 0x11 * (1 + (i % 15)); // 0x11, 0x22, … 0xff
+      std::uint64_t iid = 0;
+      for (int k = 0; k < 8; ++k) iid = (iid << 8) | b;
+      return net::Ipv6Address{subnetBase(i / 15).hi64(), iid};
+    }
+    case TargetStrategy::IeeeDerived: {
+      // EUI-64 from a synthetic MAC with a stable OUI.
+      const std::uint64_t mac = rng_.next() & 0xffffffULL; // NIC-specific part
+      const std::uint64_t oui = 0x00163eULL; // a common virtualization OUI
+      const std::uint64_t iid = ((oui ^ 0x020000ULL) << 40) |
+                                (0xfffeULL << 24) | mac;
+      return net::Ipv6Address{subnetBase(0).hi64(), iid};
+    }
+    case TargetStrategy::Wordy: {
+      static constexpr std::uint64_t kWordIids[] = {
+          0xcafe, 0xbeef, 0xdead, 0xbabe, 0xface, 0xfeed,
+          0xdeadbeef, 0xcafebabe, 0xfeedface, 0xdeadc0de};
+      const std::uint64_t iid =
+          kWordIids[i % (sizeof(kWordIids) / sizeof(kWordIids[0]))];
+      return net::Ipv6Address{subnetBase(i / 10).hi64(), iid};
+    }
+    case TargetStrategy::SequentialSubnets: {
+      // Lexicographic subnet walk with a tiny IID set: yields the striped
+      // pattern of Fig. 12(a).
+      const std::uint64_t subnet = subnetCursor_++;
+      return subnetBase(subnet).plus(1 + (i & 0x3));
+    }
+    case TargetStrategy::TreeWalk: {
+      // Depth-first descent: visit a subnet, then split it and descend,
+      // producing the tree structure visible after sorting (Fig. 13).
+      const unsigned maxDepth =
+          prefix_.length() >= 64 ? 0 : std::min(64u - prefix_.length(), 16u);
+      if (treeDepth_ > maxDepth) {
+        treeDepth_ = 0;
+        ++treePath_;
+      }
+      const unsigned depth = treeDepth_++;
+      const std::uint64_t path = treePath_ << (maxDepth - std::min(depth, maxDepth));
+      const net::Ipv6Address base = subnetBase(path);
+      return net::Ipv6Address{base.hi64(), 1 + (rng_.next() & 0xff)};
+    }
+  }
+  return prefix_.address();
+}
+
+} // namespace v6t::scanner

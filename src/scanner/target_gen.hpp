@@ -1,0 +1,62 @@
+// v6t::scanner — target address generation.
+//
+// Every address-selection strategy the paper observes (§5.3, Table 3,
+// Fig. 12/13), implemented as a stateful per-session generator: given a
+// target prefix, produce the session's destination sequence. The analysis
+// pipeline must be able to recover each strategy from the traffic alone —
+// the classifier cross-validation tests in tests/ check exactly that.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "net/ipv6.hpp"
+#include "net/prefix.hpp"
+#include "sim/rng.hpp"
+
+namespace v6t::scanner {
+
+enum class TargetStrategy : std::uint8_t {
+  LowByte, // ::1, ::2, … in selected subnets
+  SubnetAnycast, // ::0 of subnets
+  RandomIid, // structured subnet walk, uniformly random IID
+  FullRandom, // random subnet and IID (topology probing)
+  EmbeddedIpv4, // ::c0a8:101-style IIDs
+  EmbeddedPort, // ::80, ::443-style IIDs
+  PatternBytes, // repetitive byte fillers
+  IeeeDerived, // EUI-64 (ff:fe) IIDs
+  Wordy, // 2001:db8::cafe-style hex words
+  SequentialSubnets, // lexicographic walk over subnets, low IIDs (Fig. 12a)
+  TreeWalk, // recursive descent into subnets (Fig. 13 tail)
+};
+
+inline constexpr std::size_t kTargetStrategyCount = 11;
+
+[[nodiscard]] std::string_view toString(TargetStrategy s);
+
+/// Stateful generator for one scan session into one prefix.
+class TargetGenerator {
+public:
+  /// `rng` must outlive the generator.
+  TargetGenerator(TargetStrategy strategy, net::Prefix prefix, sim::Rng& rng);
+
+  /// Next destination address. Never exhausts (generators wrap).
+  [[nodiscard]] net::Ipv6Address next();
+
+  [[nodiscard]] TargetStrategy strategy() const { return strategy_; }
+  [[nodiscard]] const net::Prefix& prefix() const { return prefix_; }
+
+private:
+  [[nodiscard]] net::Ipv6Address subnetBase(std::uint64_t subnetIndex) const;
+
+  TargetStrategy strategy_;
+  net::Prefix prefix_;
+  sim::Rng& rng_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t subnetCursor_ = 0;
+  // Tree-walk state: current depth and path within the prefix.
+  std::uint64_t treePath_ = 0;
+  unsigned treeDepth_ = 0;
+};
+
+} // namespace v6t::scanner

@@ -1,0 +1,120 @@
+#include "scanner/tga.hpp"
+
+#include <algorithm>
+
+namespace v6t::scanner {
+
+DynamicTga::DynamicTga(net::Prefix base, Params params, std::uint64_t seed)
+    : base_(std::move(base)), params_(params), rng_(seed) {
+  // Depth 0 corresponds to the first whole nibble at or after the base
+  // prefix length (partial nibbles of odd prefix lengths are treated as
+  // part of the fixed base).
+  firstNibble_ = (base_.length() + 3) / 4;
+  const unsigned available = 32 - firstNibble_;
+  params_.maxDepth = std::min(params_.maxDepth, available);
+}
+
+unsigned DynamicTga::nibbleAt(const net::Ipv6Address& addr,
+                              unsigned depth) const {
+  return addr.nibble(firstNibble_ + depth);
+}
+
+void DynamicTga::addSeed(const net::Ipv6Address& addr) {
+  if (!base_.contains(addr)) return;
+  ++seeds_;
+  insert(root_, addr, 0, 1.0);
+}
+
+void DynamicTga::insert(Node& node, const net::Ipv6Address& addr,
+                        unsigned depth, double weight) {
+  node.weight += weight;
+  ++node.seeds;
+  if (depth >= params_.maxDepth) return;
+  if (!node.split && node.seeds < params_.splitThreshold) return;
+  node.split = true;
+  const unsigned nib = nibbleAt(addr, depth);
+  auto& child = node.children[nib];
+  if (!child) {
+    child = std::make_unique<Node>();
+    ++nodes_;
+  }
+  insert(*child, addr, depth + 1, weight);
+}
+
+net::Ipv6Address DynamicTga::draw(const Node& node, unsigned depth,
+                                  net::Ipv6Address partial) {
+  // Descend into children proportional to weight while structure exists;
+  // below the frontier, complete the address uniformly at random.
+  if (depth < params_.maxDepth && node.split) {
+    double weights[16];
+    double total = 0.0;
+    for (int i = 0; i < 16; ++i) {
+      weights[i] = node.children[i] ? std::max(node.children[i]->weight, 0.0)
+                                    : 0.0;
+      total += weights[i];
+    }
+    if (total > 0.0) {
+      const std::size_t pick = rng_.weightedPick(weights);
+      if (pick < 16 && node.children[pick]) {
+        partial.setNibble(firstNibble_ + depth,
+                          static_cast<std::uint8_t>(pick));
+        return draw(*node.children[pick], depth + 1, partial);
+      }
+    }
+  }
+  // Structured completion of everything at and below this depth: network
+  // nibbles are biased toward zero (RFC 7707: real allocations cluster in
+  // low-numbered subnets), the IID part is uniform.
+  for (unsigned n = firstNibble_ + depth; n < 32; ++n) {
+    if (n < 16 && rng_.chance(0.65)) {
+      partial.setNibble(n, 0);
+    } else {
+      partial.setNibble(n, static_cast<std::uint8_t>(rng_.below(16)));
+    }
+  }
+  // Nudge the completion toward plausible host addresses: half the time
+  // replace the IID with a low-byte one (dense regions are full of them).
+  if (rng_.chance(0.5)) {
+    const net::Ipv6Address masked = partial.maskedTo(64);
+    partial = masked.plus(1 + rng_.below(255));
+  }
+  return partial;
+}
+
+std::vector<net::Ipv6Address> DynamicTga::nextCandidates(std::size_t n) {
+  std::vector<net::Ipv6Address> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (root_.weight <= 0.0 || rng_.chance(params_.exploreShare)) {
+      // Pure exploration: uniform in the base prefix.
+      const net::u128 offset =
+          (static_cast<net::u128>(rng_.next()) << 64) | rng_.next();
+      out.push_back(base_.addressAt(offset));
+    } else {
+      out.push_back(draw(root_, 0, base_.address()));
+    }
+  }
+  probes_ += n;
+  return out;
+}
+
+void DynamicTga::feedback(const net::Ipv6Address& candidate,
+                          bool responsive) {
+  if (!base_.contains(candidate)) return;
+  if (responsive) {
+    ++hits_;
+    insert(root_, candidate, 0, params_.hitBonus);
+  } else {
+    // Decay along the path to the candidate's region.
+    Node* node = &root_;
+    unsigned depth = 0;
+    while (node != nullptr) {
+      node->weight = std::max(node->weight - params_.missPenalty, 0.05);
+      if (depth >= params_.maxDepth || !node->split) break;
+      node = node->children[nibbleAt(candidate, depth)].get();
+      ++depth;
+    }
+  }
+}
+
+} // namespace v6t::scanner

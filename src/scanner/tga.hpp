@@ -1,0 +1,97 @@
+// v6t::scanner — dynamic target generation (6Tree / DET style).
+//
+// The paper's background section surveys target generation algorithms
+// (TGAs): static ones derive candidates from a fixed seed set, dynamic
+// ones refine their model from scan feedback while probing. This module
+// implements the classic space-partition approach:
+//
+//   * the address space under a base prefix is organized as a nibble
+//     trie; seed addresses (known-active hosts) populate it,
+//   * regions are weighted by seed/hit density; candidate targets are
+//     drawn by weighted descent and completed randomly below the known
+//     frontier,
+//   * scan feedback (responsive / silent) reinforces or decays region
+//     weights — the "dynamic" in dynamic TGA.
+//
+// It backs the ResponsiveExplorer agents conceptually and is exposed as a
+// public API so the library can be used for TGA experimentation on its
+// own (see bench/ablation_tga).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "net/prefix.hpp"
+#include "sim/rng.hpp"
+
+namespace v6t::scanner {
+
+class DynamicTga {
+public:
+  struct Params {
+    /// Nibble levels tracked below the base prefix (4 bits per level).
+    unsigned maxDepth = 16;
+    /// Seeds in one node before it splits into children. Low values let
+    /// even a handful of seeds carve the trie down to their region.
+    std::size_t splitThreshold = 2;
+    /// Share of candidates drawn uniformly at random (exploration).
+    double exploreShare = 0.1;
+    /// Weight increments for scan feedback.
+    double hitBonus = 1.0;
+    double missPenalty = 0.25;
+  };
+
+  DynamicTga(net::Prefix base, Params params, std::uint64_t seed);
+
+  /// Register a known-active address (hitlist entry, previous response).
+  /// Addresses outside the base prefix are ignored.
+  void addSeed(const net::Ipv6Address& addr);
+
+  /// Draw the next batch of scan candidates.
+  [[nodiscard]] std::vector<net::Ipv6Address> nextCandidates(std::size_t n);
+
+  /// Report a probe outcome; responsive candidates also become seeds.
+  void feedback(const net::Ipv6Address& candidate, bool responsive);
+
+  [[nodiscard]] const net::Prefix& base() const { return base_; }
+  [[nodiscard]] std::size_t seedCount() const { return seeds_; }
+  [[nodiscard]] std::size_t nodeCount() const { return nodes_; }
+  [[nodiscard]] std::uint64_t probesIssued() const { return probes_; }
+  [[nodiscard]] std::uint64_t hitsSeen() const { return hits_; }
+  [[nodiscard]] double hitRate() const {
+    return probes_ == 0 ? 0.0
+                        : static_cast<double>(hits_) /
+                              static_cast<double>(probes_);
+  }
+
+private:
+  struct Node {
+    double weight = 0.0; // density score (seeds + feedback)
+    std::size_t seeds = 0;
+    std::unique_ptr<Node> children[16];
+    bool split = false;
+  };
+
+  /// Nibble index of `addr` at trie depth `depth` (0 = first nibble below
+  /// the base prefix, rounded to nibble granularity).
+  [[nodiscard]] unsigned nibbleAt(const net::Ipv6Address& addr,
+                                  unsigned depth) const;
+  void insert(Node& node, const net::Ipv6Address& addr, unsigned depth,
+              double weight);
+  [[nodiscard]] net::Ipv6Address draw(const Node& node, unsigned depth,
+                                      net::Ipv6Address partial);
+
+  net::Prefix base_;
+  Params params_;
+  sim::Rng rng_;
+  Node root_;
+  unsigned firstNibble_; // first nibble position inside the address
+  std::size_t seeds_ = 0;
+  std::size_t nodes_ = 1;
+  std::uint64_t probes_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+} // namespace v6t::scanner

@@ -1,0 +1,89 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace v6t::sim {
+
+void Engine::push(Entry e) {
+  heap_.push_back(std::move(e));
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+Engine::Entry Engine::pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
+}
+
+bool Engine::popLive(Entry& out) {
+  while (!heap_.empty()) {
+    Entry e = pop();
+    auto it = cancelled_.find(e.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+EventId Engine::schedule(SimTime when, Action action) {
+  if (when < now_) when = now_;
+  const EventId id = nextSeq_++;
+  push(Entry{when, id, std::move(action)});
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  if (id >= nextSeq_) return false;
+  // Only mark ids that are actually pending; scanning the heap is O(n) but
+  // cancellation is rare (prefix withdrawals, scanner retirement).
+  const bool pending = std::any_of(
+      heap_.begin(), heap_.end(),
+      [id](const Entry& e) { return e.seq == id; });
+  if (!pending || cancelled_.contains(id)) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+std::uint64_t Engine::run(SimTime until) {
+  std::uint64_t n = 0;
+  Entry e;
+  while (!heap_.empty() && heap_.front().when <= until) {
+    if (!popLive(e)) break;
+    if (e.when > until) {
+      // Lost the race against cancellations; put it back.
+      push(std::move(e));
+      break;
+    }
+    now_ = e.when;
+    e.action();
+    ++n;
+    ++executed_;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+std::uint64_t Engine::runAll() {
+  std::uint64_t n = 0;
+  Entry e;
+  while (popLive(e)) {
+    now_ = e.when;
+    e.action();
+    ++n;
+    ++executed_;
+  }
+  return n;
+}
+
+void Engine::clear() {
+  heap_.clear();
+  cancelled_.clear();
+}
+
+} // namespace v6t::sim

@@ -1,0 +1,85 @@
+// v6t::sim — discrete-event simulation engine.
+//
+// A minimal, deterministic event loop: events are (time, sequence, action)
+// triples ordered by time with FIFO tie-breaking, so two events scheduled
+// for the same instant always fire in scheduling order regardless of heap
+// internals. Actions may schedule further events. Memory is proportional to
+// the number of *pending* events, not to the total executed — a full
+// 44-week experiment executes millions of events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace v6t::sim {
+
+/// Handle for a scheduled event; can be used to cancel it.
+using EventId = std::uint64_t;
+
+class Engine {
+public:
+  using Action = std::function<void()>;
+
+  /// Current simulated time. Starts at kEpoch; monotonically non-decreasing.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `action` at absolute time `when`. Scheduling in the past is a
+  /// logic error and is clamped to `now()` (the event fires immediately on
+  /// the next step) — the capture path must never time-travel.
+  EventId schedule(SimTime when, Action action);
+
+  /// Schedule `action` after a relative delay.
+  EventId scheduleAfter(Duration delay, Action action) {
+    return schedule(now_ + delay, std::move(action));
+  }
+
+  /// Cancel a pending event. Returns false if it already ran, was already
+  /// cancelled, or never existed.
+  bool cancel(EventId id);
+
+  /// Run events until the queue is empty or simulated time would exceed
+  /// `until` (events at exactly `until` still run). Advances now() to
+  /// `until` even if the queue drains early. Returns events executed.
+  std::uint64_t run(SimTime until);
+
+  /// Run everything to quiescence.
+  std::uint64_t runAll();
+
+  /// Drop all pending events (e.g., between independent experiment phases).
+  void clear();
+
+  [[nodiscard]] std::size_t pendingEvents() const {
+    return heap_.size() - cancelled_.size();
+  }
+  [[nodiscard]] std::uint64_t executedEvents() const { return executed_; }
+
+private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq; // doubles as the EventId
+    Action action;
+  };
+
+  // Min-heap ordering on (when, seq).
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+
+  void push(Entry e);
+  Entry pop();
+  // Pops until a non-cancelled entry surfaces; returns false if drained.
+  bool popLive(Entry& out);
+
+  SimTime now_ = kEpoch;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+} // namespace v6t::sim

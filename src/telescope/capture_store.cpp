@@ -1,0 +1,45 @@
+#include "telescope/capture_store.hpp"
+
+namespace v6t::telescope {
+
+void CaptureStore::append(net::Packet p) {
+  account(p);
+  packets_.push_back(std::move(p));
+}
+
+void CaptureStore::account(const net::Packet& p) {
+  sources128_.insert(p.src);
+  sources64_.insert(p.src.maskedTo(64));
+  destinations_.insert(p.dst);
+  if (!p.srcAsn.unattributed()) asns_.insert(p.srcAsn);
+  ++hourly_[p.ts.hourIndex()];
+  ++daily_[p.ts.dayIndex()];
+  ++weekly_[p.ts.weekIndex()];
+  ++perProtocol_[static_cast<std::size_t>(p.proto)];
+}
+
+void CaptureStore::writeTo(std::ostream& out) const {
+  net::CaptureWriter writer{out};
+  for (const net::Packet& p : packets_) writer.write(p);
+}
+
+std::uint64_t CaptureStore::readFrom(std::istream& in) {
+  clear();
+  net::CaptureReader reader{in};
+  while (auto p = reader.next()) append(std::move(*p));
+  return packets_.size();
+}
+
+void CaptureStore::clear() {
+  packets_.clear();
+  sources128_.clear();
+  sources64_.clear();
+  destinations_.clear();
+  asns_.clear();
+  hourly_.clear();
+  daily_.clear();
+  weekly_.clear();
+  perProtocol_[0] = perProtocol_[1] = perProtocol_[2] = 0;
+}
+
+} // namespace v6t::telescope

@@ -1,0 +1,88 @@
+// v6t::telescope — per-telescope packet archive.
+//
+// Append-only, time-ordered capture with incrementally maintained summary
+// statistics and hourly/daily/weekly time-series buckets. This is the only
+// thing the analysis pipeline ever reads — the strict generator/estimator
+// boundary of DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/pcap.hpp"
+
+namespace v6t::telescope {
+
+class CaptureStore {
+public:
+  /// Append a packet. Precondition: p.ts >= ts of the previous append (the
+  /// simulation delivers in time order).
+  void append(net::Packet p);
+
+  [[nodiscard]] const std::vector<net::Packet>& packets() const {
+    return packets_;
+  }
+  [[nodiscard]] std::uint64_t packetCount() const { return packets_.size(); }
+
+  /// Distinct /128 source addresses seen so far.
+  [[nodiscard]] std::size_t distinctSources128() const {
+    return sources128_.size();
+  }
+  /// Distinct /64 source networks.
+  [[nodiscard]] std::size_t distinctSources64() const {
+    return sources64_.size();
+  }
+  [[nodiscard]] std::size_t distinctAsns() const { return asns_.size(); }
+  [[nodiscard]] std::size_t distinctDestinations() const {
+    return destinations_.size();
+  }
+
+  /// Packets per time bucket (bucket index -> count). Buckets without
+  /// traffic are absent.
+  [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& hourlyCounts()
+      const {
+    return hourly_;
+  }
+  [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& dailyCounts()
+      const {
+    return daily_;
+  }
+  [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& weeklyCounts()
+      const {
+    return weekly_;
+  }
+
+  [[nodiscard]] std::uint64_t packetsPerProtocol(net::Protocol p) const {
+    return perProtocol_[static_cast<std::size_t>(p)];
+  }
+
+  /// Serialize all records in v6tcap format.
+  void writeTo(std::ostream& out) const;
+
+  /// Restore from a v6tcap stream (replaces current contents). Returns the
+  /// number of records read; stats are rebuilt.
+  std::uint64_t readFrom(std::istream& in);
+
+  void clear();
+
+private:
+  void account(const net::Packet& p);
+
+  std::vector<net::Packet> packets_;
+  std::unordered_set<net::Ipv6Address> sources128_;
+  std::unordered_set<net::Ipv6Address> sources64_; // masked to /64
+  std::unordered_set<net::Ipv6Address> destinations_;
+  std::unordered_set<net::Asn> asns_;
+  std::map<std::int64_t, std::uint64_t> hourly_;
+  std::map<std::int64_t, std::uint64_t> daily_;
+  std::map<std::int64_t, std::uint64_t> weekly_;
+  std::uint64_t perProtocol_[3] = {0, 0, 0};
+};
+
+} // namespace v6t::telescope

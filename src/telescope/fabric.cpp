@@ -1,0 +1,22 @@
+#include "telescope/fabric.hpp"
+
+namespace v6t::telescope {
+
+DeliveryResult DeliveryFabric::send(net::Packet p) {
+  ++sent_;
+  p.ts = engine_.now();
+  if (auto src = sourceRoutes_.longestMatch(p.src)) {
+    p.srcAsn = *src->second;
+  }
+  if (!rib_.isRoutable(p.dst)) {
+    ++noRoute_;
+    return {};
+  }
+  for (Telescope* t : telescopes_) {
+    if (t->owns(p.dst)) return t->deliver(p);
+  }
+  ++toVoid_;
+  return {};
+}
+
+} // namespace v6t::telescope

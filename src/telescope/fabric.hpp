@@ -1,0 +1,66 @@
+// v6t::telescope — the delivery fabric.
+//
+// Stand-in for the Internet's data plane between scanners and telescopes:
+// a packet reaches a telescope only if the BGP RIB holds a covering route
+// for its destination at send time. Routed packets that land in covered
+// but unowned space (e.g. the rest of T3/T4's covering /29) disappear into
+// the void, exactly like traffic to a borrowed prefix's silent remainder.
+//
+// The fabric also attributes the origin AS of each source address from a
+// registry of source routes — the public routing data a real telescope
+// operator would consult — and annotates it on the captured packet.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "net/packet.hpp"
+#include "net/prefix_trie.hpp"
+#include "sim/engine.hpp"
+#include "telescope/telescope.hpp"
+
+namespace v6t::telescope {
+
+class DeliveryFabric {
+public:
+  DeliveryFabric(sim::Engine& engine, const bgp::Rib& rib)
+      : engine_(engine), rib_(rib) {}
+
+  /// Attach a telescope; it will receive packets destined to its space.
+  /// Telescopes must outlive the fabric.
+  void attach(Telescope& t) { telescopes_.push_back(&t); }
+
+  /// Record that `prefix` is originated by `asn` — the source-side routing
+  /// information used for AS attribution of captured packets.
+  void registerSourceRoute(const net::Prefix& prefix, net::Asn asn) {
+    sourceRoutes_.insert(prefix, asn);
+  }
+
+  /// Inject a packet. Timestamps it with the current simulated time,
+  /// annotates the source AS, routes it. Returns what happened (captured /
+  /// responded) so reactive scanners can adapt.
+  DeliveryResult send(net::Packet p);
+
+  /// Is the destination routable right now? (Scanners cannot ask this —
+  /// they only see the BGP feed — but tests and stats can.)
+  [[nodiscard]] bool routable(const net::Ipv6Address& dst) const {
+    return rib_.isRoutable(dst);
+  }
+
+  [[nodiscard]] std::uint64_t sentPackets() const { return sent_; }
+  [[nodiscard]] std::uint64_t droppedNoRoute() const { return noRoute_; }
+  [[nodiscard]] std::uint64_t deliveredToVoid() const { return toVoid_; }
+
+private:
+  sim::Engine& engine_;
+  const bgp::Rib& rib_;
+  std::vector<Telescope*> telescopes_;
+  net::PrefixTrie<net::Asn> sourceRoutes_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t noRoute_ = 0;
+  std::uint64_t toVoid_ = 0;
+};
+
+} // namespace v6t::telescope

@@ -1,0 +1,63 @@
+#include "telescope/session.hpp"
+
+#include <algorithm>
+
+namespace v6t::telescope {
+
+void Sessionizer::offer(const net::Packet& p, std::uint32_t idx) {
+  const net::Ipv6Address key = p.src.maskedTo(bits(agg_));
+  auto it = open_.find(key);
+  if (it != open_.end()) {
+    Open& o = it->second;
+    if (p.ts - o.lastSeen <= timeout_) {
+      o.session.end = p.ts;
+      o.session.packetIdx.push_back(idx);
+      o.lastSeen = p.ts;
+      return;
+    }
+    // Gap exceeded: the old session is complete.
+    done_.push_back(std::move(o.session));
+    open_.erase(it);
+  }
+  Open fresh;
+  fresh.session.source = SourceKey{key, agg_};
+  fresh.session.start = p.ts;
+  fresh.session.end = p.ts;
+  fresh.session.packetIdx = {idx};
+  fresh.lastSeen = p.ts;
+  open_.emplace(key, std::move(fresh));
+}
+
+std::vector<Session> Sessionizer::finish() {
+  for (auto& [key, o] : open_) done_.push_back(std::move(o.session));
+  open_.clear();
+  std::vector<Session> out = std::move(done_);
+  done_.clear();
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Session& a, const Session& b) {
+                     if (a.start != b.start) return a.start < b.start;
+                     return a.source.addr < b.source.addr;
+                   });
+  return out;
+}
+
+std::vector<Session> sessionize(std::span<const net::Packet> packets,
+                                SourceAgg agg, sim::Duration timeout) {
+  Sessionizer s{agg, timeout};
+  for (std::uint32_t i = 0; i < packets.size(); ++i) s.offer(packets[i], i);
+  return s.finish();
+}
+
+std::vector<SourceSessions> groupBySource(std::span<const Session> sessions) {
+  std::vector<SourceSessions> out;
+  std::unordered_map<SourceKey, std::size_t> index;
+  for (std::uint32_t i = 0; i < sessions.size(); ++i) {
+    const SourceKey& key = sessions[i].source;
+    auto [it, fresh] = index.emplace(key, out.size());
+    if (fresh) out.push_back(SourceSessions{key, {}});
+    out[it->second].sessionIdx.push_back(i);
+  }
+  return out;
+}
+
+} // namespace v6t::telescope

@@ -1,0 +1,107 @@
+// v6t::telescope — scan sessions (§3.3).
+//
+// A scan session is a maximal run of packets from one source whose
+// inter-arrival gaps stay below a timeout (the paper adopts one hour from
+// Richter et al. / Zhao et al.). Sources can be viewed at three aggregation
+// levels: the full /128 address, the /64 network, or the /48 prefix.
+// Sessions — not packets — are the unit of all classification.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace v6t::telescope {
+
+enum class SourceAgg : std::uint8_t { Addr128 = 128, Net64 = 64, Net48 = 48 };
+
+[[nodiscard]] constexpr unsigned bits(SourceAgg agg) {
+  return static_cast<unsigned>(agg);
+}
+
+/// A source identity at a chosen aggregation level (address is masked).
+struct SourceKey {
+  net::Ipv6Address addr;
+  SourceAgg agg = SourceAgg::Addr128;
+
+  [[nodiscard]] static SourceKey of(const net::Ipv6Address& src,
+                                    SourceAgg agg) {
+    return SourceKey{src.maskedTo(bits(agg)), agg};
+  }
+
+  auto operator<=>(const SourceKey&) const = default;
+};
+
+struct Session {
+  SourceKey source;
+  sim::SimTime start;
+  sim::SimTime end;
+  /// Indices into the capture's packet vector, in arrival order.
+  std::vector<std::uint32_t> packetIdx;
+
+  [[nodiscard]] std::size_t packetCount() const { return packetIdx.size(); }
+  [[nodiscard]] sim::Duration duration() const { return end - start; }
+};
+
+/// Default timeout from the paper.
+inline constexpr sim::Duration kSessionTimeout = sim::hours(1);
+
+/// Streaming sessionizer: feed packets in time order, harvest completed
+/// sessions at any point, flush at end of measurement.
+class Sessionizer {
+public:
+  explicit Sessionizer(SourceAgg agg,
+                       sim::Duration timeout = kSessionTimeout)
+      : agg_(agg), timeout_(timeout) {}
+
+  /// Offer the packet at index `idx` of the capture.
+  void offer(const net::Packet& p, std::uint32_t idx);
+
+  /// Close every still-open session and return the full session list,
+  /// ordered by session start time.
+  [[nodiscard]] std::vector<Session> finish();
+
+  [[nodiscard]] SourceAgg aggregation() const { return agg_; }
+
+private:
+  struct Open {
+    Session session;
+    sim::SimTime lastSeen;
+  };
+
+  SourceAgg agg_;
+  sim::Duration timeout_;
+  std::unordered_map<net::Ipv6Address, Open> open_;
+  std::vector<Session> done_;
+};
+
+/// Convenience: sessionize a whole capture in one call.
+[[nodiscard]] std::vector<Session> sessionize(
+    std::span<const net::Packet> packets, SourceAgg agg,
+    sim::Duration timeout = kSessionTimeout);
+
+/// Sessions grouped per source key (insertion order = first appearance).
+struct SourceSessions {
+  SourceKey source;
+  std::vector<std::uint32_t> sessionIdx; // indices into the session vector
+};
+
+[[nodiscard]] std::vector<SourceSessions> groupBySource(
+    std::span<const Session> sessions);
+
+} // namespace v6t::telescope
+
+template <>
+struct std::hash<v6t::telescope::SourceKey> {
+  std::size_t operator()(const v6t::telescope::SourceKey& k) const noexcept {
+    return std::hash<v6t::net::Ipv6Address>{}(k.addr) ^
+           (static_cast<std::size_t>(k.agg) * 0x9e3779b97f4a7c15ULL);
+  }
+};

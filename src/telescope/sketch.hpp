@@ -1,0 +1,119 @@
+// v6t::telescope — streaming cardinality sketches for live telescopes.
+//
+// The experiment keeps every packet in memory, but a production telescope
+// watching a busy prefix cannot: distinct-source counting over months must
+// be memory-bounded. HyperLogLog gives cardinality estimates within a few
+// percent using kilobytes — enough for the live dashboards an operator
+// runs next to the capture (the offline analysis still uses exact counts).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "net/ipv6.hpp"
+
+namespace v6t::telescope {
+
+/// HyperLogLog with 2^P registers (P=12 => 4096 registers, ~1.6% error).
+template <unsigned P = 12>
+class HyperLogLog {
+  static_assert(P >= 4 && P <= 18);
+
+public:
+  static constexpr std::size_t kRegisters = 1u << P;
+
+  void add(const net::Ipv6Address& addr) { addHash(hash(addr)); }
+
+  void addHash(std::uint64_t h) {
+    const std::uint32_t index =
+        static_cast<std::uint32_t>(h >> (64 - P));
+    const std::uint64_t rest = h << P;
+    // Rank: position of the leftmost 1-bit in the remaining bits (1-based);
+    // all-zero rest gets the maximum rank.
+    const std::uint8_t rank =
+        rest == 0 ? static_cast<std::uint8_t>(64 - P + 1)
+                  : static_cast<std::uint8_t>(std::countl_zero(rest) + 1);
+    if (rank > registers_[index]) registers_[index] = rank;
+  }
+
+  /// Cardinality estimate with the standard small-range correction.
+  [[nodiscard]] double estimate() const {
+    const double m = static_cast<double>(kRegisters);
+    double sum = 0.0;
+    std::size_t zeros = 0;
+    for (std::uint8_t r : registers_) {
+      sum += std::ldexp(1.0, -static_cast<int>(r));
+      if (r == 0) ++zeros;
+    }
+    const double alpha = 0.7213 / (1.0 + 1.079 / m);
+    double estimate = alpha * m * m / sum;
+    if (estimate <= 2.5 * m && zeros != 0) {
+      // Linear counting for small cardinalities.
+      estimate = m * std::log(m / static_cast<double>(zeros));
+    }
+    return estimate;
+  }
+
+  /// Merge another sketch (union of the underlying sets).
+  void merge(const HyperLogLog& other) {
+    for (std::size_t i = 0; i < kRegisters; ++i) {
+      if (other.registers_[i] > registers_[i]) {
+        registers_[i] = other.registers_[i];
+      }
+    }
+  }
+
+  void clear() { registers_.fill(0); }
+
+  /// Memory footprint in bytes.
+  [[nodiscard]] static constexpr std::size_t sizeBytes() {
+    return kRegisters;
+  }
+
+private:
+  static std::uint64_t hash(const net::Ipv6Address& addr) {
+    // Two rounds of a 128->64 mix (murmur-style finalizers on both halves).
+    std::uint64_t h = addr.hi64() * 0x9e3779b97f4a7c15ULL;
+    h ^= addr.lo64() + 0x517cc1b727220a95ULL + (h << 6) + (h >> 2);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+  }
+
+  std::array<std::uint8_t, kRegisters> registers_{};
+};
+
+/// Memory-bounded live counters a telescope daemon would export: packets
+/// per protocol plus sketched distinct sources at /128 and /64.
+class LiveStats {
+public:
+  void observe(const net::Packet& p) {
+    ++packets_[static_cast<std::size_t>(p.proto)];
+    sources128_.add(p.src);
+    sources64_.add(p.src.maskedTo(64));
+  }
+
+  [[nodiscard]] std::uint64_t packets(net::Protocol proto) const {
+    return packets_[static_cast<std::size_t>(proto)];
+  }
+  [[nodiscard]] std::uint64_t totalPackets() const {
+    return packets_[0] + packets_[1] + packets_[2];
+  }
+  [[nodiscard]] double estimatedSources128() const {
+    return sources128_.estimate();
+  }
+  [[nodiscard]] double estimatedSources64() const {
+    return sources64_.estimate();
+  }
+
+private:
+  std::uint64_t packets_[3] = {0, 0, 0};
+  HyperLogLog<12> sources128_;
+  HyperLogLog<12> sources64_;
+};
+
+} // namespace v6t::telescope

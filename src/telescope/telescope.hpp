@@ -1,0 +1,77 @@
+// v6t::telescope — the four observation points (§3.1).
+//
+//   T1  BGP-controlled /32 (passive; prefixes change per the split schedule)
+//   T2  partially productive /48 (traceable; productive /56 excluded from
+//       capture; one DNS-named attractor address outside it)
+//   T3  silent /48 inside a covering /29 (passive; never separately
+//       announced)
+//   T4  reactive /48 inside the same /29 (active; answers TCP from every
+//       address)
+//
+// A Telescope owns address space and records every packet landing in it
+// (minus exclusions). Active telescopes additionally report whether they
+// responded, which the delivery fabric relays to the scanner so follow-up
+// behavior can emerge.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/prefix.hpp"
+#include "telescope/capture_store.hpp"
+
+namespace v6t::telescope {
+
+enum class Mode : std::uint8_t {
+  Passive, // originates nothing, answers nothing
+  Traceable, // contains author-controlled activity (T2)
+  Active, // answers TCP connection attempts (T4)
+};
+
+[[nodiscard]] std::string_view toString(Mode m);
+
+struct TelescopeConfig {
+  std::string name;
+  /// Address space owned by this telescope (capture filter).
+  std::vector<net::Prefix> space;
+  Mode mode = Mode::Passive;
+  /// Sub-prefix whose traffic is excluded from the dataset (T2's productive
+  /// /56, per §3.1).
+  std::optional<net::Prefix> excludedSubnet;
+  /// Single address with a public DNS name (T2's attractor).
+  std::optional<net::Ipv6Address> dnsAttractor;
+};
+
+/// Outcome of handing a packet to a telescope.
+struct DeliveryResult {
+  bool captured = false; // recorded in the dataset
+  bool responded = false; // an endpoint answered (active telescopes, TCP)
+};
+
+class Telescope {
+public:
+  explicit Telescope(TelescopeConfig config) : config_(std::move(config)) {}
+
+  /// Does this telescope own the destination address?
+  [[nodiscard]] bool owns(const net::Ipv6Address& dst) const;
+
+  /// Record the packet if it belongs here and is not excluded.
+  DeliveryResult deliver(const net::Packet& p);
+
+  [[nodiscard]] const TelescopeConfig& config() const { return config_; }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] const CaptureStore& capture() const { return store_; }
+  [[nodiscard]] CaptureStore& capture() { return store_; }
+
+  /// Packets that landed in the excluded subnet (counted, not stored).
+  [[nodiscard]] std::uint64_t excludedPackets() const { return excluded_; }
+
+private:
+  TelescopeConfig config_;
+  CaptureStore store_;
+  std::uint64_t excluded_ = 0;
+};
+
+} // namespace v6t::telescope

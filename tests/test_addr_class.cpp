@@ -1,0 +1,137 @@
+// Tests for the addr6-equivalent address-type classifier, including
+// cross-validation against the traffic generator's strategies.
+#include <gtest/gtest.h>
+
+#include "analysis/addr_class.hpp"
+#include "net/prefix.hpp"
+#include "scanner/target_gen.hpp"
+#include "sim/rng.hpp"
+
+namespace v6t::analysis {
+namespace {
+
+using net::Ipv6Address;
+
+struct Case {
+  const char* addr;
+  AddressType expected;
+};
+
+class ClassifyKnown : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ClassifyKnown, Classifies) {
+  const auto a = Ipv6Address::mustParse(GetParam().addr);
+  EXPECT_EQ(classifyAddress(a), GetParam().expected)
+      << GetParam().addr << " -> " << toString(classifyAddress(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ClassifyKnown,
+    ::testing::Values(
+        // Subnet-Router anycast (RFC 4291 §2.6.1).
+        Case{"2001:db8::", AddressType::SubnetAnycast},
+        Case{"2001:db8:1:2::", AddressType::SubnetAnycast},
+        // ISATAP (RFC 5214), both u-bit variants.
+        Case{"2001:db8::5efe:c000:201", AddressType::Isatap},
+        Case{"2001:db8::200:5efe:c000:201", AddressType::Isatap},
+        // EUI-64 expansion (ff:fe in the middle).
+        Case{"2001:db8::211:22ff:fe33:4455", AddressType::IeeeDerived},
+        // Embedded service ports, hex and decimal-as-hex.
+        Case{"2001:db8::80", AddressType::EmbeddedPort},
+        Case{"2001:db8::443", AddressType::EmbeddedPort},
+        Case{"2001:db8::50", AddressType::EmbeddedPort}, // 0x50 = 80
+        Case{"2001:db8::22", AddressType::EmbeddedPort},
+        // Low-byte.
+        Case{"2001:db8::1", AddressType::LowByte},
+        Case{"2001:db8::ff", AddressType::LowByte},
+        Case{"2001:db8::1234", AddressType::LowByte},
+        // Embedded IPv4, packed and spread.
+        Case{"2001:db8::c000:0201", AddressType::EmbeddedIpv4},
+        Case{"2001:db8::192:0:2:1", AddressType::EmbeddedIpv4},
+        // Pattern bytes.
+        Case{"2001:db8::aaaa:aaaa:aaaa:aaaa", AddressType::PatternBytes},
+        Case{"2001:db8::bbbb:0:bbbb:0", AddressType::PatternBytes},
+        // Repeated words are wordy, not pattern (addr6 semantics).
+        Case{"2001:db8::dead:dead:dead:dead", AddressType::Wordy},
+        // Randomized (privacy-extension-looking IIDs).
+        Case{"2001:db8::9c4f:1e83:b2d7:064a", AddressType::Randomized},
+        Case{"2001:db8::71e2:fa0d:38c9:552b", AddressType::Randomized}));
+
+TEST(AddrClass, HistogramAccumulates) {
+  std::vector<Ipv6Address> targets{
+      Ipv6Address::mustParse("2001:db8::1"),
+      Ipv6Address::mustParse("2001:db8::2"),
+      Ipv6Address::mustParse("2001:db8::"),
+  };
+  const auto histogram = classifyAll(targets);
+  EXPECT_EQ(histogram.total(), 3u);
+  EXPECT_EQ(histogram.of(AddressType::LowByte), 2u);
+  EXPECT_EQ(histogram.of(AddressType::SubnetAnycast), 1u);
+}
+
+TEST(AddrClass, NibbleEntropyBounds) {
+  EXPECT_DOUBLE_EQ(iidNibbleEntropy(Ipv6Address::mustParse("2001:db8::")),
+                   0.0);
+  // All 16 nibble values present once: maximal entropy of 4 bits.
+  const auto a = Ipv6Address::mustParse("2001:db8::123:4567:89ab:cdef");
+  EXPECT_NEAR(iidNibbleEntropy(a), 4.0, 1e-9);
+}
+
+TEST(AddrClass, RandomIidsClassifyRandomizedProperty) {
+  sim::Rng rng{41};
+  int randomized = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const Ipv6Address a{0x20010db800000000ULL, rng.next()};
+    randomized += classifyAddress(a) == AddressType::Randomized;
+  }
+  // Uniform 64-bit IIDs should almost always look randomized.
+  EXPECT_GT(randomized, n * 9 / 10);
+}
+
+// Cross-validation: each generator strategy must be recovered by the
+// classifier as its corresponding address type.
+struct StrategyCase {
+  scanner::TargetStrategy strategy;
+  AddressType expected;
+  double minShare;
+};
+
+class GeneratorRecovery : public ::testing::TestWithParam<StrategyCase> {};
+
+TEST_P(GeneratorRecovery, ClassifierRecoversStrategy) {
+  sim::Rng rng{77};
+  const net::Prefix prefix = net::Prefix::mustParse("3fff:100::/32");
+  scanner::TargetGenerator gen{GetParam().strategy, prefix, rng};
+  AddressTypeHistogram histogram;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const Ipv6Address a = gen.next();
+    EXPECT_TRUE(prefix.contains(a)) << a.toString();
+    histogram.add(classifyAddress(a));
+  }
+  EXPECT_GE(static_cast<double>(histogram.of(GetParam().expected)) / n,
+            GetParam().minShare)
+      << "strategy " << scanner::toString(GetParam().strategy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, GeneratorRecovery,
+    ::testing::Values(
+        StrategyCase{scanner::TargetStrategy::LowByte, AddressType::LowByte,
+                     0.95},
+        StrategyCase{scanner::TargetStrategy::SubnetAnycast,
+                     AddressType::SubnetAnycast, 0.95},
+        StrategyCase{scanner::TargetStrategy::RandomIid,
+                     AddressType::Randomized, 0.9},
+        StrategyCase{scanner::TargetStrategy::EmbeddedIpv4,
+                     AddressType::EmbeddedIpv4, 0.9},
+        StrategyCase{scanner::TargetStrategy::EmbeddedPort,
+                     AddressType::EmbeddedPort, 0.95},
+        StrategyCase{scanner::TargetStrategy::PatternBytes,
+                     AddressType::PatternBytes, 0.95},
+        StrategyCase{scanner::TargetStrategy::IeeeDerived,
+                     AddressType::IeeeDerived, 0.95}));
+
+} // namespace
+} // namespace v6t::analysis

@@ -1,0 +1,300 @@
+// Tests for DBSCAN, autocorrelation period detection, descriptive stats,
+// report rendering, and heavy-hitter detection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/autocorr.hpp"
+#include "analysis/dbscan.hpp"
+#include "analysis/heavy_hitter.hpp"
+#include "analysis/report.hpp"
+#include "analysis/stats.hpp"
+#include "sim/rng.hpp"
+
+namespace v6t::analysis {
+namespace {
+
+// ---------------------------------------------------------------- DBSCAN
+
+TEST(Dbscan, TwoBlobsAndNoise) {
+  // 1-D points: blob at ~0, blob at ~100, one lonely point at 50.
+  std::vector<double> xs{0.0, 0.1, 0.2, 0.3, 100.0, 100.1, 100.2, 50.0};
+  const auto result =
+      dbscan(xs.size(), 1.0, 3, [&](std::size_t a, std::size_t b) {
+        return std::abs(xs[a] - xs[b]);
+      });
+  EXPECT_EQ(result.clusterCount, 2);
+  EXPECT_EQ(result.label[0], result.label[1]);
+  EXPECT_EQ(result.label[1], result.label[2]);
+  EXPECT_EQ(result.label[4], result.label[5]);
+  EXPECT_NE(result.label[0], result.label[4]);
+  EXPECT_EQ(result.label[7], kDbscanNoise);
+  EXPECT_EQ(result.noiseCount(), 1u);
+}
+
+TEST(Dbscan, ChainsThroughDensity) {
+  // A dense chain should become one cluster via expansion.
+  std::vector<double> xs;
+  for (int i = 0; i < 20; ++i) xs.push_back(i * 0.5);
+  const auto result =
+      dbscan(xs.size(), 0.6, 2, [&](std::size_t a, std::size_t b) {
+        return std::abs(xs[a] - xs[b]);
+      });
+  EXPECT_EQ(result.clusterCount, 1);
+  EXPECT_EQ(result.noiseCount(), 0u);
+}
+
+TEST(Dbscan, AllNoiseWhenSparse) {
+  std::vector<double> xs{0, 10, 20, 30};
+  const auto result =
+      dbscan(xs.size(), 1.0, 2, [&](std::size_t a, std::size_t b) {
+        return std::abs(xs[a] - xs[b]);
+      });
+  EXPECT_EQ(result.clusterCount, 0);
+  EXPECT_EQ(result.noiseCount(), 4u);
+}
+
+TEST(Dbscan, EmptyInput) {
+  const auto result = dbscan(0, 1.0, 2, [](std::size_t, std::size_t) {
+    return 0.0;
+  });
+  EXPECT_EQ(result.clusterCount, 0);
+  EXPECT_TRUE(result.label.empty());
+}
+
+TEST(Dbscan, MinPtsOneMakesEverythingCore) {
+  std::vector<double> xs{0, 10, 20};
+  const auto result =
+      dbscan(xs.size(), 1.0, 1, [&](std::size_t a, std::size_t b) {
+        return std::abs(xs[a] - xs[b]);
+      });
+  EXPECT_EQ(result.clusterCount, 3);
+  EXPECT_EQ(result.noiseCount(), 0u);
+}
+
+// ----------------------------------------------------------- autocorr
+
+TEST(Autocorr, DetectsDailyPeriod) {
+  std::vector<sim::SimTime> events;
+  for (int i = 0; i < 20; ++i) {
+    events.push_back(sim::kEpoch + sim::days(i));
+  }
+  const auto period = detectPeriod(events);
+  ASSERT_TRUE(period.has_value());
+  EXPECT_NEAR(period->hours(), 24.0, 2.0);
+}
+
+TEST(Autocorr, DetectsJitteredPeriod) {
+  sim::Rng rng{51};
+  std::vector<sim::SimTime> events;
+  for (int i = 0; i < 30; ++i) {
+    const auto jitter =
+        static_cast<std::int64_t>((rng.uniform() - 0.5) * 2 * 3.6e6);
+    events.push_back(sim::kEpoch + sim::hours(12 * i) + sim::millis(jitter));
+  }
+  const auto period = detectPeriod(events);
+  ASSERT_TRUE(period.has_value());
+  EXPECT_NEAR(period->hours(), 12.0, 2.0);
+}
+
+TEST(Autocorr, NoPeriodInPoissonArrivals) {
+  sim::Rng rng{52};
+  std::vector<sim::SimTime> events;
+  sim::SimTime t = sim::kEpoch;
+  for (int i = 0; i < 60; ++i) {
+    t += sim::millis(static_cast<std::int64_t>(rng.exponential(8.64e7)));
+    events.push_back(t);
+  }
+  EXPECT_FALSE(detectPeriod(events).has_value());
+}
+
+TEST(Autocorr, TooFewEvents) {
+  EXPECT_FALSE(detectPeriod({}).has_value());
+  const std::vector<sim::SimTime> two{sim::kEpoch, sim::kEpoch + sim::days(1)};
+  EXPECT_FALSE(detectPeriod(two).has_value());
+}
+
+TEST(Autocorr, AutocorrelationOfSine) {
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(std::sin(i * 2 * M_PI / 20));
+  const auto acf = autocorrelation(xs, 60);
+  ASSERT_GE(acf.size(), 40u);
+  // Strong positive correlation at the period (lag 20 => index 19).
+  EXPECT_GT(acf[19], 0.7);
+  // Strong anti-correlation at half period.
+  EXPECT_LT(acf[9], -0.7);
+}
+
+TEST(Autocorr, ConstantSeriesHasNoAcf) {
+  const std::vector<double> flat(50, 3.0);
+  EXPECT_TRUE(autocorrelation(flat, 10).empty());
+}
+
+// ------------------------------------------------------------- stats
+
+TEST(Stats, Cumulative) {
+  std::map<std::int64_t, std::uint64_t> buckets{{0, 5}, {2, 3}, {7, 2}};
+  const auto series = cumulative(buckets);
+  ASSERT_EQ(series.points.size(), 3u);
+  EXPECT_EQ(series.points[0], (std::pair<std::int64_t, std::uint64_t>{0, 5}));
+  EXPECT_EQ(series.points[2].second, 10u);
+  EXPECT_EQ(series.total(), 10u);
+  const auto normalized = series.normalized();
+  EXPECT_DOUBLE_EQ(normalized[0].second, 0.5);
+  EXPECT_DOUBLE_EQ(normalized[2].second, 1.0);
+}
+
+TEST(Stats, CumulativeDistinct) {
+  std::vector<std::pair<std::int64_t, int>> observations{
+      {0, 1}, {0, 2}, {1, 1}, {2, 3}, {2, 3}};
+  const auto series = cumulativeDistinct(observations);
+  EXPECT_EQ(series.total(), 3u); // ids 1, 2, 3
+  ASSERT_EQ(series.points.size(), 2u); // buckets 0 and 2 add new ids
+  EXPECT_EQ(series.points[0].second, 2u);
+}
+
+TEST(Stats, Upset) {
+  std::vector<std::set<int>> sets(3);
+  sets[0] = {1, 2, 3};
+  sets[1] = {2, 3, 4};
+  sets[2] = {3};
+  const auto result = upset(std::span<const std::set<int>>{sets});
+  EXPECT_EQ(result.setTotals, (std::vector<std::uint64_t>{3, 3, 1}));
+  // Combos: {0}: {1}; {0,1}: {2}; {0,1,2}: {3}; {1}: {4}.
+  std::uint64_t total = 0;
+  for (const auto& row : result.rows) total += row.count;
+  EXPECT_EQ(total, 4u);
+  const std::vector<std::string> names{"T1", "T2", "T3"};
+  bool sawTriple = false;
+  for (const auto& row : result.rows) {
+    if (row.key(names) == "T1+T2+T3") {
+      sawTriple = true;
+      EXPECT_EQ(row.count, 1u);
+    }
+  }
+  EXPECT_TRUE(sawTriple);
+}
+
+TEST(Stats, TopPortsCountsOncePerSession) {
+  std::vector<net::Packet> packets;
+  auto push = [&](sim::SimTime ts, const char* src, net::Protocol proto,
+                  std::uint16_t port) {
+    net::Packet p;
+    p.ts = ts;
+    p.src = net::Ipv6Address::mustParse(src);
+    p.dst = net::Ipv6Address::mustParse("3fff::1");
+    p.proto = proto;
+    p.dstPort = port;
+    packets.push_back(p);
+  };
+  // Session A: port 80 three times and 443 once.
+  push(sim::kEpoch, "2400::1", net::Protocol::Tcp, 80);
+  push(sim::kEpoch + sim::seconds(1), "2400::1", net::Protocol::Tcp, 80);
+  push(sim::kEpoch + sim::seconds(2), "2400::1", net::Protocol::Tcp, 80);
+  push(sim::kEpoch + sim::seconds(3), "2400::1", net::Protocol::Tcp, 443);
+  // Session B: port 80 once; UDP traceroute spread over the range.
+  push(sim::kEpoch, "2400:1::1", net::Protocol::Tcp, 80);
+  push(sim::kEpoch + sim::seconds(1), "2400:1::1", net::Protocol::Udp, 33434);
+  push(sim::kEpoch + sim::seconds(2), "2400:1::1", net::Protocol::Udp, 33500);
+
+  const auto sessions =
+      telescope::sessionize(packets, telescope::SourceAgg::Net64);
+  const auto tcp = topPorts(packets, sessions, net::Protocol::Tcp, 5);
+  ASSERT_GE(tcp.size(), 2u);
+  EXPECT_EQ(tcp[0].port, 80);
+  EXPECT_EQ(tcp[0].sessions, 2u); // once per session despite 4 packets
+  EXPECT_DOUBLE_EQ(tcp[0].share, 100.0);
+  EXPECT_EQ(tcp[1].port, 443);
+  EXPECT_EQ(tcp[1].sessions, 1u);
+
+  const auto udp = topPorts(packets, sessions, net::Protocol::Udp, 5);
+  ASSERT_EQ(udp.size(), 1u);
+  EXPECT_TRUE(udp[0].tracerouteRange); // both packets fold into one bucket
+  EXPECT_EQ(udp[0].sessions, 1u);
+}
+
+// ------------------------------------------------------------- report
+
+TEST(Report, TableRendersAligned) {
+  TextTable table{{"name", "value"}};
+  table.addRow({"alpha", "1"});
+  table.addSeparator();
+  table.addRow({"beta", "22"});
+  const std::string out = table.toString();
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("| beta "), std::string::npos);
+  EXPECT_EQ(table.rowCount(), 3u);
+}
+
+TEST(Report, CsvEscapes) {
+  TextTable table{{"a", "b"}};
+  table.addRow({"x,y", "with \"quote\""});
+  std::ostringstream out;
+  table.writeCsv(out);
+  EXPECT_EQ(out.str(), "a,b\n\"x,y\",\"with \"\"quote\"\"\"\n");
+}
+
+TEST(Report, Numbers) {
+  EXPECT_EQ(withThousands(0), "0");
+  EXPECT_EQ(withThousands(999), "999");
+  EXPECT_EQ(withThousands(1000), "1,000");
+  EXPECT_EQ(withThousands(51000000), "51,000,000");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(bar(5, 10, 10), "#####");
+  EXPECT_EQ(bar(0, 10, 10), "");
+  EXPECT_EQ(bar(20, 10, 10), "##########"); // clamped
+}
+
+// --------------------------------------------------------- heavy hitters
+
+TEST(HeavyHitter, FindsDominantSource) {
+  std::vector<net::Packet> packets;
+  sim::Rng rng{61};
+  auto push = [&](const char* src, int count, sim::SimTime start) {
+    for (int i = 0; i < count; ++i) {
+      net::Packet p;
+      p.ts = start + sim::seconds(i);
+      p.src = net::Ipv6Address::mustParse(src);
+      p.dst = net::Ipv6Address{0x3fff000000000000ULL, rng.next()};
+      p.srcAsn = net::Asn{65001};
+      packets.push_back(p);
+    }
+  };
+  push("2400::1", 800, sim::kEpoch); // 80% of traffic
+  push("2400::2", 100, sim::kEpoch);
+  push("2400::3", 100, sim::kEpoch);
+
+  const auto hitters = findHeavyHitters(packets, 10.0);
+  ASSERT_EQ(hitters.size(), 1u);
+  EXPECT_EQ(hitters[0].source.toString(), "2400::1");
+  EXPECT_NEAR(hitters[0].shareOfTelescope, 80.0, 0.1);
+  EXPECT_EQ(hitters[0].packets, 800u);
+  EXPECT_EQ(hitters[0].sessions, 1u);
+
+  const auto sessions =
+      telescope::sessionize(packets, telescope::SourceAgg::Addr128);
+  const auto impact = heavyHitterImpact(packets, sessions, hitters);
+  EXPECT_EQ(impact.packets, 800u);
+  EXPECT_NEAR(impact.packetShare, 80.0, 0.1);
+  EXPECT_EQ(impact.sessions, 1u);
+}
+
+TEST(HeavyHitter, NoneBelowThreshold) {
+  std::vector<net::Packet> packets;
+  for (int s = 0; s < 20; ++s) {
+    for (int i = 0; i < 10; ++i) {
+      net::Packet p;
+      p.ts = sim::kEpoch + sim::seconds(i);
+      p.src = net::Ipv6Address{0x2400000000000000ULL,
+                               static_cast<std::uint64_t>(s)};
+      p.dst = net::Ipv6Address::mustParse("3fff::1");
+      packets.push_back(p);
+    }
+  }
+  EXPECT_TRUE(findHeavyHitters(packets, 10.0).empty());
+  EXPECT_TRUE(findHeavyHitters({}, 10.0).empty());
+}
+
+} // namespace
+} // namespace v6t::analysis

@@ -1,0 +1,345 @@
+// Tests for the BGP substrate: RIB, update feed, the Fig. 2 split
+// schedule, hitlist service, and IRR/RPKI registries.
+#include <gtest/gtest.h>
+
+#include "bgp/feed.hpp"
+#include "bgp/hitlist.hpp"
+#include "bgp/rib.hpp"
+#include "bgp/route_object.hpp"
+#include "bgp/splitter.hpp"
+
+namespace v6t::bgp {
+namespace {
+
+using net::Ipv6Address;
+using net::Prefix;
+
+TEST(Rib, AnnounceWithdrawLookup) {
+  Rib rib;
+  rib.announce(Prefix::mustParse("2001:db8::/32"), net::Asn{65001},
+               sim::SimTime{0});
+  rib.announce(Prefix::mustParse("2001:db8:5::/48"), net::Asn{65002},
+               sim::SimTime{10});
+
+  auto route = rib.lookup(Ipv6Address::mustParse("2001:db8:5::1"));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->first.length(), 48u);
+  EXPECT_EQ(route->second.origin, net::Asn{65002});
+
+  route = rib.lookup(Ipv6Address::mustParse("2001:db8:6::1"));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->second.origin, net::Asn{65001});
+
+  EXPECT_FALSE(rib.isRoutable(Ipv6Address::mustParse("2001:db9::1")));
+
+  rib.withdraw(Prefix::mustParse("2001:db8:5::/48"), sim::SimTime{20});
+  route = rib.lookup(Ipv6Address::mustParse("2001:db8:5::1"));
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->second.origin, net::Asn{65001}); // falls back to /32
+
+  EXPECT_EQ(rib.history().size(), 3u);
+  EXPECT_EQ(rib.history()[2].kind, UpdateKind::Withdraw);
+}
+
+TEST(Rib, WithdrawUnknownIsNoop) {
+  Rib rib;
+  rib.withdraw(Prefix::mustParse("2001:db8::/32"), sim::SimTime{0});
+  EXPECT_TRUE(rib.history().empty());
+  EXPECT_EQ(rib.size(), 0u);
+}
+
+TEST(BgpFeed, DelayedDelivery) {
+  sim::Engine engine;
+  Rib rib;
+  BgpFeed feed{engine, rib, 1};
+  std::vector<sim::SimTime> arrivals;
+  feed.subscribe(PropagationModel{sim::minutes(10), sim::minutes(5)},
+                 [&](const BgpUpdate& u) {
+                   EXPECT_EQ(u.kind, UpdateKind::Announce);
+                   arrivals.push_back(engine.now());
+                 });
+  engine.schedule(sim::SimTime{0}, [&] {
+    feed.announce(Prefix::mustParse("2001:db8::/32"), net::Asn{65001});
+  });
+  engine.runAll();
+  // RIB changes immediately; the subscriber sees it after its lag.
+  EXPECT_TRUE(rib.isRoutable(Ipv6Address::mustParse("2001:db8::1")));
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_GE(arrivals[0], sim::kEpoch + sim::minutes(10));
+  EXPECT_LE(arrivals[0], sim::kEpoch + sim::minutes(15));
+}
+
+TEST(BgpFeed, UnsubscribeDropsPendingDeliveries) {
+  sim::Engine engine;
+  Rib rib;
+  BgpFeed feed{engine, rib, 2};
+  int delivered = 0;
+  const auto id = feed.subscribe(PropagationModel{sim::minutes(1), {}},
+                                 [&](const BgpUpdate&) { ++delivered; });
+  feed.announce(Prefix::mustParse("2001:db8::/32"), net::Asn{65001});
+  feed.unsubscribe(id);
+  engine.runAll();
+  EXPECT_EQ(delivered, 0);
+}
+
+TEST(BgpFeed, WithdrawCarriesOrigin) {
+  sim::Engine engine;
+  Rib rib;
+  BgpFeed feed{engine, rib, 3};
+  std::vector<BgpUpdate> seen;
+  feed.subscribe(PropagationModel{sim::seconds(1), {}},
+                 [&](const BgpUpdate& u) { seen.push_back(u); });
+  feed.announce(Prefix::mustParse("2001:db8::/32"), net::Asn{65009});
+  feed.withdraw(Prefix::mustParse("2001:db8::/32"));
+  engine.runAll();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1].kind, UpdateKind::Withdraw);
+  EXPECT_EQ(seen[1].origin, net::Asn{65009});
+}
+
+// ------------------------------------------------------------ SplitSchedule
+
+SplitSchedule::Params scheduleParams() {
+  SplitSchedule::Params params;
+  params.base = Prefix::mustParse("2001:db8::/32");
+  params.start = sim::kEpoch;
+  params.baseline = sim::weeks(12);
+  params.cycle = sim::weeks(2);
+  params.withdrawGap = sim::days(1);
+  params.splits = 16;
+  return params;
+}
+
+TEST(SplitSchedule, PaperShape) {
+  const SplitSchedule schedule = SplitSchedule::make(scheduleParams());
+  ASSERT_EQ(schedule.cycles().size(), 17u); // baseline + 16 splits
+
+  // Final cycle: 17 prefixes, most specific /48.
+  const AnnouncementCycle& last = schedule.cycles().back();
+  EXPECT_EQ(last.announced.size(), 17u);
+  unsigned maxLen = 0;
+  for (const Prefix& p : last.announced) maxLen = std::max(maxLen, p.length());
+  EXPECT_EQ(maxLen, 48u);
+
+  // Each cycle adds exactly one prefix.
+  for (std::size_t i = 1; i < schedule.cycles().size(); ++i) {
+    EXPECT_EQ(schedule.cycles()[i].announced.size(), i + 1);
+  }
+}
+
+TEST(SplitSchedule, SplitsAvoidLowByteChild) {
+  // The child containing the parent's low-byte (::1) address is kept; the
+  // other child is split next (§3.1).
+  const SplitSchedule schedule = SplitSchedule::make(scheduleParams());
+  for (std::size_t i = 1; i + 1 < schedule.cycles().size(); ++i) {
+    const AnnouncementCycle& cycle = schedule.cycles()[i];
+    const AnnouncementCycle& next = schedule.cycles()[i + 1];
+    const auto [lower, upper] = cycle.splitParent.split();
+    EXPECT_TRUE(lower.contains(cycle.splitParent.lowByteAddress()));
+    EXPECT_EQ(next.splitParent, upper); // the non-low-byte child is split
+  }
+}
+
+TEST(SplitSchedule, AllButTwoDifferInSize) {
+  const SplitSchedule schedule = SplitSchedule::make(scheduleParams());
+  const auto& last = schedule.cycles().back().announced;
+  std::map<unsigned, int> byLength;
+  for (const Prefix& p : last) ++byLength[p.length()];
+  int pairs = 0;
+  for (const auto& [len, count] : byLength) {
+    if (count == 2) ++pairs;
+    else EXPECT_EQ(count, 1);
+  }
+  EXPECT_EQ(pairs, 1); // exactly the two /48s share a size
+}
+
+TEST(SplitSchedule, Timing) {
+  const SplitSchedule schedule = SplitSchedule::make(scheduleParams());
+  const auto& cycles = schedule.cycles();
+  EXPECT_EQ(cycles[0].announceAt, sim::kEpoch);
+  EXPECT_EQ(cycles[0].endsAt, sim::kEpoch + sim::weeks(12));
+  EXPECT_EQ(cycles[1].withdrawAt, cycles[0].endsAt);
+  EXPECT_EQ(cycles[1].announceAt, cycles[0].endsAt + sim::days(1));
+  EXPECT_EQ(cycles[1].endsAt, cycles[1].announceAt + sim::weeks(2));
+  // cycleAt: inside a cycle, in the withdraw gap, before start.
+  EXPECT_EQ(schedule.cycleAt(sim::kEpoch + sim::weeks(1)), &cycles[0]);
+  EXPECT_EQ(schedule.cycleAt(cycles[1].withdrawAt + sim::hours(2)), nullptr);
+  EXPECT_EQ(schedule.cycleAt(cycles[1].announceAt), &cycles[1]);
+}
+
+TEST(SplitSchedule, AllPrefixesEverAnnounced) {
+  const SplitSchedule schedule = SplitSchedule::make(scheduleParams());
+  // 1 (/32) + 2 new per cycle except they share... base + 16 cycles à 2 new
+  // children = 33 distinct prefixes.
+  EXPECT_EQ(schedule.allPrefixesEverAnnounced().size(), 33u);
+}
+
+TEST(SplitController, DrivesRib) {
+  sim::Engine engine;
+  Rib rib;
+  BgpFeed feed{engine, rib, 4};
+  SplitSchedule::Params params = scheduleParams();
+  params.splits = 3;
+  SplitController controller{engine, feed, SplitSchedule::make(params),
+                             net::Asn{65001}};
+  controller.arm();
+
+  // During the baseline: only the /32.
+  engine.run(sim::kEpoch + sim::weeks(1));
+  EXPECT_EQ(rib.size(), 1u);
+  EXPECT_TRUE(rib.isRoutable(Ipv6Address::mustParse("2001:db8::1")));
+
+  // On the withdraw day: nothing routable.
+  engine.run(sim::kEpoch + sim::weeks(12) + sim::hours(2));
+  EXPECT_EQ(rib.size(), 0u);
+  EXPECT_FALSE(rib.isRoutable(Ipv6Address::mustParse("2001:db8::1")));
+
+  // First split cycle: two /33s.
+  engine.run(sim::kEpoch + sim::weeks(13));
+  EXPECT_EQ(rib.size(), 2u);
+  EXPECT_TRUE(rib.isRoutable(Ipv6Address::mustParse("2001:db8::1")));
+  EXPECT_TRUE(rib.isRoutable(Ipv6Address::mustParse("2001:db8:8000::1")));
+
+  // Last cycle of this shortened schedule: 4 prefixes.
+  engine.run(controller.schedule().endOfExperiment());
+  EXPECT_EQ(rib.size(), 4u);
+}
+
+// ------------------------------------------------------------- Hitlist
+
+TEST(Hitlist, ListsAfterDelay) {
+  sim::Engine engine;
+  Rib rib;
+  BgpFeed feed{engine, rib, 5};
+  HitlistService::Params params;
+  params.listingDelay = sim::days(5);
+  params.jitter = sim::days(2);
+  HitlistService hitlist{engine, feed, params, 6};
+
+  std::vector<std::pair<Prefix, sim::SimTime>> listed;
+  hitlist.onListed([&](const Prefix& p, sim::SimTime t) {
+    listed.emplace_back(p, t);
+  });
+
+  const Prefix p = Prefix::mustParse("2001:db8::/32");
+  engine.schedule(sim::SimTime{0}, [&] { feed.announce(p, net::Asn{65001}); });
+  engine.run(sim::kEpoch + sim::days(4));
+  EXPECT_FALSE(hitlist.isListed(p, engine.now()));
+  engine.run(sim::kEpoch + sim::days(10));
+  ASSERT_EQ(listed.size(), 1u);
+  EXPECT_TRUE(hitlist.isListed(p, engine.now()));
+  EXPECT_GE(listed[0].second, sim::kEpoch + sim::days(5));
+  EXPECT_LE(listed[0].second, sim::kEpoch + sim::days(7) + sim::hours(1));
+  ASSERT_TRUE(hitlist.listedAt(p).has_value());
+  EXPECT_EQ(*hitlist.listedAt(p), listed[0].second);
+}
+
+TEST(Hitlist, ReannouncementKeepsEntry) {
+  sim::Engine engine;
+  Rib rib;
+  BgpFeed feed{engine, rib, 7};
+  HitlistService hitlist{engine, feed, {}, 8};
+  const Prefix p = Prefix::mustParse("2001:db8::/32");
+  engine.schedule(sim::SimTime{0}, [&] { feed.announce(p, net::Asn{65001}); });
+  engine.run(sim::kEpoch + sim::days(14));
+  const auto first = hitlist.listedAt(p);
+  ASSERT_TRUE(first.has_value());
+  // Withdraw + re-announce: the listing time must not change.
+  feed.withdraw(p);
+  feed.announce(p, net::Asn{65001});
+  engine.run(sim::kEpoch + sim::days(30));
+  EXPECT_EQ(hitlist.listedAt(p), first);
+  EXPECT_EQ(hitlist.listedPrefixes(engine.now()).size(), 1u);
+}
+
+// ------------------------------------------------------------ IRR / RPKI
+
+TEST(Irr, Route6Lookup) {
+  IrrRegistry irr;
+  const Prefix p = Prefix::mustParse("2001:db8::/33");
+  irr.addRoute6(p, net::Asn{65001}, sim::SimTime{100});
+  EXPECT_FALSE(irr.hasRoute6(p, net::Asn{65001}, sim::SimTime{50}));
+  EXPECT_TRUE(irr.hasRoute6(p, net::Asn{65001}, sim::SimTime{100}));
+  EXPECT_FALSE(irr.hasRoute6(p, net::Asn{65002}, sim::SimTime{100}));
+  // A covering route object validates the more-specific announcement too.
+  EXPECT_TRUE(irr.hasRoute6(Prefix::mustParse("2001:db8:0:1::/64"),
+                            net::Asn{65001}, sim::SimTime{200}));
+}
+
+TEST(Irr, RpkiValidation) {
+  IrrRegistry irr;
+  EXPECT_EQ(irr.validate(Prefix::mustParse("2001:db8::/32"), net::Asn{65001},
+                         sim::SimTime{0}),
+            RpkiValidity::NotFound);
+  irr.addRoa(Prefix::mustParse("2001:db8::/32"), 40, net::Asn{65001},
+             sim::SimTime{0});
+  EXPECT_EQ(irr.validate(Prefix::mustParse("2001:db8::/32"), net::Asn{65001},
+                         sim::SimTime{1}),
+            RpkiValidity::Valid);
+  // Too specific for maxLength.
+  EXPECT_EQ(irr.validate(Prefix::mustParse("2001:db8:5::/48"),
+                         net::Asn{65001}, sim::SimTime{1}),
+            RpkiValidity::Invalid);
+  // Wrong origin.
+  EXPECT_EQ(irr.validate(Prefix::mustParse("2001:db8::/32"), net::Asn{65002},
+                         sim::SimTime{1}),
+            RpkiValidity::Invalid);
+  // Uncovered space.
+  EXPECT_EQ(irr.validate(Prefix::mustParse("2001:db9::/32"), net::Asn{65001},
+                         sim::SimTime{1}),
+            RpkiValidity::NotFound);
+}
+
+} // namespace
+} // namespace v6t::bgp
+
+// Appended: looking-glass visibility checks (§3.2).
+#include "bgp/looking_glass.hpp"
+
+namespace v6t::bgp {
+namespace {
+
+TEST(LookingGlass, TracksConvergencePerVantagePoint) {
+  sim::Engine engine;
+  Rib rib;
+  BgpFeed feed{engine, rib, 9};
+  LookingGlass lg{engine,
+                  feed,
+                  {{"fast", {sim::seconds(10), sim::seconds(5)}},
+                   {"slow", {sim::minutes(30), sim::minutes(5)}}}};
+  ASSERT_EQ(lg.vantagePointCount(), 2u);
+  const net::Prefix p = net::Prefix::mustParse("3fff:100::/32");
+
+  engine.schedule(sim::kEpoch, [&] { feed.announce(p, net::Asn{65010}); });
+  // Before anything propagates: invisible everywhere.
+  EXPECT_EQ(lg.visibleAt(p), 0u);
+
+  engine.run(sim::kEpoch + sim::minutes(1));
+  EXPECT_EQ(lg.visibleAt(p), 1u); // only the fast vantage point
+  EXPECT_FALSE(lg.fullyVisible(p));
+  ASSERT_EQ(lg.missingAt(p).size(), 1u);
+  EXPECT_EQ(lg.missingAt(p)[0], "slow");
+
+  engine.run(sim::kEpoch + sim::hours(1));
+  EXPECT_TRUE(lg.fullyVisible(p));
+
+  // Withdrawal converges the same way.
+  feed.withdraw(p);
+  engine.run(sim::kEpoch + sim::hours(3));
+  EXPECT_EQ(lg.visibleAt(p), 0u);
+}
+
+TEST(LookingGlass, MoreSpecificVisibleThroughCoveringRoute) {
+  sim::Engine engine;
+  Rib rib;
+  BgpFeed feed{engine, rib, 10};
+  LookingGlass lg{engine, feed, {{"vp", {sim::seconds(1), {}}}}};
+  feed.announce(net::Prefix::mustParse("3fff:e00::/29"), net::Asn{65020});
+  engine.run(sim::kEpoch + sim::minutes(1));
+  // A covered /48 is reachable (covering route) even though never
+  // announced itself — the T3 situation.
+  EXPECT_EQ(lg.visibleAt(net::Prefix::mustParse("3fff:e03:3::/48")), 1u);
+}
+
+} // namespace
+} // namespace v6t::bgp

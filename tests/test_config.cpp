@@ -1,0 +1,107 @@
+// Tests for the experiment configuration parser.
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+
+namespace v6t::core {
+namespace {
+
+TEST(Config, EmptyInputYieldsDefaults) {
+  const auto result = parseExperimentConfig(std::string{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.config.seed, ExperimentConfig{}.seed);
+  EXPECT_EQ(result.config.splits, 16);
+}
+
+TEST(Config, ParsesAllKeys) {
+  const auto result = parseExperimentConfig(std::string{R"(
+    # a comment
+    seed = 7
+    source_scale = 0.5
+    volume_scale = 0.1
+    baseline_weeks = 4   # trailing comment
+    cycle_weeks = 1
+    splits = 6
+    withdraw_gap_days = 2
+    route_object_weeks = 5
+    t1_base = 3fff:100::/32
+    t2_prefix = 3fff:2::/48
+    t2_productive = 3fff:2:0:ff00::/56
+    t2_attractor = 3fff:2::1234
+    covering = 3fff:e00::/29
+    t3_prefix = 3fff:e03:3::/48
+    t4_prefix = 3fff:e05:7::/48
+    our_asn = 65123
+  )"});
+  ASSERT_TRUE(result.ok()) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_EQ(result.config.seed, 7u);
+  EXPECT_DOUBLE_EQ(result.config.sourceScale, 0.5);
+  EXPECT_EQ(result.config.baseline.millis(), sim::weeks(4).millis());
+  EXPECT_EQ(result.config.cycle.millis(), sim::weeks(1).millis());
+  EXPECT_EQ(result.config.splits, 6);
+  EXPECT_EQ(result.config.withdrawGap.millis(), sim::days(2).millis());
+  EXPECT_EQ(result.config.t2Attractor.toString(), "3fff:2::1234");
+  EXPECT_EQ(result.config.ourAsn.value(), 65123u);
+}
+
+TEST(Config, RejectsUnknownKey) {
+  const auto result = parseExperimentConfig(std::string{"sped = 7\n"});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.errors[0].find("unknown key"), std::string::npos);
+}
+
+TEST(Config, RejectsMalformedValues) {
+  EXPECT_FALSE(parseExperimentConfig(std::string{"seed = banana"}).ok());
+  EXPECT_FALSE(parseExperimentConfig(std::string{"source_scale = 2.0"}).ok());
+  EXPECT_FALSE(parseExperimentConfig(std::string{"source_scale = -1"}).ok());
+  EXPECT_FALSE(parseExperimentConfig(std::string{"t1_base = nope/32"}).ok());
+  EXPECT_FALSE(parseExperimentConfig(std::string{"splits = 0"}).ok());
+  EXPECT_FALSE(parseExperimentConfig(std::string{"just a line"}).ok());
+  EXPECT_FALSE(parseExperimentConfig(std::string{"= 3"}).ok());
+}
+
+TEST(Config, SemanticValidation) {
+  // T3 outside the covering prefix.
+  const auto bad = parseExperimentConfig(
+      std::string{"t3_prefix = 2001:db8::/48\n"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.errors[0].find("t3_prefix"), std::string::npos);
+
+  // Attractor inside the productive subnet.
+  const auto bad2 = parseExperimentConfig(
+      std::string{"t2_attractor = 3fff:2:0:ff00::1\n"});
+  EXPECT_FALSE(bad2.ok());
+
+  // Splitting a /120 sixteen times runs past /128.
+  const auto bad3 = parseExperimentConfig(
+      std::string{"t1_base = 3fff:100::/120\n"});
+  EXPECT_FALSE(bad3.ok());
+}
+
+TEST(Config, FormatRoundTrips) {
+  ExperimentConfig custom;
+  custom.seed = 99;
+  custom.splits = 4;
+  custom.sourceScale = 0.33;
+  custom.t2Attractor = net::Ipv6Address::mustParse("3fff:2::42");
+  const std::string text = formatExperimentConfig(custom);
+  const auto reparsed = parseExperimentConfig(text);
+  ASSERT_TRUE(reparsed.ok()) << (reparsed.errors.empty()
+                                     ? ""
+                                     : reparsed.errors[0]);
+  EXPECT_EQ(reparsed.config.seed, 99u);
+  EXPECT_EQ(reparsed.config.splits, 4);
+  EXPECT_NEAR(reparsed.config.sourceScale, 0.33, 1e-9);
+  EXPECT_EQ(reparsed.config.t2Attractor, custom.t2Attractor);
+}
+
+TEST(Config, ErrorsCarryLineNumbers) {
+  const auto result = parseExperimentConfig(std::string{
+      "seed = 1\nbogus_key = 2\nseed = x\n"});
+  ASSERT_EQ(result.errors.size(), 2u);
+  EXPECT_NE(result.errors[0].find("line 2"), std::string::npos);
+  EXPECT_NE(result.errors[1].find("line 3"), std::string::npos);
+}
+
+} // namespace
+} // namespace v6t::core

@@ -1,0 +1,136 @@
+// Tests for payload clustering and tool attribution (§5.4 / Table 7).
+#include <gtest/gtest.h>
+
+#include "analysis/fingerprint.hpp"
+#include "sim/rng.hpp"
+
+namespace v6t::analysis {
+namespace {
+
+using net::Ipv6Address;
+using net::ScanTool;
+
+std::vector<std::uint8_t> toolPayload(ScanTool tool, std::uint8_t salt) {
+  for (const net::ToolSignature& sig : net::kToolSignatures) {
+    if (sig.tool != tool) continue;
+    std::vector<std::uint8_t> payload(sig.magic.begin(),
+                                      sig.magic.begin() + sig.magicLen);
+    payload.push_back(0x00);
+    payload.push_back(salt);
+    payload.resize(12, 0x00);
+    return payload;
+  }
+  return {};
+}
+
+struct Emitter {
+  std::vector<net::Packet> packets;
+  sim::SimTime clock = sim::kEpoch;
+
+  void session(const char* src, ScanTool tool, int count, sim::Rng& rng,
+               bool randomPayload = false) {
+    clock += sim::hours(2);
+    for (int i = 0; i < count; ++i) {
+      net::Packet p;
+      p.ts = clock + sim::seconds(i);
+      p.src = Ipv6Address::mustParse(src);
+      p.dst = Ipv6Address{0x3fff010000000000ULL, rng.next()};
+      if (randomPayload) {
+        for (int k = 0; k < 12; ++k) {
+          p.payload.push_back(static_cast<std::uint8_t>(rng.below(256)));
+        }
+      } else if (tool != ScanTool::Unknown) {
+        p.payload = toolPayload(tool, static_cast<std::uint8_t>(i));
+      }
+      packets.push_back(p);
+    }
+  }
+};
+
+TEST(Fingerprint, AttributesToolsFromPayloads) {
+  sim::Rng rng{81};
+  Emitter e;
+  e.session("2400::1", ScanTool::Yarrp6, 10, rng);
+  e.session("2400::2", ScanTool::Yarrp6, 8, rng);
+  e.session("2400::3", ScanTool::Traceroute, 6, rng);
+  e.session("2400::4", ScanTool::SixScan, 5, rng);
+  e.session("2400::5", ScanTool::Unknown, 7, rng); // no payload at all
+
+  const auto sessions =
+      telescope::sessionize(e.packets, telescope::SourceAgg::Addr128);
+  const auto result = fingerprintSessions(e.packets, sessions);
+
+  ASSERT_EQ(result.sessionTool.size(), sessions.size());
+  EXPECT_EQ(result.byTool.at(ScanTool::Yarrp6).scanners, 2u);
+  EXPECT_EQ(result.byTool.at(ScanTool::Yarrp6).sessions, 2u);
+  EXPECT_EQ(result.byTool.at(ScanTool::Traceroute).scanners, 1u);
+  EXPECT_EQ(result.byTool.at(ScanTool::SixScan).scanners, 1u);
+  EXPECT_EQ(result.byTool.at(ScanTool::Unknown).scanners, 1u);
+  EXPECT_GT(result.payloadPackets, 0u);
+  EXPECT_EQ(result.payloadSessions, 4u);
+  EXPECT_EQ(result.payloadSources, 4u);
+}
+
+TEST(Fingerprint, RandomPayloadsStayUnknown) {
+  sim::Rng rng{82};
+  Emitter e;
+  e.session("2400::9", ScanTool::Unknown, 20, rng, /*randomPayload=*/true);
+  const auto sessions =
+      telescope::sessionize(e.packets, telescope::SourceAgg::Addr128);
+  const auto result = fingerprintSessions(e.packets, sessions);
+  EXPECT_EQ(result.byTool.at(ScanTool::Unknown).sessions, 1u);
+  EXPECT_EQ(result.byTool.count(ScanTool::Yarrp6), 0u);
+}
+
+TEST(Fingerprint, RdnsFallbackForPayloadlessSources) {
+  sim::Rng rng{83};
+  Emitter e;
+  e.session("2400::a", ScanTool::Unknown, 4, rng); // payloadless
+  net::RdnsRegistry rdns;
+  rdns.add(Ipv6Address::mustParse("2400::a"), "p42.probe.atlas.example");
+
+  const auto sessions =
+      telescope::sessionize(e.packets, telescope::SourceAgg::Addr128);
+  const auto result = fingerprintSessions(e.packets, sessions, &rdns);
+  EXPECT_EQ(result.byTool.at(ScanTool::RipeAtlas).scanners, 1u);
+}
+
+TEST(Fingerprint, PayloadBeatsRdns) {
+  // A Yarrp6 payload wins over an Atlas rDNS name.
+  sim::Rng rng{84};
+  Emitter e;
+  e.session("2400::b", ScanTool::Yarrp6, 6, rng);
+  net::RdnsRegistry rdns;
+  rdns.add(Ipv6Address::mustParse("2400::b"), "p7.probe.atlas.example");
+  const auto sessions =
+      telescope::sessionize(e.packets, telescope::SourceAgg::Addr128);
+  const auto result = fingerprintSessions(e.packets, sessions, &rdns);
+  EXPECT_EQ(result.byTool.at(ScanTool::Yarrp6).sessions, 1u);
+  EXPECT_EQ(result.byTool.count(ScanTool::RipeAtlas), 0u);
+}
+
+TEST(Fingerprint, ClustersVaryingTrailersTogether) {
+  // Same tool, slightly different trailer bytes per session: DBSCAN must
+  // keep them in one cluster (dense in feature space).
+  sim::Rng rng{85};
+  Emitter e;
+  for (int i = 0; i < 12; ++i) {
+    e.session(("2400::" + std::to_string(100 + i)).c_str(), ScanTool::Htrace6,
+              4, rng);
+  }
+  const auto sessions =
+      telescope::sessionize(e.packets, telescope::SourceAgg::Addr128);
+  const auto result = fingerprintSessions(e.packets, sessions);
+  EXPECT_EQ(result.byTool.at(ScanTool::Htrace6).scanners, 12u);
+}
+
+TEST(Fingerprint, EmptyCapture) {
+  const std::vector<net::Packet> none;
+  const std::vector<telescope::Session> noSessions;
+  const auto result = fingerprintSessions(none, noSessions);
+  EXPECT_TRUE(result.sessionTool.empty());
+  EXPECT_EQ(result.payloadPackets, 0u);
+}
+
+} // namespace
+} // namespace v6t::analysis

@@ -1,0 +1,264 @@
+// End-to-end integration tests: a scaled-down Experiment run, checked for
+// the paper's qualitative results and for generator/estimator consistency.
+// One simulation is shared across the suite (it takes a second or two).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/fingerprint.hpp"
+#include "analysis/heavy_hitter.hpp"
+#include "analysis/taxonomy.hpp"
+#include "core/experiment.hpp"
+#include "core/guidance.hpp"
+#include "core/summary.hpp"
+
+namespace v6t::core {
+namespace {
+
+ExperimentConfig smallConfig() {
+  ExperimentConfig config;
+  config.seed = 7;
+  config.sourceScale = 0.05;
+  config.volumeScale = 0.004;
+  config.baseline = sim::weeks(4);
+  config.splits = 6;
+  config.routeObjectAt = sim::weeks(6);
+  return config;
+}
+
+class ExperimentTest : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    experiment_ = new Experiment(smallConfig());
+    experiment_->run();
+    summary_ = new ExperimentSummary(ExperimentSummary::compute(*experiment_));
+  }
+  static void TearDownTestSuite() {
+    delete summary_;
+    delete experiment_;
+    summary_ = nullptr;
+    experiment_ = nullptr;
+  }
+
+  static Experiment* experiment_;
+  static ExperimentSummary* summary_;
+};
+
+Experiment* ExperimentTest::experiment_ = nullptr;
+ExperimentSummary* ExperimentTest::summary_ = nullptr;
+
+TEST_F(ExperimentTest, TelescopeOrdering) {
+  // The paper's headline volume ordering: announced telescopes (T1, T2)
+  // receive orders of magnitude more than covered-only ones; the reactive
+  // T4 beats the silent T3 by a wide margin.
+  const auto t1 = experiment_->telescope(T1).capture().packetCount();
+  const auto t2 = experiment_->telescope(T2).capture().packetCount();
+  const auto t3 = experiment_->telescope(T3).capture().packetCount();
+  const auto t4 = experiment_->telescope(T4).capture().packetCount();
+  // (T3/T4-grade traffic is never scaled down, while T1/T2 shrink with
+  // sourceScale/volumeScale, so the margin here is smaller than at full
+  // scale — the default-scale margins are checked in the benches.)
+  EXPECT_GT(t1, 10u * std::max<std::uint64_t>(t4, 1));
+  EXPECT_GT(t2, 3u * std::max<std::uint64_t>(t4, 1));
+  EXPECT_GT(t4, 5u * std::max<std::uint64_t>(t3, 1));
+}
+
+TEST_F(ExperimentTest, AllCapturedPacketsAreRoutable) {
+  // Capture implies a covering route existed at arrival: spot-check that
+  // every captured destination lies in the telescope's own space.
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto& telescope = experiment_->telescope(i);
+    for (const auto& p : telescope.capture().packets()) {
+      ASSERT_TRUE(telescope.owns(p.dst))
+          << telescope.name() << " captured " << p.dst.toString();
+    }
+  }
+}
+
+TEST_F(ExperimentTest, CapturesAreTimeOrdered) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto& packets = experiment_->telescope(i).capture().packets();
+    for (std::size_t k = 1; k < packets.size(); ++k) {
+      ASSERT_LE(packets[k - 1].ts, packets[k].ts);
+    }
+  }
+}
+
+TEST_F(ExperimentTest, WithdrawDaysAreDark) {
+  // During each withdraw gap, T1 receives (almost) nothing — only packets
+  // already in flight.
+  const auto& cycles = experiment_->schedule().cycles();
+  const auto& packets = experiment_->telescope(T1).capture().packets();
+  for (std::size_t c = 1; c < cycles.size(); ++c) {
+    const sim::SimTime from = cycles[c].withdrawAt + sim::minutes(5);
+    const sim::SimTime to = cycles[c].announceAt;
+    std::uint64_t dark = 0;
+    for (const auto& p : packets) {
+      if (p.ts >= from && p.ts < to) ++dark;
+    }
+    EXPECT_LE(dark, 2u) << "withdraw gap of cycle " << c;
+  }
+}
+
+TEST_F(ExperimentTest, SplitPeriodAttractsMoreSources) {
+  // Weekly average of distinct /128 sources grows substantially once the
+  // splitting starts (paper: +275%).
+  const Period baseline{sim::kEpoch, experiment_->baselineEnd()};
+  const Period split{experiment_->baselineEnd(),
+                     experiment_->experimentEnd()};
+  const auto before = summary_->windowStats(*experiment_, T1, baseline);
+  const auto after = summary_->windowStats(*experiment_, T1, split);
+  const double weeksBefore = (baseline.to - baseline.from).days() / 7.0;
+  const double weeksAfter = (split.to - split.from).days() / 7.0;
+  const double rateBefore =
+      static_cast<double>(before.sources128) / weeksBefore;
+  const double rateAfter = static_cast<double>(after.sources128) / weeksAfter;
+  EXPECT_GT(rateAfter, 1.5 * rateBefore);
+}
+
+TEST_F(ExperimentTest, HitlistListsPrefixesAfterDays) {
+  // The /32 appears on the hitlist ~5 days after its announcement and
+  // the split children follow each cycle.
+  const auto listedAt =
+      experiment_->hitlist().listedAt(experiment_->config().t1Base);
+  ASSERT_TRUE(listedAt.has_value());
+  EXPECT_GE(*listedAt, sim::kEpoch + sim::days(5));
+  EXPECT_LE(*listedAt, sim::kEpoch + sim::days(8));
+  const auto listed =
+      experiment_->hitlist().listedPrefixes(experiment_->experimentEnd());
+  EXPECT_GT(listed.size(), 6u);
+}
+
+TEST_F(ExperimentTest, RouteObjectRecorded) {
+  const auto& objects = experiment_->irr().route6Objects();
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].prefix.length(), 33u);
+  // And its creation had no effect: regression guard that the negative
+  // result is reproducible — packet rate around the creation time stays
+  // within noise (compare the week before vs after).
+  const sim::SimTime at = objects[0].createdAt;
+  const auto& packets = experiment_->telescope(T1).capture().packets();
+  std::uint64_t before = 0;
+  std::uint64_t after = 0;
+  for (const auto& p : packets) {
+    if (p.ts >= at - sim::weeks(1) && p.ts < at) ++before;
+    if (p.ts >= at && p.ts < at + sim::weeks(1)) ++after;
+  }
+  EXPECT_LT(after, before * 4 + 200);
+  EXPECT_LT(before, after * 4 + 200);
+}
+
+TEST_F(ExperimentTest, TaxonomyShapesMatchPaper) {
+  const auto& packets = experiment_->telescope(T1).capture().packets();
+  const auto& sessions = summary_->telescope(T1).sessions128;
+  const auto taxonomy = analysis::classifyCapture(packets, sessions,
+                                                  &experiment_->schedule());
+  const double scanners = static_cast<double>(taxonomy.profiles.size());
+  ASSERT_GT(scanners, 50.0);
+  // One-off dominates scanners (paper: ~70%).
+  EXPECT_GT(static_cast<double>(
+                taxonomy.scannersOf(analysis::TemporalClass::OneOff)) /
+                scanners,
+            0.45);
+  // Single-prefix dominates network selection (paper: ~90%).
+  EXPECT_GT(static_cast<double>(taxonomy.scannersOf(
+                analysis::NetworkSelection::SinglePrefix)) /
+                scanners,
+            0.6);
+  // Returning scanners carry the bulk of sessions.
+  const auto returningSessions =
+      taxonomy.sessionsOf(analysis::TemporalClass::Periodic) +
+      taxonomy.sessionsOf(analysis::TemporalClass::Intermittent);
+  EXPECT_GT(returningSessions,
+            taxonomy.sessionsOf(analysis::TemporalClass::OneOff));
+}
+
+TEST_F(ExperimentTest, HeavyHittersDominatePacketsNotSessions) {
+  const auto& packets = experiment_->telescope(T1).capture().packets();
+  const auto hitters = analysis::findHeavyHitters(packets, 10.0);
+  ASSERT_FALSE(hitters.empty());
+  const auto impact = analysis::heavyHitterImpact(
+      packets, summary_->telescope(T1).sessions128, hitters);
+  EXPECT_GT(impact.packetShare, 20.0);
+  EXPECT_LT(impact.sessionShare, impact.packetShare / 2.0);
+}
+
+TEST_F(ExperimentTest, FingerprintsIdentifyAtlas) {
+  const auto& packets = experiment_->telescope(T1).capture().packets();
+  const auto& sessions = summary_->telescope(T1).sessions128;
+  const auto result = analysis::fingerprintSessions(
+      packets, sessions, &experiment_->population().rdns);
+  ASSERT_TRUE(result.byTool.contains(net::ScanTool::RipeAtlas));
+  // Atlas probes are the most numerous identified sources (paper: 55%).
+  std::uint64_t best = 0;
+  net::ScanTool bestTool = net::ScanTool::Unknown;
+  for (const auto& [tool, count] : result.byTool) {
+    if (tool == net::ScanTool::Unknown) continue;
+    if (count.scanners > best) {
+      best = count.scanners;
+      bestTool = tool;
+    }
+  }
+  EXPECT_EQ(bestTool, net::ScanTool::RipeAtlas);
+}
+
+TEST_F(ExperimentTest, GuidanceDerivesAllFiveFindings) {
+  const auto findings = GuidanceEngine::derive(*experiment_, *summary_);
+  ASSERT_EQ(findings.size(), 5u);
+  for (const auto& finding : findings) {
+    EXPECT_FALSE(finding.topic.empty());
+    EXPECT_FALSE(finding.statement.empty());
+    EXPECT_FALSE(finding.evidence.empty());
+  }
+}
+
+TEST(ExperimentDeterminism, SameSeedSameResult) {
+  ExperimentConfig config = smallConfig();
+  config.splits = 2;
+  config.baseline = sim::weeks(2);
+  config.sourceScale = 0.02;
+  config.volumeScale = 0.002;
+
+  Experiment a{config};
+  a.run();
+  Experiment b{config};
+  b.run();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.telescope(i).capture().packetCount(),
+              b.telescope(i).capture().packetCount());
+  }
+  // And a different seed gives a different trace.
+  config.seed = 8;
+  Experiment c{config};
+  c.run();
+  EXPECT_NE(a.telescope(T1).capture().packetCount(),
+            c.telescope(T1).capture().packetCount());
+}
+
+TEST(ExperimentDeterminism, CaptureReplayRoundTrip) {
+  ExperimentConfig config = smallConfig();
+  config.splits = 1;
+  config.baseline = sim::weeks(1);
+  config.sourceScale = 0.02;
+  config.volumeScale = 0.002;
+  Experiment e{config};
+  e.run();
+
+  // Persist T1's capture and replay it through a fresh store; every
+  // derived statistic must survive the round trip.
+  std::stringstream stream;
+  e.telescope(T1).capture().writeTo(stream);
+  telescope::CaptureStore replay;
+  replay.readFrom(stream);
+  EXPECT_EQ(replay.packetCount(), e.telescope(T1).capture().packetCount());
+  EXPECT_EQ(replay.distinctSources128(),
+            e.telescope(T1).capture().distinctSources128());
+  const auto original = telescope::sessionize(
+      e.telescope(T1).capture().packets(), telescope::SourceAgg::Addr128);
+  const auto replayed =
+      telescope::sessionize(replay.packets(), telescope::SourceAgg::Addr128);
+  EXPECT_EQ(original.size(), replayed.size());
+}
+
+} // namespace
+} // namespace v6t::core

@@ -1,0 +1,206 @@
+// Unit and property tests for v6t::net::Ipv6Address.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/ipv6.hpp"
+#include "sim/rng.hpp"
+
+namespace v6t::net {
+namespace {
+
+TEST(Ipv6Address, DefaultIsUnspecified) {
+  Ipv6Address a;
+  EXPECT_EQ(a.toString(), "::");
+  EXPECT_EQ(a.hi64(), 0u);
+  EXPECT_EQ(a.lo64(), 0u);
+}
+
+TEST(Ipv6Address, ParseFullForm) {
+  auto a = Ipv6Address::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->toString(), "2001:db8::1");
+}
+
+TEST(Ipv6Address, ParseCompressed) {
+  auto a = Ipv6Address::parse("2001:db8::1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->hi64(), 0x20010db800000000ULL);
+  EXPECT_EQ(a->lo64(), 1u);
+}
+
+TEST(Ipv6Address, ParseLoopbackAndUnspecified) {
+  EXPECT_EQ(Ipv6Address::mustParse("::1").lo64(), 1u);
+  EXPECT_EQ(Ipv6Address::mustParse("::").toString(), "::");
+  EXPECT_EQ(Ipv6Address::mustParse("::1").toString(), "::1");
+}
+
+TEST(Ipv6Address, ParseTrailingCompression) {
+  auto a = Ipv6Address::parse("fe80::");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->toString(), "fe80::");
+  EXPECT_EQ(a->hi64(), 0xfe80000000000000ULL);
+}
+
+TEST(Ipv6Address, ParseEmbeddedIpv4) {
+  auto a = Ipv6Address::parse("::ffff:192.0.2.128");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->lo64(), 0x0000ffffc0000280ULL);
+  auto b = Ipv6Address::parse("64:ff9b::203.0.113.7");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->lo64() & 0xffffffffu, 0xcb007107u);
+}
+
+TEST(Ipv6Address, ParseFullWithV4Tail) {
+  auto a = Ipv6Address::parse("0:0:0:0:0:ffff:1.2.3.4");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->lo64(), 0x0000ffff01020304ULL);
+}
+
+struct BadCase {
+  const char* text;
+};
+
+class Ipv6ParseReject : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(Ipv6ParseReject, Rejects) {
+  EXPECT_FALSE(Ipv6Address::parse(GetParam().text).has_value())
+      << "accepted: " << GetParam().text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, Ipv6ParseReject,
+    ::testing::Values(
+        BadCase{""}, BadCase{":"}, BadCase{":::"}, BadCase{"1::2::3"},
+        BadCase{"2001:db8"}, BadCase{"2001:db8:1:2:3:4:5:6:7"},
+        BadCase{"2001:db8::1:2:3:4:5:6:7"}, BadCase{"g::1"},
+        BadCase{"12345::"}, BadCase{"1:2:3:4:5:6:7:"}, BadCase{":1:2::"},
+        BadCase{"::1.2.3"}, BadCase{"::1.2.3.4.5"}, BadCase{"::256.1.1.1"},
+        BadCase{"::01.2.3.4"}, BadCase{"1.2.3.4"},
+        BadCase{"2001:db8::1::"}));
+
+struct CanonicalCase {
+  const char* input;
+  const char* canonical;
+};
+
+class Rfc5952 : public ::testing::TestWithParam<CanonicalCase> {};
+
+TEST_P(Rfc5952, CanonicalForm) {
+  auto a = Ipv6Address::parse(GetParam().input);
+  ASSERT_TRUE(a.has_value()) << GetParam().input;
+  EXPECT_EQ(a->toString(), GetParam().canonical);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Rfc5952,
+    ::testing::Values(
+        // Lowercase, leading zeros dropped.
+        CanonicalCase{"2001:0DB8::0001", "2001:db8::1"},
+        // Longest zero run compressed, leftmost on tie.
+        CanonicalCase{"2001:db8:0:0:1:0:0:1", "2001:db8::1:0:0:1"},
+        CanonicalCase{"2001:0:0:1:0:0:0:1", "2001:0:0:1::1"},
+        // A single zero group is never compressed.
+        CanonicalCase{"2001:db8:0:1:1:1:1:1", "2001:db8:0:1:1:1:1:1"},
+        // Edge positions.
+        CanonicalCase{"0:0:0:0:0:0:0:0", "::"},
+        CanonicalCase{"0:0:0:0:0:0:0:1", "::1"},
+        CanonicalCase{"1:0:0:0:0:0:0:0", "1::"},
+        CanonicalCase{"1:0:0:0:0:0:0:2", "1::2"},
+        CanonicalCase{"ff02:0:0:0:0:0:0:fb", "ff02::fb"}));
+
+TEST(Ipv6Address, RoundTripProperty) {
+  // parse(toString(x)) == x for random addresses.
+  sim::Rng rng{7};
+  for (int i = 0; i < 2000; ++i) {
+    Ipv6Address a{rng.next(), rng.next()};
+    auto b = Ipv6Address::parse(a.toString());
+    ASSERT_TRUE(b.has_value()) << a.toString();
+    EXPECT_EQ(*b, a) << a.toString();
+  }
+}
+
+TEST(Ipv6Address, RoundTripSparseProperty) {
+  // Sparse addresses exercise the "::" compression more.
+  sim::Rng rng{8};
+  for (int i = 0; i < 2000; ++i) {
+    Ipv6Address a{};
+    const int groups = static_cast<int>(rng.below(4)) + 1;
+    for (int g = 0; g < groups; ++g) {
+      const std::size_t position = rng.below(8) * 2;
+      a.setNibble(position * 2 + 3, static_cast<std::uint8_t>(1 + rng.below(15)));
+    }
+    auto b = Ipv6Address::parse(a.toString());
+    ASSERT_TRUE(b.has_value()) << a.toString();
+    EXPECT_EQ(*b, a) << a.toString();
+  }
+}
+
+TEST(Ipv6Address, NibbleAccess) {
+  Ipv6Address a = Ipv6Address::mustParse("2001:db8::cafe");
+  EXPECT_EQ(a.nibble(0), 0x2);
+  EXPECT_EQ(a.nibble(1), 0x0);
+  EXPECT_EQ(a.nibble(2), 0x0);
+  EXPECT_EQ(a.nibble(3), 0x1);
+  EXPECT_EQ(a.nibble(28), 0xc);
+  EXPECT_EQ(a.nibble(31), 0xe);
+  a.setNibble(31, 0x5);
+  EXPECT_EQ(a.toString(), "2001:db8::caf5");
+}
+
+TEST(Ipv6Address, BitAccess) {
+  Ipv6Address a;
+  a.setBit(0, true);
+  EXPECT_EQ(a.byte(0), 0x80);
+  EXPECT_TRUE(a.bit(0));
+  a.setBit(127, true);
+  EXPECT_EQ(a.lo64(), 1u);
+  a.setBit(0, false);
+  EXPECT_EQ(a.hi64(), 0u);
+}
+
+TEST(Ipv6Address, PlusCarries) {
+  Ipv6Address a{0, ~0ULL};
+  Ipv6Address b = a.plus(1);
+  EXPECT_EQ(b.hi64(), 1u);
+  EXPECT_EQ(b.lo64(), 0u);
+  EXPECT_EQ(Ipv6Address::mustParse("2001:db8::1").plus(0xff).toString(),
+            "2001:db8::100");
+}
+
+TEST(Ipv6Address, MaskedTo) {
+  Ipv6Address a = Ipv6Address::mustParse("2001:db8:1234:5678::1");
+  EXPECT_EQ(a.maskedTo(32).toString(), "2001:db8::");
+  EXPECT_EQ(a.maskedTo(48).toString(), "2001:db8:1234::");
+  EXPECT_EQ(a.maskedTo(0).toString(), "::");
+  EXPECT_EQ(a.maskedTo(128), a);
+}
+
+TEST(Ipv6Address, HexString) {
+  EXPECT_EQ(Ipv6Address::mustParse("2001:db8::1").toHexString(),
+            "20010db8000000000000000000000001");
+}
+
+TEST(Ipv6Address, OrderingAndHash) {
+  Ipv6Address lo = Ipv6Address::mustParse("2001:db8::1");
+  Ipv6Address hi = Ipv6Address::mustParse("2001:db8::2");
+  EXPECT_LT(lo, hi);
+  std::hash<Ipv6Address> h;
+  EXPECT_EQ(h(lo), h(Ipv6Address::mustParse("2001:db8::1")));
+  // Hash should spread across a small sample.
+  std::set<std::size_t> hashes;
+  sim::Rng rng{3};
+  for (int i = 0; i < 512; ++i) hashes.insert(h(Ipv6Address{rng.next(), rng.next()}));
+  EXPECT_GT(hashes.size(), 500u);
+}
+
+TEST(Ipv6Address, ValueRoundTrip) {
+  sim::Rng rng{11};
+  for (int i = 0; i < 500; ++i) {
+    Ipv6Address a{rng.next(), rng.next()};
+    EXPECT_EQ(Ipv6Address::fromValue(a.value()), a);
+  }
+}
+
+} // namespace
+} // namespace v6t::net

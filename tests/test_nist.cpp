@@ -1,0 +1,146 @@
+// Tests for the NIST SP 800-22 test implementations.
+#include <gtest/gtest.h>
+
+#include "analysis/nist.hpp"
+#include "sim/rng.hpp"
+
+namespace v6t::analysis {
+namespace {
+
+BitSequence randomBits(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng{seed};
+  BitSequence bits(n);
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  return bits;
+}
+
+BitSequence constantBits(std::size_t n, std::uint8_t v) {
+  return BitSequence(n, v);
+}
+
+BitSequence alternatingBits(std::size_t n) {
+  BitSequence bits(n);
+  for (std::size_t i = 0; i < n; ++i) bits[i] = i % 2;
+  return bits;
+}
+
+TEST(NistFrequency, PassesRandom) {
+  EXPECT_TRUE(frequencyTest(randomBits(4096, 1)).pass());
+  EXPECT_TRUE(frequencyTest(randomBits(1000, 2)).pass());
+}
+
+TEST(NistFrequency, FailsConstant) {
+  EXPECT_FALSE(frequencyTest(constantBits(1000, 1)).pass());
+  EXPECT_FALSE(frequencyTest(constantBits(1000, 0)).pass());
+}
+
+TEST(NistFrequency, SP80022ReferenceVector) {
+  // SP 800-22 §2.1.8: eps = first 100 bits of e; P-value = 0.17.
+  // Simplified check with the documented 1,0,1,1,0,1,0,1,... example:
+  // epsilon = 1011010101 (n=10) -> s=2, p = erfc(2/sqrt(10)/sqrt(2)) ~ 0.527
+  const BitSequence eps{1, 0, 1, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(frequencyTest(eps).pValue, 0.527089, 1e-4);
+}
+
+TEST(NistFrequency, AlternatingPassesFrequency) {
+  // Perfectly balanced, so frequency passes; runs must fail it instead.
+  EXPECT_TRUE(frequencyTest(alternatingBits(1000)).pass());
+}
+
+TEST(NistRuns, SP80022ReferenceVector) {
+  // SP 800-22 §2.3.8 example: eps = 1001101011, n=10 -> P-value ~ 0.147232.
+  const BitSequence eps{1, 0, 0, 1, 1, 0, 1, 0, 1, 1};
+  EXPECT_NEAR(runsTest(eps).pValue, 0.147232, 1e-4);
+}
+
+TEST(NistRuns, PassesRandomFailsStructured) {
+  EXPECT_TRUE(runsTest(randomBits(4096, 3)).pass());
+  // Alternating bits: far too many runs.
+  EXPECT_FALSE(runsTest(alternatingBits(1000)).pass());
+  // Blocks of identical bits: far too few runs.
+  BitSequence blocks(1000, 0);
+  for (std::size_t i = 500; i < 1000; ++i) blocks[i] = 1;
+  EXPECT_FALSE(runsTest(blocks).pass());
+}
+
+TEST(NistRuns, SkipsWhenFrequencyPreconditionFails) {
+  EXPECT_FALSE(runsTest(constantBits(1000, 1)).pass());
+  EXPECT_EQ(runsTest(constantBits(1000, 1)).pValue, 0.0);
+}
+
+TEST(NistSpectral, PassesRandomFailsPeriodic) {
+  EXPECT_TRUE(spectralTest(randomBits(2048, 5)).pass());
+  // Strong period-8 signal.
+  BitSequence periodic(1024);
+  for (std::size_t i = 0; i < periodic.size(); ++i) periodic[i] = (i / 4) % 2;
+  EXPECT_FALSE(spectralTest(periodic).pass());
+}
+
+TEST(NistCusum, SP80022ReferenceVector) {
+  // SP 800-22 §2.13.8 example: eps = 1011010111, n=10, z=4 (forward);
+  // P-value = 0.4116588.
+  const BitSequence eps{1, 0, 1, 1, 0, 1, 0, 1, 1, 1};
+  EXPECT_NEAR(cusumTest(eps, true).pValue, 0.4116588, 1e-4);
+}
+
+TEST(NistCusum, PassesRandomFailsDrift) {
+  EXPECT_TRUE(cusumTest(randomBits(4096, 6), true).pass());
+  EXPECT_TRUE(cusumTest(randomBits(4096, 6), false).pass());
+  // A drifting sequence (70% ones) accumulates a huge excursion.
+  sim::Rng rng{8};
+  BitSequence drift(2000);
+  for (auto& b : drift) b = rng.chance(0.7) ? 1 : 0;
+  EXPECT_FALSE(cusumTest(drift, true).pass());
+}
+
+TEST(NistSummary, CountsPasses) {
+  const auto summary = runAllNistTests(randomBits(4096, 9));
+  EXPECT_GE(summary.passCount(), 4);
+  const auto bad = runAllNistTests(constantBits(512, 1));
+  EXPECT_EQ(bad.passCount(), 0);
+}
+
+TEST(BitsFromAddresses, ExtractsRanges) {
+  const net::Ipv6Address a = net::Ipv6Address::mustParse("ffff:ffff::");
+  const net::Ipv6Address b =
+      net::Ipv6Address::mustParse("::ffff:ffff:ffff:ffff");
+  const std::vector<net::Ipv6Address> addrs{a, b};
+  // First 32 bits of each address.
+  BitSequence head = bitsFromAddresses(addrs, 0, 32);
+  ASSERT_EQ(head.size(), 64u);
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(head[i], 1);
+  for (std::size_t i = 32; i < 64; ++i) EXPECT_EQ(head[i], 0);
+  // IID bits (64..127).
+  BitSequence iid = bitsFromAddresses(addrs, 64, 64);
+  ASSERT_EQ(iid.size(), 128u);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(iid[i], 0);
+  for (std::size_t i = 64; i < 128; ++i) EXPECT_EQ(iid[i], 1);
+}
+
+TEST(Nist, RandomIidAddressesPassSubnetBitsFail) {
+  // The Appendix-B observation, reproduced in miniature: scanners pick
+  // subnets structurally (low values) but IIDs randomly.
+  sim::Rng rng{10};
+  std::vector<net::Ipv6Address> addrs;
+  for (int i = 0; i < 200; ++i) {
+    addrs.emplace_back(0x3fff010000000000ULL |
+                           static_cast<std::uint64_t>(i % 4),
+                       rng.next());
+  }
+  const BitSequence iidBits = bitsFromAddresses(addrs, 64, 64);
+  const BitSequence subnetBits = bitsFromAddresses(addrs, 32, 32);
+  EXPECT_TRUE(frequencyTest(iidBits).pass());
+  EXPECT_FALSE(frequencyTest(subnetBits).pass());
+}
+
+TEST(Nist, EmptyAndTinyInputsDoNotPass) {
+  EXPECT_FALSE(frequencyTest({}).pass());
+  EXPECT_FALSE(runsTest({}).pass());
+  EXPECT_FALSE(spectralTest({}).pass());
+  EXPECT_FALSE(cusumTest({}, true).pass());
+  const BitSequence one{1};
+  EXPECT_FALSE(runsTest(one).pass());
+}
+
+} // namespace
+} // namespace v6t::analysis

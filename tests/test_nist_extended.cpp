@@ -1,0 +1,82 @@
+// Tests for the extended NIST SP 800-22 battery (block frequency, serial,
+// approximate entropy) added beyond the paper's four tests.
+#include <gtest/gtest.h>
+
+#include "analysis/nist.hpp"
+#include "sim/rng.hpp"
+
+namespace v6t::analysis {
+namespace {
+
+BitSequence randomBits(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng{seed};
+  BitSequence bits(n);
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  return bits;
+}
+
+TEST(NistBlockFrequency, SP80022ReferenceVector) {
+  // §2.2.8: eps = 0110011010, M = 3 -> P-value = 0.801252.
+  const BitSequence eps{0, 1, 1, 0, 0, 1, 1, 0, 1, 0};
+  EXPECT_NEAR(blockFrequencyTest(eps, 3).pValue, 0.801252, 1e-4);
+}
+
+TEST(NistBlockFrequency, PassesRandomFailsBlocky) {
+  EXPECT_TRUE(blockFrequencyTest(randomBits(4096, 1), 128).pass());
+  // Alternating all-ones / all-zeros blocks.
+  BitSequence blocky(4096);
+  for (std::size_t i = 0; i < blocky.size(); ++i) blocky[i] = (i / 128) % 2;
+  EXPECT_FALSE(blockFrequencyTest(blocky, 128).pass());
+}
+
+TEST(NistBlockFrequency, DegenerateInputs) {
+  EXPECT_FALSE(blockFrequencyTest({}, 32).pass());
+  EXPECT_FALSE(blockFrequencyTest(randomBits(16, 2), 32).pass());
+  EXPECT_FALSE(blockFrequencyTest(randomBits(64, 2), 0).pass());
+}
+
+TEST(NistSerial, SP80022ReferenceVector) {
+  // §2.11.8: eps = 0011011101, m = 3 -> P-value1 = 0.808792.
+  const BitSequence eps{0, 0, 1, 1, 0, 1, 1, 1, 0, 1};
+  EXPECT_NEAR(serialTest(eps, 3).pValue, 0.808792, 1e-4);
+}
+
+TEST(NistSerial, PassesRandomFailsPeriodic) {
+  EXPECT_TRUE(serialTest(randomBits(4096, 3), 4).pass());
+  BitSequence periodic(2048);
+  for (std::size_t i = 0; i < periodic.size(); ++i) periodic[i] = i % 2;
+  EXPECT_FALSE(serialTest(periodic, 4).pass());
+}
+
+TEST(NistApproxEntropy, SP80022ReferenceVector) {
+  // §2.12.8: eps = 0100110101, m = 3 -> P-value = 0.261961.
+  const BitSequence eps{0, 1, 0, 0, 1, 1, 0, 1, 0, 1};
+  EXPECT_NEAR(approximateEntropyTest(eps, 3).pValue, 0.261961, 1e-4);
+}
+
+TEST(NistApproxEntropy, PassesRandomFailsConstant) {
+  EXPECT_TRUE(approximateEntropyTest(randomBits(4096, 5), 3).pass());
+  EXPECT_FALSE(approximateEntropyTest(BitSequence(1024, 1), 3).pass());
+}
+
+TEST(NistExtended, AddressBitsBehaveLikeAppendixB) {
+  // Random IIDs should pass the extended battery too; structured subnet
+  // walks should fail it.
+  sim::Rng rng{6};
+  std::vector<net::Ipv6Address> addrs;
+  for (int i = 0; i < 200; ++i) {
+    addrs.emplace_back(0x3fff010000000000ULL |
+                           static_cast<std::uint64_t>(i % 8),
+                       rng.next());
+  }
+  const BitSequence iid = bitsFromAddresses(addrs, 64, 64);
+  EXPECT_TRUE(blockFrequencyTest(iid, 64).pass());
+  EXPECT_TRUE(serialTest(iid, 4).pass());
+  EXPECT_TRUE(approximateEntropyTest(iid, 3).pass());
+
+  const BitSequence subnet = bitsFromAddresses(addrs, 32, 32);
+  EXPECT_FALSE(serialTest(subnet, 4).pass());
+}
+
+} // namespace
+} // namespace v6t::analysis

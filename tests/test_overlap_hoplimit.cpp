@@ -1,0 +1,121 @@
+// Tests for the overlap analytics (Fig. 16 estimators) and the hop-limit
+// traceroute detector.
+#include <gtest/gtest.h>
+
+#include "analysis/fingerprint.hpp"
+#include "analysis/hoplimit.hpp"
+#include "analysis/overlap.hpp"
+#include "sim/rng.hpp"
+
+namespace v6t::analysis {
+namespace {
+
+using net::Ipv6Address;
+using net::Packet;
+
+Packet at(const char* src, std::int64_t day, std::uint8_t hops = 60) {
+  Packet p;
+  p.ts = sim::kEpoch + sim::days(day) + sim::hours(3);
+  p.src = Ipv6Address::mustParse(src);
+  p.dst = Ipv6Address::mustParse("3fff::1");
+  p.hopLimit = hops;
+  return p;
+}
+
+// ------------------------------------------------------------- overlap
+
+TEST(Overlap, CalendarAndComparison) {
+  std::vector<Packet> a{at("2400::1", 0), at("2400::1", 5), at("2400::2", 1),
+                        at("2400::3", 2)};
+  std::vector<Packet> b{at("2400::1", 5), at("2400::2", 7),
+                        at("2400::9", 3)};
+  const auto calA = buildCalendar(a);
+  const auto calB = buildCalendar(b);
+  ASSERT_EQ(calA.size(), 3u);
+  EXPECT_EQ(calA.at(Ipv6Address::mustParse("2400::1")).size(), 2u);
+
+  const auto stats = compareCalendars(calA, calB);
+  EXPECT_EQ(stats.shared, 2u); // ::1 and ::2
+  EXPECT_EQ(stats.onlyA, 1u); // ::3
+  EXPECT_EQ(stats.onlyB, 1u); // ::9
+  EXPECT_EQ(stats.sharedSameDay, 1u); // ::1 on day 5; ::2 on different days
+  EXPECT_DOUBLE_EQ(stats.sameDayShare(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.jaccard(), 0.5);
+}
+
+TEST(Overlap, SourcesInAll) {
+  std::vector<Packet> a{at("2400::1", 0), at("2400::2", 0)};
+  std::vector<Packet> b{at("2400::1", 1)};
+  std::vector<Packet> c{at("2400::1", 2), at("2400::3", 2)};
+  const std::vector<ActivityCalendar> calendars{
+      buildCalendar(a), buildCalendar(b), buildCalendar(c)};
+  const auto everywhere = sourcesInAll(calendars);
+  ASSERT_EQ(everywhere.size(), 1u);
+  EXPECT_EQ(everywhere[0], Ipv6Address::mustParse("2400::1"));
+  EXPECT_TRUE(sourcesInAll({}).empty());
+}
+
+TEST(Overlap, EmptyCalendars) {
+  const auto stats = compareCalendars({}, {});
+  EXPECT_EQ(stats.shared, 0u);
+  EXPECT_DOUBLE_EQ(stats.jaccard(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sameDayShare(), 0.0);
+}
+
+// ------------------------------------------------------------ hop limits
+
+telescope::Session sessionOver(const std::vector<Packet>& packets) {
+  telescope::Session s;
+  s.source = telescope::SourceKey::of(packets.front().src,
+                                      telescope::SourceAgg::Addr128);
+  s.start = packets.front().ts;
+  s.end = packets.back().ts;
+  for (std::uint32_t i = 0; i < packets.size(); ++i) s.packetIdx.push_back(i);
+  return s;
+}
+
+TEST(HopLimit, DetectsTracerouteSweep) {
+  std::vector<Packet> packets;
+  for (int hop = 1; hop <= 16; ++hop) {
+    packets.push_back(at("2400::1", 0, static_cast<std::uint8_t>(hop)));
+  }
+  const auto profile = profileHopLimits(packets, sessionOver(packets));
+  EXPECT_EQ(profile.minHops, 1);
+  EXPECT_EQ(profile.maxHops, 16);
+  EXPECT_EQ(profile.distinctValues, 16u);
+  EXPECT_TRUE(profile.looksLikeTraceroute());
+}
+
+TEST(HopLimit, DefaultScannerNotTraceroute) {
+  sim::Rng rng{301};
+  std::vector<Packet> packets;
+  for (int i = 0; i < 30; ++i) {
+    packets.push_back(
+        at("2400::1", 0, static_cast<std::uint8_t>(40 + rng.below(25))));
+  }
+  EXPECT_FALSE(profileHopLimits(packets, sessionOver(packets))
+                   .looksLikeTraceroute());
+}
+
+TEST(HopLimit, TinySessionsNeverQualify) {
+  std::vector<Packet> packets{at("2400::1", 0, 1), at("2400::1", 0, 2)};
+  EXPECT_FALSE(profileHopLimits(packets, sessionOver(packets))
+                   .looksLikeTraceroute());
+}
+
+TEST(HopLimit, FingerprintFallbackAttributesTraceroute) {
+  // A payloadless session with a hop sweep must come out as Traceroute.
+  std::vector<Packet> packets;
+  for (int hop = 1; hop <= 12; ++hop) {
+    packets.push_back(at("2400::7", 0, static_cast<std::uint8_t>(hop)));
+  }
+  const auto sessions =
+      telescope::sessionize(packets, telescope::SourceAgg::Addr128);
+  const auto result = fingerprintSessions(packets, sessions);
+  ASSERT_EQ(result.sessionTool.size(), 1u);
+  EXPECT_EQ(result.sessionTool[0], net::ScanTool::Traceroute);
+  EXPECT_EQ(result.hopLimitAttributions, 1u);
+}
+
+} // namespace
+} // namespace v6t::analysis

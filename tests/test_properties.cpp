@@ -1,0 +1,238 @@
+// Cross-cutting property tests: fuzzed serialization, engine stress
+// against a reference model, aggregation-monotonicity invariants, and
+// window-accounting consistency.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "core/summary.hpp"
+#include "net/pcap.hpp"
+#include "net/prefix_trie.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "telescope/session.hpp"
+
+namespace v6t {
+namespace {
+
+// ------------------------------------------------------------ pcap fuzz
+
+TEST(PcapFuzz, TruncationNeverCrashesAndNeverFabricatesRecords) {
+  sim::Rng rng{101};
+  std::stringstream stream;
+  net::CaptureWriter writer{stream};
+  std::vector<net::Packet> in;
+  for (int i = 0; i < 40; ++i) {
+    net::Packet p;
+    p.ts = sim::SimTime{i * 100};
+    p.src = net::Ipv6Address{rng.next(), rng.next()};
+    p.dst = net::Ipv6Address{rng.next(), rng.next()};
+    const std::size_t len = rng.below(20);
+    for (std::size_t k = 0; k < len; ++k) {
+      p.payload.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+    writer.write(p);
+    in.push_back(std::move(p));
+  }
+  const std::string full = stream.str();
+
+  for (std::size_t cut = 0; cut <= full.size(); cut += 3) {
+    std::stringstream torn{full.substr(0, cut)};
+    net::CaptureReader reader{torn};
+    std::size_t records = 0;
+    while (auto p = reader.next()) {
+      // Every record read from a truncated file must equal the original.
+      ASSERT_LT(records, in.size());
+      EXPECT_EQ(p->src, in[records].src);
+      EXPECT_EQ(p->payload, in[records].payload);
+      ++records;
+    }
+    EXPECT_LE(records, in.size());
+  }
+}
+
+TEST(PcapFuzz, BitflipsNeverCrash) {
+  sim::Rng rng{102};
+  std::stringstream stream;
+  net::CaptureWriter writer{stream};
+  for (int i = 0; i < 10; ++i) {
+    net::Packet p;
+    p.ts = sim::SimTime{i};
+    p.payload.assign(8, static_cast<std::uint8_t>(i));
+    writer.write(p);
+  }
+  std::string data = stream.str();
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string corrupt = data;
+    const std::size_t pos = rng.below(corrupt.size());
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^
+                                     (1 << rng.below(8)));
+    std::stringstream in{corrupt};
+    net::CaptureReader reader{in};
+    std::size_t count = 0;
+    while (reader.next() && count < 1000) ++count;
+    SUCCEED();
+  }
+}
+
+// --------------------------------------------------------- engine stress
+
+TEST(EngineStress, MatchesReferenceModel) {
+  // Random schedule/cancel workload, compared against a sorted-multimap
+  // reference.
+  sim::Rng rng{103};
+  sim::Engine engine;
+  std::vector<std::int64_t> fired;
+  std::multimap<std::int64_t, int> reference;
+  std::vector<std::pair<sim::EventId, std::multimap<std::int64_t, int>::iterator>>
+      live;
+
+  int tag = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!live.empty() && rng.chance(0.2)) {
+      const std::size_t pick = rng.below(live.size());
+      EXPECT_TRUE(engine.cancel(live[pick].first));
+      reference.erase(live[pick].second);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const auto when = static_cast<std::int64_t>(rng.below(1'000'000));
+      const int id = tag++;
+      const auto handle = engine.schedule(
+          sim::SimTime{when}, [&fired, when]() { fired.push_back(when); });
+      live.emplace_back(handle, reference.emplace(when, id));
+    }
+  }
+  engine.runAll();
+  ASSERT_EQ(fired.size(), reference.size());
+  // Firing order must be non-decreasing in time and match the reference
+  // multiset of times.
+  std::vector<std::int64_t> expected;
+  for (const auto& [when, id] : reference) expected.push_back(when);
+  std::vector<std::int64_t> sortedFired = fired;
+  std::sort(sortedFired.begin(), sortedFired.end());
+  EXPECT_EQ(sortedFired, expected);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1], fired[i]);
+  }
+}
+
+// ---------------------------------------------------- trie erase property
+
+TEST(PrefixTrieProperty, EraseReinsertConsistency) {
+  sim::Rng rng{104};
+  net::PrefixTrie<int> trie;
+  std::map<net::Prefix, int> reference;
+  for (int round = 0; round < 3000; ++round) {
+    const unsigned len = 8 + static_cast<unsigned>(rng.below(41));
+    const net::Prefix p{
+        net::Ipv6Address{(rng.next() & 0xff00000000000000ULL) |
+                             (rng.below(16) << 40),
+                         0},
+        len};
+    if (rng.chance(0.6)) {
+      const int value = static_cast<int>(rng.below(1000));
+      trie.insert(p, value);
+      reference[p] = value;
+    } else {
+      const bool had = reference.erase(p) > 0;
+      EXPECT_EQ(trie.erase(p), had);
+    }
+    ASSERT_EQ(trie.size(), reference.size());
+  }
+  for (const auto& [p, v] : reference) {
+    const int* found = trie.findExact(p);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, v);
+  }
+  EXPECT_EQ(trie.entries().size(), reference.size());
+}
+
+// --------------------------------------- aggregation monotonicity property
+
+TEST(SessionProperty, CoarserAggregationNeverIncreasesCounts) {
+  sim::Rng rng{105};
+  std::vector<net::Packet> packets;
+  sim::SimTime t = sim::kEpoch;
+  for (int i = 0; i < 4000; ++i) {
+    t += sim::millis(static_cast<std::int64_t>(rng.exponential(400'000.0)));
+    net::Packet p;
+    p.ts = t;
+    // Sources spread over a few /48s, /64s, and IIDs.
+    p.src = net::Ipv6Address{0x2400000000000000ULL |
+                                 (rng.below(3) << 40) | (rng.below(5) << 16),
+                             rng.below(20)};
+    p.dst = net::Ipv6Address{0x3fff000000000000ULL, rng.next()};
+    packets.push_back(p);
+  }
+  const auto s128 = telescope::sessionize(packets,
+                                          telescope::SourceAgg::Addr128);
+  const auto s64 = telescope::sessionize(packets, telescope::SourceAgg::Net64);
+  const auto s48 = telescope::sessionize(packets, telescope::SourceAgg::Net48);
+  EXPECT_GE(s128.size(), s64.size());
+  EXPECT_GE(s64.size(), s48.size());
+  // Packet conservation at every level.
+  for (const auto* sessions : {&s128, &s64, &s48}) {
+    std::size_t total = 0;
+    for (const auto& s : *sessions) total += s.packetCount();
+    EXPECT_EQ(total, packets.size());
+  }
+}
+
+TEST(SessionProperty, LongerTimeoutNeverIncreasesSessionCount) {
+  sim::Rng rng{106};
+  std::vector<net::Packet> packets;
+  sim::SimTime t = sim::kEpoch;
+  for (int i = 0; i < 3000; ++i) {
+    t += sim::millis(static_cast<std::int64_t>(rng.exponential(900'000.0)));
+    net::Packet p;
+    p.ts = t;
+    p.src = net::Ipv6Address{0x2400000000000000ULL, rng.below(10)};
+    packets.push_back(p);
+  }
+  std::size_t previous = SIZE_MAX;
+  for (const auto timeout :
+       {sim::minutes(5), sim::minutes(30), sim::hours(1), sim::hours(4)}) {
+    const auto sessions = telescope::sessionize(
+        packets, telescope::SourceAgg::Addr128, timeout);
+    EXPECT_LE(sessions.size(), previous);
+    previous = sessions.size();
+  }
+}
+
+// --------------------------------------------------- window accounting
+
+TEST(SummaryProperty, DisjointWindowsSumToWhole) {
+  core::ExperimentConfig config;
+  config.seed = 3;
+  config.sourceScale = 0.02;
+  config.volumeScale = 0.002;
+  config.baseline = sim::weeks(2);
+  config.splits = 2;
+  config.routeObjectAt = sim::weeks(3);
+  core::Experiment experiment{config};
+  experiment.run();
+  const auto summary = core::ExperimentSummary::compute(experiment);
+
+  const sim::SimTime end = experiment.experimentEnd();
+  for (std::size_t t = 0; t < 4; ++t) {
+    const auto whole = summary.windowStats(
+        experiment, t, core::Period{sim::kEpoch, end + sim::hours(1)});
+    // Split the timeline into 5 disjoint windows; packets must sum up.
+    std::uint64_t packetSum = 0;
+    std::size_t sessionSum = 0;
+    const sim::Duration step = (end + sim::hours(1) - sim::kEpoch) / 5;
+    for (int w = 0; w < 5; ++w) {
+      const core::Period window{sim::kEpoch + step * w,
+                                sim::kEpoch + step * (w + 1)};
+      const auto stats = summary.windowStats(experiment, t, window);
+      packetSum += stats.packets;
+      sessionSum += stats.sessions128;
+    }
+    EXPECT_EQ(packetSum, whole.packets) << "telescope " << t;
+    EXPECT_EQ(sessionSum, whole.sessions128) << "telescope " << t;
+  }
+}
+
+} // namespace
+} // namespace v6t

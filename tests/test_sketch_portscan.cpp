@@ -1,0 +1,157 @@
+// Tests for the HyperLogLog sketch / LiveStats and port-scan shape
+// analysis.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "analysis/portscan.hpp"
+#include "sim/rng.hpp"
+#include "telescope/sketch.hpp"
+
+namespace v6t {
+namespace {
+
+using net::Ipv6Address;
+using net::Packet;
+
+// ------------------------------------------------------------- sketch
+
+TEST(HyperLogLog, EstimatesWithinFewPercent) {
+  sim::Rng rng{401};
+  telescope::HyperLogLog<12> sketch;
+  const std::size_t truth = 100'000;
+  for (std::size_t i = 0; i < truth; ++i) {
+    sketch.add(Ipv6Address{rng.next(), rng.next()});
+  }
+  EXPECT_NEAR(sketch.estimate(), static_cast<double>(truth),
+              0.05 * static_cast<double>(truth));
+  EXPECT_EQ(telescope::HyperLogLog<12>::sizeBytes(), 4096u);
+}
+
+TEST(HyperLogLog, DuplicatesDoNotInflate) {
+  telescope::HyperLogLog<12> sketch;
+  const Ipv6Address a = Ipv6Address::mustParse("2400::1");
+  for (int i = 0; i < 10'000; ++i) sketch.add(a);
+  EXPECT_LT(sketch.estimate(), 3.0);
+  EXPECT_GT(sketch.estimate(), 0.5);
+}
+
+TEST(HyperLogLog, SmallRangeAccuracy) {
+  sim::Rng rng{402};
+  for (const std::size_t truth : {1u, 10u, 100u, 1000u}) {
+    telescope::HyperLogLog<12> sketch;
+    for (std::size_t i = 0; i < truth; ++i) {
+      sketch.add(Ipv6Address{rng.next(), rng.next()});
+    }
+    EXPECT_NEAR(sketch.estimate(), static_cast<double>(truth),
+                std::max(1.0, 0.08 * static_cast<double>(truth)))
+        << "truth " << truth;
+  }
+}
+
+TEST(HyperLogLog, MergeEqualsUnion) {
+  sim::Rng rng{403};
+  telescope::HyperLogLog<12> a;
+  telescope::HyperLogLog<12> b;
+  telescope::HyperLogLog<12> uni;
+  for (int i = 0; i < 20'000; ++i) {
+    const Ipv6Address addrA{rng.next(), rng.next()};
+    const Ipv6Address addrB{rng.next(), rng.next()};
+    a.add(addrA);
+    uni.add(addrA);
+    b.add(addrB);
+    uni.add(addrB);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.estimate(), uni.estimate(), uni.estimate() * 0.01);
+  a.clear();
+  EXPECT_LT(a.estimate(), 1.0);
+}
+
+TEST(LiveStats, TracksProtocolAndSources) {
+  sim::Rng rng{404};
+  telescope::LiveStats live;
+  std::unordered_set<Ipv6Address> truth128;
+  for (int i = 0; i < 30'000; ++i) {
+    Packet p;
+    p.src = Ipv6Address{0x2400000000000000ULL | rng.below(2000), rng.next()};
+    p.proto = static_cast<net::Protocol>(rng.below(3));
+    truth128.insert(p.src);
+    live.observe(p);
+  }
+  EXPECT_EQ(live.totalPackets(), 30'000u);
+  EXPECT_NEAR(live.estimatedSources128(),
+              static_cast<double>(truth128.size()),
+              0.06 * static_cast<double>(truth128.size()));
+  // All sources live in ~2000 /64s.
+  EXPECT_NEAR(live.estimatedSources64(), 2000.0, 150.0);
+}
+
+// ------------------------------------------------------------ portscan
+
+telescope::Session sessionOver(const std::vector<Packet>& packets) {
+  telescope::Session s;
+  s.source = telescope::SourceKey::of(Ipv6Address::mustParse("2400::1"),
+                                      telescope::SourceAgg::Addr128);
+  for (std::uint32_t i = 0; i < packets.size(); ++i) s.packetIdx.push_back(i);
+  return s;
+}
+
+Packet probe(net::Protocol proto, std::uint16_t port, std::uint64_t target) {
+  Packet p;
+  p.src = Ipv6Address::mustParse("2400::1");
+  p.dst = Ipv6Address{0x3fff010000000000ULL, target};
+  p.proto = proto;
+  p.dstPort = port;
+  return p;
+}
+
+TEST(PortScan, HorizontalWebSweep) {
+  std::vector<Packet> packets;
+  for (std::uint64_t t = 1; t <= 40; ++t) {
+    packets.push_back(probe(net::Protocol::Tcp, 80, t));
+    packets.push_back(probe(net::Protocol::Tcp, 443, t));
+  }
+  const auto profile = analysis::profilePorts(packets, sessionOver(packets));
+  EXPECT_EQ(profile.shape, analysis::PortScanShape::Horizontal);
+  EXPECT_EQ(profile.distinctPorts, 2u);
+  EXPECT_EQ(profile.distinctTargets, 40u);
+}
+
+TEST(PortScan, VerticalHostEnumeration) {
+  std::vector<Packet> packets;
+  for (std::uint16_t port = 1; port <= 64; ++port) {
+    packets.push_back(probe(net::Protocol::Tcp, port, 1));
+  }
+  const auto profile = analysis::profilePorts(packets, sessionOver(packets));
+  EXPECT_EQ(profile.shape, analysis::PortScanShape::Vertical);
+  EXPECT_TRUE(profile.sequentialPorts);
+  EXPECT_EQ(profile.distinctTargets, 1u);
+}
+
+TEST(PortScan, IcmpOnlyIsNone) {
+  std::vector<Packet> packets;
+  for (int i = 0; i < 10; ++i) {
+    packets.push_back(probe(net::Protocol::Icmpv6, 0,
+                            static_cast<std::uint64_t>(i)));
+  }
+  const auto profile = analysis::profilePorts(packets, sessionOver(packets));
+  EXPECT_EQ(profile.shape, analysis::PortScanShape::None);
+  EXPECT_EQ(profile.transportPackets, 0u);
+}
+
+TEST(PortScan, BroadRangeOnManyTargetsIsMixed) {
+  sim::Rng rng{405};
+  std::vector<Packet> packets;
+  for (int i = 0; i < 100; ++i) {
+    packets.push_back(probe(net::Protocol::Tcp,
+                            static_cast<std::uint16_t>(rng.below(30000)),
+                            rng.next()));
+  }
+  const auto profile = analysis::profilePorts(packets, sessionOver(packets));
+  EXPECT_EQ(profile.shape, analysis::PortScanShape::Mixed);
+  EXPECT_FALSE(profile.sequentialPorts);
+}
+
+} // namespace
+} // namespace v6t

@@ -1,0 +1,280 @@
+// Tests for the §5 taxonomy classifiers: temporal behavior, address
+// selection, network selection, and the corpus-level driver.
+#include <gtest/gtest.h>
+
+#include "analysis/taxonomy.hpp"
+#include "sim/rng.hpp"
+
+namespace v6t::analysis {
+namespace {
+
+using net::Ipv6Address;
+using net::Prefix;
+
+// ---------------------------------------------------------- temporal
+
+TEST(Temporal, OneSessionIsOneOff) {
+  const std::vector<sim::SimTime> one{sim::kEpoch + sim::hours(3)};
+  EXPECT_EQ(classifyTemporal(one).cls, TemporalClass::OneOff);
+  EXPECT_EQ(classifyTemporal({}).cls, TemporalClass::OneOff);
+}
+
+TEST(Temporal, TwoSessionsAreIntermittent) {
+  // "Periodic scanners must appear more than twice" (§5.1).
+  const std::vector<sim::SimTime> two{sim::kEpoch,
+                                      sim::kEpoch + sim::days(1)};
+  EXPECT_EQ(classifyTemporal(two).cls, TemporalClass::Intermittent);
+}
+
+TEST(Temporal, RegularSessionsArePeriodic) {
+  std::vector<sim::SimTime> starts;
+  for (int i = 0; i < 12; ++i) starts.push_back(sim::kEpoch + sim::days(2 * i));
+  const auto result = classifyTemporal(starts);
+  EXPECT_EQ(result.cls, TemporalClass::Periodic);
+  ASSERT_TRUE(result.period.has_value());
+  EXPECT_NEAR(result.period->days(), 2.0, 0.5);
+}
+
+TEST(Temporal, IrregularSessionsAreIntermittent) {
+  sim::Rng rng{71};
+  std::vector<sim::SimTime> starts;
+  sim::SimTime t = sim::kEpoch;
+  for (int i = 0; i < 20; ++i) {
+    t += sim::millis(static_cast<std::int64_t>(rng.exponential(2.0e8)));
+    starts.push_back(t);
+  }
+  EXPECT_EQ(classifyTemporal(starts).cls, TemporalClass::Intermittent);
+}
+
+TEST(Temporal, UnorderedInputHandled) {
+  std::vector<sim::SimTime> starts{sim::kEpoch + sim::days(4), sim::kEpoch,
+                                   sim::kEpoch + sim::days(2),
+                                   sim::kEpoch + sim::days(6)};
+  const auto result = classifyTemporal(starts);
+  EXPECT_EQ(result.cls, TemporalClass::Periodic);
+}
+
+// ----------------------------------------------------- address selection
+
+TEST(AddressSelection, LowByteTargetsAreStructured) {
+  std::vector<Ipv6Address> targets;
+  for (int i = 1; i <= 50; ++i) {
+    targets.push_back(Ipv6Address{0x3fff010000000000ULL,
+                                  static_cast<std::uint64_t>(i)});
+  }
+  EXPECT_EQ(classifyAddressSelection(targets), AddressSelection::Structured);
+}
+
+TEST(AddressSelection, RandomIidsNeedNistToPass) {
+  sim::Rng rng{72};
+  std::vector<Ipv6Address> targets;
+  for (int i = 0; i < 200; ++i) {
+    targets.push_back(Ipv6Address{0x3fff010000000000ULL, rng.next()});
+  }
+  EXPECT_EQ(classifyAddressSelection(targets), AddressSelection::Random);
+}
+
+TEST(AddressSelection, SmallRandomSessionIsUnknown) {
+  // Below the NIST packet threshold the statistical path is unavailable.
+  sim::Rng rng{73};
+  std::vector<Ipv6Address> targets;
+  for (int i = 0; i < 30; ++i) {
+    // Shuffle order so the monotonic check cannot fire.
+    targets.push_back(Ipv6Address{0x3fff010000000000ULL, rng.next()});
+  }
+  EXPECT_EQ(classifyAddressSelection(targets), AddressSelection::Unknown);
+}
+
+TEST(AddressSelection, SortedTraversalIsStructured) {
+  // Sequential walk whose individual addresses look random: structure via
+  // the monotonic-order check (Fig. 13's sessions).
+  sim::Rng rng{74};
+  std::vector<Ipv6Address> targets;
+  for (int i = 0; i < 150; ++i) {
+    targets.push_back(Ipv6Address{
+        0x3fff010000000000ULL + (static_cast<std::uint64_t>(i) << 16),
+        rng.next()});
+  }
+  EXPECT_EQ(classifyAddressSelection(targets), AddressSelection::Structured);
+}
+
+TEST(AddressSelection, BiasedBitsNeitherStructuredNorRandom) {
+  // IIDs with 65% one-bits: fails structure detection and the NIST
+  // frequency test -> unknown.
+  sim::Rng rng{75};
+  std::vector<Ipv6Address> targets;
+  for (int i = 0; i < 200; ++i) {
+    std::uint64_t iid = 0;
+    for (int b = 0; b < 64; ++b) iid |= (rng.chance(0.68) ? 1ULL : 0ULL) << b;
+    targets.push_back(Ipv6Address{0x3fff010000000000ULL, iid});
+  }
+  EXPECT_EQ(classifyAddressSelection(targets), AddressSelection::Unknown);
+}
+
+TEST(AddressSelection, EmptyIsUnknown) {
+  EXPECT_EQ(classifyAddressSelection({}), AddressSelection::Unknown);
+}
+
+// ----------------------------------------------------- network selection
+
+CycleActivity makeCycle(int index, std::vector<std::uint64_t> sessions,
+                        std::vector<unsigned> lengths) {
+  CycleActivity c;
+  c.cycleIndex = index;
+  c.sessionsPerPrefix = std::move(sessions);
+  c.prefixLengths = std::move(lengths);
+  return c;
+}
+
+TEST(NetworkSelection, SingleActivePrefix) {
+  const auto c = makeCycle(1, {0, 5, 0}, {33, 34, 34});
+  EXPECT_EQ(classifyCycle(c), NetworkSelection::SinglePrefix);
+}
+
+TEST(NetworkSelection, UniformCoverage) {
+  const auto c = makeCycle(1, {4, 5, 4, 5, 4}, {33, 34, 35, 36, 36});
+  EXPECT_EQ(classifyCycle(c), NetworkSelection::SizeIndependent);
+}
+
+TEST(NetworkSelection, SizeDrivenCoverage) {
+  // Sessions grow with host bits: /33 gets many, /36 few.
+  const auto c = makeCycle(1, {16, 8, 4, 1}, {33, 34, 35, 36});
+  EXPECT_EQ(classifyCycle(c), NetworkSelection::SizeDependent);
+}
+
+TEST(NetworkSelection, ConsistentAcrossCyclesKeepsLabel) {
+  std::vector<CycleActivity> cycles{
+      makeCycle(1, {3, 3}, {33, 33}),
+      makeCycle(2, {4, 3, 4}, {33, 34, 34}),
+      makeCycle(3, {3, 4, 3, 3}, {33, 34, 35, 35}),
+  };
+  EXPECT_EQ(classifyNetworkSelection(cycles),
+            NetworkSelection::SizeIndependent);
+}
+
+TEST(NetworkSelection, FlippingBehaviorIsInconsistent) {
+  std::vector<CycleActivity> cycles{
+      // All sessions into one prefix...
+      makeCycle(1, {9, 0, 0}, {33, 34, 34}),
+      // ...then uniform coverage.
+      makeCycle(2, {3, 3, 3, 3}, {33, 34, 35, 35}),
+      makeCycle(3, {0, 0, 8, 0}, {33, 34, 35, 35}),
+  };
+  EXPECT_EQ(classifyNetworkSelection(cycles), NetworkSelection::Inconsistent);
+}
+
+TEST(NetworkSelection, NoCyclesDefaultsToSinglePrefix) {
+  EXPECT_EQ(classifyNetworkSelection({}), NetworkSelection::SinglePrefix);
+}
+
+// --------------------------------------------------------- corpus driver
+
+TEST(ClassifyCapture, EndToEndSyntheticCapture) {
+  // Build a small capture by hand: a periodic low-byte scanner and a
+  // one-off random scanner.
+  std::vector<net::Packet> packets;
+  sim::Rng rng{76};
+  auto emit = [&](const char* src, sim::SimTime start, int count,
+                  bool randomIid) {
+    for (int i = 0; i < count; ++i) {
+      net::Packet p;
+      p.ts = start + sim::seconds(2 * i);
+      p.src = Ipv6Address::mustParse(src);
+      p.dst = randomIid
+                  ? Ipv6Address{0x3fff010000000000ULL, rng.next()}
+                  : Ipv6Address{0x3fff010000000000ULL,
+                                static_cast<std::uint64_t>(1 + i % 8)};
+      packets.push_back(p);
+    }
+  };
+  // Periodic: 6 sessions, every 2 days.
+  for (int s = 0; s < 6; ++s) {
+    emit("2400::aaaa", sim::kEpoch + sim::days(2 * s), 20, false);
+  }
+  // One-off: a single long random session.
+  emit("2400::bbbb", sim::kEpoch + sim::days(1), 150, true);
+  std::sort(packets.begin(), packets.end(),
+            [](const net::Packet& a, const net::Packet& b) {
+              return a.ts < b.ts;
+            });
+
+  const auto sessions =
+      telescope::sessionize(packets, telescope::SourceAgg::Addr128);
+  const auto result = classifyCapture(packets, sessions, nullptr);
+
+  ASSERT_EQ(result.profiles.size(), 2u);
+  EXPECT_EQ(result.scannersOf(TemporalClass::Periodic), 1u);
+  EXPECT_EQ(result.scannersOf(TemporalClass::OneOff), 1u);
+  EXPECT_EQ(result.sessionsOf(TemporalClass::Periodic), 6u);
+  EXPECT_EQ(result.sessionsOf(TemporalClass::OneOff), 1u);
+
+  // Session-level address classes: 6 structured + 1 random.
+  std::uint64_t structured = 0;
+  std::uint64_t random = 0;
+  for (const auto s : result.sessionAddrSel) {
+    structured += s == AddressSelection::Structured;
+    random += s == AddressSelection::Random;
+  }
+  EXPECT_EQ(structured, 6u);
+  EXPECT_EQ(random, 1u);
+
+  // Without a schedule every source is single-prefix (§5.2).
+  EXPECT_EQ(result.scannersOf(NetworkSelection::SinglePrefix), 2u);
+}
+
+TEST(ClassifyCapture, NetworkSelectionWithSchedule) {
+  // Two cycles of a toy split schedule; one scanner covers every announced
+  // prefix each cycle (size-independent), another sticks to one prefix.
+  bgp::SplitSchedule::Params params;
+  params.base = Prefix::mustParse("3fff:100::/32");
+  params.start = sim::kEpoch;
+  params.baseline = sim::weeks(2);
+  params.cycle = sim::weeks(2);
+  params.withdrawGap = sim::days(1);
+  params.splits = 2;
+  const auto schedule = bgp::SplitSchedule::make(params);
+
+  std::vector<net::Packet> packets;
+  auto emitSession = [&](const char* src, sim::SimTime start,
+                         const Prefix& into) {
+    for (int i = 0; i < 5; ++i) {
+      net::Packet p;
+      p.ts = start + sim::seconds(i);
+      p.src = Ipv6Address::mustParse(src);
+      p.dst = into.lowByteAddress().plus(static_cast<net::u128>(i));
+      packets.push_back(p);
+    }
+  };
+  // Uniform scanner: one session per announced prefix per cycle, spaced
+  // out by 2 hours to stay distinct sessions.
+  for (const auto& cycle : schedule.cycles()) {
+    sim::SimTime t = cycle.announceAt + sim::hours(5);
+    for (const Prefix& p : cycle.announced) {
+      emitSession("2400::1", t, p);
+      t += sim::hours(2);
+    }
+    // Single-prefix scanner: always the first announced prefix.
+    emitSession("2400::2", cycle.announceAt + sim::hours(40),
+                cycle.announced.front());
+  }
+  std::sort(packets.begin(), packets.end(),
+            [](const net::Packet& a, const net::Packet& b) {
+              return a.ts < b.ts;
+            });
+
+  const auto sessions =
+      telescope::sessionize(packets, telescope::SourceAgg::Addr128);
+  const auto result = classifyCapture(packets, sessions, &schedule);
+
+  ASSERT_EQ(result.profiles.size(), 2u);
+  for (const auto& profile : result.profiles) {
+    if (profile.source.addr == Ipv6Address::mustParse("2400::1")) {
+      EXPECT_EQ(profile.network, NetworkSelection::SizeIndependent);
+    } else {
+      EXPECT_EQ(profile.network, NetworkSelection::SinglePrefix);
+    }
+  }
+}
+
+} // namespace
+} // namespace v6t::analysis

@@ -1,0 +1,112 @@
+// Tests for the dynamic target generation algorithm (6Tree/DET style).
+#include <gtest/gtest.h>
+
+#include "scanner/tga.hpp"
+
+namespace v6t::scanner {
+namespace {
+
+using net::Ipv6Address;
+using net::Prefix;
+
+DynamicTga makeTga(std::uint64_t seed = 1) {
+  return DynamicTga{Prefix::mustParse("3fff:100::/32"), DynamicTga::Params{},
+                    seed};
+}
+
+TEST(DynamicTga, CandidatesStayInBase) {
+  DynamicTga tga = makeTga();
+  const Prefix base = Prefix::mustParse("3fff:100::/32");
+  for (const auto& a : tga.nextCandidates(500)) {
+    EXPECT_TRUE(base.contains(a)) << a.toString();
+  }
+  EXPECT_EQ(tga.probesIssued(), 500u);
+}
+
+TEST(DynamicTga, SeedsOutsideBaseIgnored) {
+  DynamicTga tga = makeTga();
+  tga.addSeed(Ipv6Address::mustParse("2001:db8::1"));
+  EXPECT_EQ(tga.seedCount(), 0u);
+  tga.addSeed(Ipv6Address::mustParse("3fff:100::1"));
+  EXPECT_EQ(tga.seedCount(), 1u);
+}
+
+TEST(DynamicTga, ConcentratesOnSeededRegion) {
+  DynamicTga tga = makeTga(7);
+  // Seed a dense /40: plenty of active hosts under 3fff:100:aa::/40.
+  const Prefix dense = Prefix::mustParse("3fff:100:aa00::/40");
+  sim::Rng rng{3};
+  for (int i = 0; i < 200; ++i) {
+    tga.addSeed(dense.addressAt((static_cast<net::u128>(rng.next()) << 64) |
+                                rng.next()));
+  }
+  std::size_t inDense = 0;
+  const auto candidates = tga.nextCandidates(1000);
+  for (const auto& a : candidates) {
+    if (dense.contains(a)) ++inDense;
+  }
+  // A /40 is 1/256 of the /32; density guidance must beat uniform by far.
+  EXPECT_GT(inDense, 600u);
+  // But exploration keeps some candidates outside.
+  EXPECT_LT(inDense, 1000u);
+}
+
+TEST(DynamicTga, FeedbackShiftsWeight) {
+  DynamicTga tga = makeTga(9);
+  const Prefix regionA = Prefix::mustParse("3fff:100:a000::/40");
+  const Prefix regionB = Prefix::mustParse("3fff:100:b000::/40");
+  sim::Rng rng{4};
+  // Equal seeding.
+  for (int i = 0; i < 100; ++i) {
+    tga.addSeed(regionA.addressAt(rng.next()));
+    tga.addSeed(regionB.addressAt(rng.next()));
+  }
+  // Feedback: region A answers, region B never does.
+  for (int round = 0; round < 30; ++round) {
+    for (const auto& c : tga.nextCandidates(20)) {
+      tga.feedback(c, regionA.contains(c));
+    }
+  }
+  std::size_t inA = 0;
+  std::size_t inB = 0;
+  for (const auto& c : tga.nextCandidates(1000)) {
+    if (regionA.contains(c)) ++inA;
+    if (regionB.contains(c)) ++inB;
+  }
+  EXPECT_GT(inA, inB * 2);
+  EXPECT_GT(tga.hitsSeen(), 0u);
+  EXPECT_GT(tga.hitRate(), 0.0);
+}
+
+TEST(DynamicTga, UnseededFallsBackToUniform) {
+  DynamicTga tga = makeTga(11);
+  const auto candidates = tga.nextCandidates(200);
+  // With no structure, candidates spread across the /32's nibbles.
+  std::set<std::uint8_t> firstNibbles;
+  for (const auto& a : candidates) firstNibbles.insert(a.nibble(8));
+  EXPECT_GT(firstNibbles.size(), 8u);
+}
+
+TEST(DynamicTga, LongBasePrefix) {
+  // A /64 base: only IID nibbles remain.
+  DynamicTga tga{Prefix::mustParse("3fff:100:0:1::/64"),
+                 DynamicTga::Params{}, 13};
+  tga.addSeed(Ipv6Address::mustParse("3fff:100:0:1::42"));
+  for (const auto& a : tga.nextCandidates(100)) {
+    EXPECT_TRUE(Prefix::mustParse("3fff:100:0:1::/64").contains(a));
+  }
+}
+
+TEST(DynamicTga, NodeCountGrowsWithStructure) {
+  DynamicTga tga = makeTga(15);
+  EXPECT_EQ(tga.nodeCount(), 1u);
+  sim::Rng rng{5};
+  for (int i = 0; i < 500; ++i) {
+    tga.addSeed(Ipv6Address{0x3fff010000000000ULL | rng.below(16),
+                            rng.next()});
+  }
+  EXPECT_GT(tga.nodeCount(), 10u);
+}
+
+} // namespace
+} // namespace v6t::scanner

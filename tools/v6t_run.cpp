@@ -1,0 +1,127 @@
+// v6t_run — run a telescope experiment from a configuration file.
+//
+//   v6t_run [config-file] [--out DIR] [--dump-captures] [--print-config]
+//
+// Without a config file the paper's default configuration runs. The tool
+// writes a summary report to stdout and, with --dump-captures, one
+// .v6tcap file per telescope into the output directory.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "analysis/taxonomy.hpp"
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+#include "core/guidance.hpp"
+#include "core/summary.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: v6t_run [config-file] [--out DIR] [--dump-captures]"
+               " [--print-config]\n";
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace v6t;
+
+  std::string configPath;
+  std::string outDir = ".";
+  bool dumpCaptures = false;
+  bool printConfig = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out") {
+      if (++i >= argc) return usage();
+      outDir = argv[i];
+    } else if (arg == "--dump-captures") {
+      dumpCaptures = true;
+    } else if (arg == "--print-config") {
+      printConfig = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option " << arg << "\n";
+      return usage();
+    } else {
+      configPath = arg;
+    }
+  }
+
+  core::ExperimentConfig config;
+  if (!configPath.empty()) {
+    std::ifstream in{configPath};
+    if (!in) {
+      std::cerr << "cannot open " << configPath << "\n";
+      return 1;
+    }
+    const auto parsed = core::parseExperimentConfig(in);
+    if (!parsed.ok()) {
+      for (const auto& e : parsed.errors) {
+        std::cerr << configPath << ": " << e << "\n";
+      }
+      return 1;
+    }
+    config = parsed.config;
+  }
+  if (printConfig) {
+    std::cout << core::formatExperimentConfig(config);
+    return 0;
+  }
+
+  std::cout << "running experiment (seed " << config.seed << ", "
+            << config.splits << " splits) ...\n";
+  core::Experiment experiment{config};
+  experiment.run();
+  const auto summary = core::ExperimentSummary::compute(experiment);
+
+  // Per-telescope overview.
+  analysis::TextTable table{{"telescope", "mode", "packets", "sources /128",
+                             "sessions /128", "one-off", "periodic",
+                             "intermittent"}};
+  for (std::size_t t = 0; t < 4; ++t) {
+    const auto& scope = experiment.telescope(t);
+    const auto& sessions = summary.telescope(t).sessions128;
+    const auto taxonomy = analysis::classifyCapture(
+        scope.capture().packets(), sessions,
+        t == core::T1 ? &experiment.schedule() : nullptr);
+    table.addRow(
+        {scope.name(), std::string{telescope::toString(scope.config().mode)},
+         analysis::withThousands(scope.capture().packetCount()),
+         analysis::withThousands(scope.capture().distinctSources128()),
+         analysis::withThousands(sessions.size()),
+         analysis::withThousands(
+             taxonomy.scannersOf(analysis::TemporalClass::OneOff)),
+         analysis::withThousands(
+             taxonomy.scannersOf(analysis::TemporalClass::Periodic)),
+         analysis::withThousands(
+             taxonomy.scannersOf(analysis::TemporalClass::Intermittent))});
+  }
+  table.render(std::cout);
+
+  // Guidance.
+  std::cout << "\n";
+  for (const auto& finding : core::GuidanceEngine::derive(experiment,
+                                                          summary)) {
+    std::cout << "* " << finding.topic << ": " << finding.statement << "\n  ("
+              << finding.evidence << ")\n";
+  }
+
+  if (dumpCaptures) {
+    std::filesystem::create_directories(outDir);
+    for (std::size_t t = 0; t < 4; ++t) {
+      const auto path = std::filesystem::path{outDir} /
+                        (experiment.telescope(t).name() + ".v6tcap");
+      std::ofstream out{path, std::ios::binary};
+      experiment.telescope(t).capture().writeTo(out);
+      std::cout << "wrote " << path.string() << " ("
+                << experiment.telescope(t).capture().packetCount()
+                << " records)\n";
+    }
+  }
+  return 0;
+}
