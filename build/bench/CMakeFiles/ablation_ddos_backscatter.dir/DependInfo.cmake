@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_ddos_backscatter.cpp" "bench/CMakeFiles/ablation_ddos_backscatter.dir/ablation_ddos_backscatter.cpp.o" "gcc" "bench/CMakeFiles/ablation_ddos_backscatter.dir/ablation_ddos_backscatter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/v6t_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/v6t_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/v6t_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/v6t_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/v6t_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/v6t_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v6t_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

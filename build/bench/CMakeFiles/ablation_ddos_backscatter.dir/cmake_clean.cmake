@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ddos_backscatter.dir/ablation_ddos_backscatter.cpp.o"
+  "CMakeFiles/ablation_ddos_backscatter.dir/ablation_ddos_backscatter.cpp.o.d"
+  "ablation_ddos_backscatter"
+  "ablation_ddos_backscatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ddos_backscatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prefix_count.dir/ablation_prefix_count.cpp.o"
+  "CMakeFiles/ablation_prefix_count.dir/ablation_prefix_count.cpp.o.d"
+  "ablation_prefix_count"
+  "ablation_prefix_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefix_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scan_shapes.dir/ablation_scan_shapes.cpp.o"
+  "CMakeFiles/ablation_scan_shapes.dir/ablation_scan_shapes.cpp.o.d"
+  "ablation_scan_shapes"
+  "ablation_scan_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scan_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

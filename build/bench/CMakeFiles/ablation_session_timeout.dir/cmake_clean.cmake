@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_session_timeout.dir/ablation_session_timeout.cpp.o"
+  "CMakeFiles/ablation_session_timeout.dir/ablation_session_timeout.cpp.o.d"
+  "ablation_session_timeout"
+  "ablation_session_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_session_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

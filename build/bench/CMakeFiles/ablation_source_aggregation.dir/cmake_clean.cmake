@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_source_aggregation.dir/ablation_source_aggregation.cpp.o"
+  "CMakeFiles/ablation_source_aggregation.dir/ablation_source_aggregation.cpp.o.d"
+  "ablation_source_aggregation"
+  "ablation_source_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_source_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tga.dir/ablation_tga.cpp.o"
+  "CMakeFiles/ablation_tga.dir/ablation_tga.cpp.o.d"
+  "ablation_tga"
+  "ablation_tga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

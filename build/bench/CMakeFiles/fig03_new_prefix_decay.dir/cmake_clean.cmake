@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_new_prefix_decay.dir/fig03_new_prefix_decay.cpp.o"
+  "CMakeFiles/fig03_new_prefix_decay.dir/fig03_new_prefix_decay.cpp.o.d"
+  "fig03_new_prefix_decay"
+  "fig03_new_prefix_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_new_prefix_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_new_prefix_decay.
+# This may be replaced when dependencies are built.

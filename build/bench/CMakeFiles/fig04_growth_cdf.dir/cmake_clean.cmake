@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_growth_cdf.dir/fig04_growth_cdf.cpp.o"
+  "CMakeFiles/fig04_growth_cdf.dir/fig04_growth_cdf.cpp.o.d"
+  "fig04_growth_cdf"
+  "fig04_growth_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_growth_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

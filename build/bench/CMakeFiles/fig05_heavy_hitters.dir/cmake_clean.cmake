@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_heavy_hitters.dir/fig05_heavy_hitters.cpp.o"
+  "CMakeFiles/fig05_heavy_hitters.dir/fig05_heavy_hitters.cpp.o.d"
+  "fig05_heavy_hitters"
+  "fig05_heavy_hitters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_heavy_hitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07a_hourly_traffic.dir/fig07a_hourly_traffic.cpp.o"
+  "CMakeFiles/fig07a_hourly_traffic.dir/fig07a_hourly_traffic.cpp.o.d"
+  "fig07a_hourly_traffic"
+  "fig07a_hourly_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07a_hourly_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07b_taxonomy_initial.dir/fig07b_taxonomy_initial.cpp.o"
+  "CMakeFiles/fig07b_taxonomy_initial.dir/fig07b_taxonomy_initial.cpp.o.d"
+  "fig07b_taxonomy_initial"
+  "fig07b_taxonomy_initial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07b_taxonomy_initial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

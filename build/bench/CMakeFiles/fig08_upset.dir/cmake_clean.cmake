@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_upset.dir/fig08_upset.cpp.o"
+  "CMakeFiles/fig08_upset.dir/fig08_upset.cpp.o.d"
+  "fig08_upset"
+  "fig08_upset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_upset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_weekly_sessions.dir/fig09_weekly_sessions.cpp.o"
+  "CMakeFiles/fig09_weekly_sessions.dir/fig09_weekly_sessions.cpp.o.d"
+  "fig09_weekly_sessions"
+  "fig09_weekly_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_weekly_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

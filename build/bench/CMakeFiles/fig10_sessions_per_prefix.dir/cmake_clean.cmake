@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sessions_per_prefix.dir/fig10_sessions_per_prefix.cpp.o"
+  "CMakeFiles/fig10_sessions_per_prefix.dir/fig10_sessions_per_prefix.cpp.o.d"
+  "fig10_sessions_per_prefix"
+  "fig10_sessions_per_prefix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sessions_per_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_sessions_per_prefix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_biweekly_evolution.dir/fig11_biweekly_evolution.cpp.o"
+  "CMakeFiles/fig11_biweekly_evolution.dir/fig11_biweekly_evolution.cpp.o.d"
+  "fig11_biweekly_evolution"
+  "fig11_biweekly_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_biweekly_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_address_patterns.dir/fig12_address_patterns.cpp.o"
+  "CMakeFiles/fig12_address_patterns.dir/fig12_address_patterns.cpp.o.d"
+  "fig12_address_patterns"
+  "fig12_address_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_address_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

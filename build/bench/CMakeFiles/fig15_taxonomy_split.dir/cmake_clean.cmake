@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_taxonomy_split.dir/fig15_taxonomy_split.cpp.o"
+  "CMakeFiles/fig15_taxonomy_split.dir/fig15_taxonomy_split.cpp.o.d"
+  "fig15_taxonomy_split"
+  "fig15_taxonomy_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_taxonomy_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

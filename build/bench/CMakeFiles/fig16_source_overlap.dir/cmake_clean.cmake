@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_source_overlap.dir/fig16_source_overlap.cpp.o"
+  "CMakeFiles/fig16_source_overlap.dir/fig16_source_overlap.cpp.o.d"
+  "fig16_source_overlap"
+  "fig16_source_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_source_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_nist.dir/fig17_nist.cpp.o"
+  "CMakeFiles/fig17_nist.dir/fig17_nist.cpp.o.d"
+  "fig17_nist"
+  "fig17_nist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_nist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_bgp_reactivity.dir/headline_bgp_reactivity.cpp.o"
+  "CMakeFiles/headline_bgp_reactivity.dir/headline_bgp_reactivity.cpp.o.d"
+  "headline_bgp_reactivity"
+  "headline_bgp_reactivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_bgp_reactivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_instruments.dir/micro_instruments.cpp.o"
+  "CMakeFiles/micro_instruments.dir/micro_instruments.cpp.o.d"
+  "micro_instruments"
+  "micro_instruments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_instruments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

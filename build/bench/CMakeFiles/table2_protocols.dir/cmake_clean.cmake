@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_protocols.dir/table2_protocols.cpp.o"
+  "CMakeFiles/table2_protocols.dir/table2_protocols.cpp.o.d"
+  "table2_protocols"
+  "table2_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

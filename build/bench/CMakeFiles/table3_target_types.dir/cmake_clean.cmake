@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_target_types.dir/table3_target_types.cpp.o"
+  "CMakeFiles/table3_target_types.dir/table3_target_types.cpp.o.d"
+  "table3_target_types"
+  "table3_target_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_target_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

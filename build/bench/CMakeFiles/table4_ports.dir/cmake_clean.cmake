@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_ports.dir/table4_ports.cpp.o"
+  "CMakeFiles/table4_ports.dir/table4_ports.cpp.o.d"
+  "table4_ports"
+  "table4_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_telescopes.dir/table5_telescopes.cpp.o"
+  "CMakeFiles/table5_telescopes.dir/table5_telescopes.cpp.o.d"
+  "table5_telescopes"
+  "table5_telescopes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_telescopes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

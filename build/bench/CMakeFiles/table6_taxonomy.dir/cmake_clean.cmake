@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_taxonomy.dir/table6_taxonomy.cpp.o"
+  "CMakeFiles/table6_taxonomy.dir/table6_taxonomy.cpp.o.d"
+  "table6_taxonomy"
+  "table6_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

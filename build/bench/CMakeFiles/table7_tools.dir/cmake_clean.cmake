@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_tools.dir/table7_tools.cpp.o"
+  "CMakeFiles/table7_tools.dir/table7_tools.cpp.o.d"
+  "table7_tools"
+  "table7_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_network_types.dir/table8_network_types.cpp.o"
+  "CMakeFiles/table8_network_types.dir/table8_network_types.cpp.o.d"
+  "table8_network_types"
+  "table8_network_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_network_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

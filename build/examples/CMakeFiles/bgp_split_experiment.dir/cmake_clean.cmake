@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_split_experiment.dir/bgp_split_experiment.cpp.o"
+  "CMakeFiles/bgp_split_experiment.dir/bgp_split_experiment.cpp.o.d"
+  "bgp_split_experiment"
+  "bgp_split_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_split_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

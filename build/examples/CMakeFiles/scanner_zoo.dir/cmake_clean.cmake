@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanner_zoo.dir/scanner_zoo.cpp.o"
+  "CMakeFiles/scanner_zoo.dir/scanner_zoo.cpp.o.d"
+  "scanner_zoo"
+  "scanner_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanner_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

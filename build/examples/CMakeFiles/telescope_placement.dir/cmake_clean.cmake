@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telescope_placement.dir/telescope_placement.cpp.o"
+  "CMakeFiles/telescope_placement.dir/telescope_placement.cpp.o.d"
+  "telescope_placement"
+  "telescope_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telescope_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

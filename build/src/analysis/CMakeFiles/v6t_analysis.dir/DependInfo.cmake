@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/addr_class.cpp" "src/analysis/CMakeFiles/v6t_analysis.dir/addr_class.cpp.o" "gcc" "src/analysis/CMakeFiles/v6t_analysis.dir/addr_class.cpp.o.d"
+  "/root/repo/src/analysis/autocorr.cpp" "src/analysis/CMakeFiles/v6t_analysis.dir/autocorr.cpp.o" "gcc" "src/analysis/CMakeFiles/v6t_analysis.dir/autocorr.cpp.o.d"
+  "/root/repo/src/analysis/entropy_profile.cpp" "src/analysis/CMakeFiles/v6t_analysis.dir/entropy_profile.cpp.o" "gcc" "src/analysis/CMakeFiles/v6t_analysis.dir/entropy_profile.cpp.o.d"
+  "/root/repo/src/analysis/fingerprint.cpp" "src/analysis/CMakeFiles/v6t_analysis.dir/fingerprint.cpp.o" "gcc" "src/analysis/CMakeFiles/v6t_analysis.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/analysis/heavy_hitter.cpp" "src/analysis/CMakeFiles/v6t_analysis.dir/heavy_hitter.cpp.o" "gcc" "src/analysis/CMakeFiles/v6t_analysis.dir/heavy_hitter.cpp.o.d"
+  "/root/repo/src/analysis/hoplimit.cpp" "src/analysis/CMakeFiles/v6t_analysis.dir/hoplimit.cpp.o" "gcc" "src/analysis/CMakeFiles/v6t_analysis.dir/hoplimit.cpp.o.d"
+  "/root/repo/src/analysis/nist.cpp" "src/analysis/CMakeFiles/v6t_analysis.dir/nist.cpp.o" "gcc" "src/analysis/CMakeFiles/v6t_analysis.dir/nist.cpp.o.d"
+  "/root/repo/src/analysis/overlap.cpp" "src/analysis/CMakeFiles/v6t_analysis.dir/overlap.cpp.o" "gcc" "src/analysis/CMakeFiles/v6t_analysis.dir/overlap.cpp.o.d"
+  "/root/repo/src/analysis/portscan.cpp" "src/analysis/CMakeFiles/v6t_analysis.dir/portscan.cpp.o" "gcc" "src/analysis/CMakeFiles/v6t_analysis.dir/portscan.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/v6t_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/v6t_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/v6t_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/v6t_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/taxonomy.cpp" "src/analysis/CMakeFiles/v6t_analysis.dir/taxonomy.cpp.o" "gcc" "src/analysis/CMakeFiles/v6t_analysis.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/v6t_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v6t_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/v6t_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/v6t_telescope.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6t_analysis.dir/addr_class.cpp.o"
+  "CMakeFiles/v6t_analysis.dir/addr_class.cpp.o.d"
+  "CMakeFiles/v6t_analysis.dir/autocorr.cpp.o"
+  "CMakeFiles/v6t_analysis.dir/autocorr.cpp.o.d"
+  "CMakeFiles/v6t_analysis.dir/entropy_profile.cpp.o"
+  "CMakeFiles/v6t_analysis.dir/entropy_profile.cpp.o.d"
+  "CMakeFiles/v6t_analysis.dir/fingerprint.cpp.o"
+  "CMakeFiles/v6t_analysis.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/v6t_analysis.dir/heavy_hitter.cpp.o"
+  "CMakeFiles/v6t_analysis.dir/heavy_hitter.cpp.o.d"
+  "CMakeFiles/v6t_analysis.dir/hoplimit.cpp.o"
+  "CMakeFiles/v6t_analysis.dir/hoplimit.cpp.o.d"
+  "CMakeFiles/v6t_analysis.dir/nist.cpp.o"
+  "CMakeFiles/v6t_analysis.dir/nist.cpp.o.d"
+  "CMakeFiles/v6t_analysis.dir/overlap.cpp.o"
+  "CMakeFiles/v6t_analysis.dir/overlap.cpp.o.d"
+  "CMakeFiles/v6t_analysis.dir/portscan.cpp.o"
+  "CMakeFiles/v6t_analysis.dir/portscan.cpp.o.d"
+  "CMakeFiles/v6t_analysis.dir/report.cpp.o"
+  "CMakeFiles/v6t_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/v6t_analysis.dir/stats.cpp.o"
+  "CMakeFiles/v6t_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/v6t_analysis.dir/taxonomy.cpp.o"
+  "CMakeFiles/v6t_analysis.dir/taxonomy.cpp.o.d"
+  "libv6t_analysis.a"
+  "libv6t_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6t_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

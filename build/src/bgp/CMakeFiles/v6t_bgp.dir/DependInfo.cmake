@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/feed.cpp" "src/bgp/CMakeFiles/v6t_bgp.dir/feed.cpp.o" "gcc" "src/bgp/CMakeFiles/v6t_bgp.dir/feed.cpp.o.d"
+  "/root/repo/src/bgp/hitlist.cpp" "src/bgp/CMakeFiles/v6t_bgp.dir/hitlist.cpp.o" "gcc" "src/bgp/CMakeFiles/v6t_bgp.dir/hitlist.cpp.o.d"
+  "/root/repo/src/bgp/looking_glass.cpp" "src/bgp/CMakeFiles/v6t_bgp.dir/looking_glass.cpp.o" "gcc" "src/bgp/CMakeFiles/v6t_bgp.dir/looking_glass.cpp.o.d"
+  "/root/repo/src/bgp/rib.cpp" "src/bgp/CMakeFiles/v6t_bgp.dir/rib.cpp.o" "gcc" "src/bgp/CMakeFiles/v6t_bgp.dir/rib.cpp.o.d"
+  "/root/repo/src/bgp/splitter.cpp" "src/bgp/CMakeFiles/v6t_bgp.dir/splitter.cpp.o" "gcc" "src/bgp/CMakeFiles/v6t_bgp.dir/splitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/v6t_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v6t_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

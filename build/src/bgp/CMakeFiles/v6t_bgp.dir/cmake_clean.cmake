@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6t_bgp.dir/feed.cpp.o"
+  "CMakeFiles/v6t_bgp.dir/feed.cpp.o.d"
+  "CMakeFiles/v6t_bgp.dir/hitlist.cpp.o"
+  "CMakeFiles/v6t_bgp.dir/hitlist.cpp.o.d"
+  "CMakeFiles/v6t_bgp.dir/looking_glass.cpp.o"
+  "CMakeFiles/v6t_bgp.dir/looking_glass.cpp.o.d"
+  "CMakeFiles/v6t_bgp.dir/rib.cpp.o"
+  "CMakeFiles/v6t_bgp.dir/rib.cpp.o.d"
+  "CMakeFiles/v6t_bgp.dir/splitter.cpp.o"
+  "CMakeFiles/v6t_bgp.dir/splitter.cpp.o.d"
+  "libv6t_bgp.a"
+  "libv6t_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6t_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6t_core.dir/config.cpp.o"
+  "CMakeFiles/v6t_core.dir/config.cpp.o.d"
+  "CMakeFiles/v6t_core.dir/experiment.cpp.o"
+  "CMakeFiles/v6t_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/v6t_core.dir/guidance.cpp.o"
+  "CMakeFiles/v6t_core.dir/guidance.cpp.o.d"
+  "CMakeFiles/v6t_core.dir/summary.cpp.o"
+  "CMakeFiles/v6t_core.dir/summary.cpp.o.d"
+  "libv6t_core.a"
+  "libv6t_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6t_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/asn.cpp" "src/net/CMakeFiles/v6t_net.dir/asn.cpp.o" "gcc" "src/net/CMakeFiles/v6t_net.dir/asn.cpp.o.d"
+  "/root/repo/src/net/ipv6.cpp" "src/net/CMakeFiles/v6t_net.dir/ipv6.cpp.o" "gcc" "src/net/CMakeFiles/v6t_net.dir/ipv6.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/v6t_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/v6t_net.dir/pcap.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "src/net/CMakeFiles/v6t_net.dir/prefix.cpp.o" "gcc" "src/net/CMakeFiles/v6t_net.dir/prefix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/v6t_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

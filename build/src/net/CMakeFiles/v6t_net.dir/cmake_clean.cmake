@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6t_net.dir/asn.cpp.o"
+  "CMakeFiles/v6t_net.dir/asn.cpp.o.d"
+  "CMakeFiles/v6t_net.dir/ipv6.cpp.o"
+  "CMakeFiles/v6t_net.dir/ipv6.cpp.o.d"
+  "CMakeFiles/v6t_net.dir/pcap.cpp.o"
+  "CMakeFiles/v6t_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/v6t_net.dir/prefix.cpp.o"
+  "CMakeFiles/v6t_net.dir/prefix.cpp.o.d"
+  "libv6t_net.a"
+  "libv6t_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6t_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

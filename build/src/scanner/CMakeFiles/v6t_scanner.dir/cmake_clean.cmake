@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6t_scanner.dir/population.cpp.o"
+  "CMakeFiles/v6t_scanner.dir/population.cpp.o.d"
+  "CMakeFiles/v6t_scanner.dir/scanner.cpp.o"
+  "CMakeFiles/v6t_scanner.dir/scanner.cpp.o.d"
+  "CMakeFiles/v6t_scanner.dir/target_gen.cpp.o"
+  "CMakeFiles/v6t_scanner.dir/target_gen.cpp.o.d"
+  "CMakeFiles/v6t_scanner.dir/tga.cpp.o"
+  "CMakeFiles/v6t_scanner.dir/tga.cpp.o.d"
+  "libv6t_scanner.a"
+  "libv6t_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6t_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

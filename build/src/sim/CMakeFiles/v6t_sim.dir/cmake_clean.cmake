@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6t_sim.dir/engine.cpp.o"
+  "CMakeFiles/v6t_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/v6t_sim.dir/rng.cpp.o"
+  "CMakeFiles/v6t_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/v6t_sim.dir/time.cpp.o"
+  "CMakeFiles/v6t_sim.dir/time.cpp.o.d"
+  "libv6t_sim.a"
+  "libv6t_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6t_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telescope/capture_store.cpp" "src/telescope/CMakeFiles/v6t_telescope.dir/capture_store.cpp.o" "gcc" "src/telescope/CMakeFiles/v6t_telescope.dir/capture_store.cpp.o.d"
+  "/root/repo/src/telescope/fabric.cpp" "src/telescope/CMakeFiles/v6t_telescope.dir/fabric.cpp.o" "gcc" "src/telescope/CMakeFiles/v6t_telescope.dir/fabric.cpp.o.d"
+  "/root/repo/src/telescope/session.cpp" "src/telescope/CMakeFiles/v6t_telescope.dir/session.cpp.o" "gcc" "src/telescope/CMakeFiles/v6t_telescope.dir/session.cpp.o.d"
+  "/root/repo/src/telescope/telescope.cpp" "src/telescope/CMakeFiles/v6t_telescope.dir/telescope.cpp.o" "gcc" "src/telescope/CMakeFiles/v6t_telescope.dir/telescope.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/v6t_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v6t_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/v6t_bgp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

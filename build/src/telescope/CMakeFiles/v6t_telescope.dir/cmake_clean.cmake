@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6t_telescope.dir/capture_store.cpp.o"
+  "CMakeFiles/v6t_telescope.dir/capture_store.cpp.o.d"
+  "CMakeFiles/v6t_telescope.dir/fabric.cpp.o"
+  "CMakeFiles/v6t_telescope.dir/fabric.cpp.o.d"
+  "CMakeFiles/v6t_telescope.dir/session.cpp.o"
+  "CMakeFiles/v6t_telescope.dir/session.cpp.o.d"
+  "CMakeFiles/v6t_telescope.dir/telescope.cpp.o"
+  "CMakeFiles/v6t_telescope.dir/telescope.cpp.o.d"
+  "libv6t_telescope.a"
+  "libv6t_telescope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6t_telescope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

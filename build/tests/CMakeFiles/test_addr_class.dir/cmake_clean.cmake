@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_addr_class.dir/test_addr_class.cpp.o"
+  "CMakeFiles/test_addr_class.dir/test_addr_class.cpp.o.d"
+  "test_addr_class"
+  "test_addr_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_addr_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

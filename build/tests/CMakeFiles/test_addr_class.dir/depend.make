@@ -1,0 +1,2 @@
+# Empty dependencies file for test_addr_class.
+# This may be replaced when dependencies are built.

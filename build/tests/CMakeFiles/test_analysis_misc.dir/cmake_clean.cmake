@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_misc.dir/test_analysis_misc.cpp.o"
+  "CMakeFiles/test_analysis_misc.dir/test_analysis_misc.cpp.o.d"
+  "test_analysis_misc"
+  "test_analysis_misc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

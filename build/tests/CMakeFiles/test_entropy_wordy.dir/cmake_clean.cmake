@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_entropy_wordy.dir/test_entropy_wordy.cpp.o"
+  "CMakeFiles/test_entropy_wordy.dir/test_entropy_wordy.cpp.o.d"
+  "test_entropy_wordy"
+  "test_entropy_wordy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_entropy_wordy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

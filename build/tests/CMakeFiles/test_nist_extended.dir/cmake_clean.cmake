@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nist_extended.dir/test_nist_extended.cpp.o"
+  "CMakeFiles/test_nist_extended.dir/test_nist_extended.cpp.o.d"
+  "test_nist_extended"
+  "test_nist_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nist_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlap_hoplimit.dir/test_overlap_hoplimit.cpp.o"
+  "CMakeFiles/test_overlap_hoplimit.dir/test_overlap_hoplimit.cpp.o.d"
+  "test_overlap_hoplimit"
+  "test_overlap_hoplimit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlap_hoplimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

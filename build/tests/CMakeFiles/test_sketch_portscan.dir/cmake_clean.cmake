@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sketch_portscan.dir/test_sketch_portscan.cpp.o"
+  "CMakeFiles/test_sketch_portscan.dir/test_sketch_portscan.cpp.o.d"
+  "test_sketch_portscan"
+  "test_sketch_portscan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sketch_portscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sweeps.dir/test_sweeps.cpp.o"
+  "CMakeFiles/test_sweeps.dir/test_sweeps.cpp.o.d"
+  "test_sweeps"
+  "test_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telescope.dir/test_telescope.cpp.o"
+  "CMakeFiles/test_telescope.dir/test_telescope.cpp.o.d"
+  "test_telescope"
+  "test_telescope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telescope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

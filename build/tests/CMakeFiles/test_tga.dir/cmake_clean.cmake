@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tga.dir/test_tga.cpp.o"
+  "CMakeFiles/test_tga.dir/test_tga.cpp.o.d"
+  "test_tga"
+  "test_tga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

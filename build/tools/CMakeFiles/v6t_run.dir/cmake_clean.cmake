@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6t_run.dir/v6t_run.cpp.o"
+  "CMakeFiles/v6t_run.dir/v6t_run.cpp.o.d"
+  "v6t_run"
+  "v6t_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6t_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

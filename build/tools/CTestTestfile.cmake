@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[v6t_run_print_config]=] "/root/repo/build/tools/v6t_run" "--print-config")
+set_tests_properties([=[v6t_run_print_config]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test([=[v6t_run_rejects_bad_config]=] "/root/repo/build/tools/v6t_run" "/nonexistent.conf")
+set_tests_properties([=[v6t_run_rejects_bad_config]=] PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
