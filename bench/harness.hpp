@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/experiment.hpp"
+#include "core/runner.hpp"
 #include "core/summary.hpp"
 #include "analysis/report.hpp"
 
@@ -55,6 +56,48 @@ inline RunContext runStandard(const char* benchName) {
   std::cout << "simulated " << sim::toString(ctx.experiment->experimentEnd())
             << ", events=" << ctx.experiment->engine().executedEvents()
             << ", agents=" << ctx.experiment->population().size() << "\n\n";
+  return ctx;
+}
+
+/// Run the standard experiment through the sharded ExperimentRunner with
+/// `threads` worker shards (V6T_THREADS overrides) and report per-shard
+/// wall time plus the speedup over the aggregated shard work — the
+/// merged result is bitwise-identical for every thread count, so benches
+/// are free to pick whatever parallelism the host offers.
+struct ShardedRunContext {
+  std::unique_ptr<core::ExperimentRunner> runner;
+  core::ExperimentSummary summary;
+};
+
+inline ShardedRunContext runSharded(const char* benchName, unsigned threads) {
+  if (const char* s = std::getenv("V6T_THREADS")) {
+    threads = static_cast<unsigned>(std::strtoul(s, nullptr, 10));
+  }
+  if (threads == 0) threads = 1;
+  std::cout << "== " << benchName << " ==\n";
+  core::RunnerConfig config;
+  config.experiment = standardConfig();
+  config.experiment.threads = threads;
+  std::cout << "running sharded simulation (seed=" << config.experiment.seed
+            << ", threads=" << threads << ") ...\n";
+  ShardedRunContext ctx;
+  ctx.runner = std::make_unique<core::ExperimentRunner>(config);
+  ctx.runner->run();
+  ctx.summary = core::ExperimentSummary::compute(*ctx.runner);
+  const core::RunnerStats& stats = ctx.runner->stats();
+  double shardWorkSeconds = 0;
+  for (const core::ShardStats& shard : stats.shards) {
+    std::cout << "shard " << shard.shardId << ": scanners=" << shard.scanners
+              << " events=" << shard.events << " wall=" << shard.wallSeconds
+              << "s\n";
+    shardWorkSeconds += shard.wallSeconds;
+  }
+  std::cout << "shards=" << stats.shards.size() << " run="
+            << stats.runWallSeconds << "s merge=" << stats.mergeWallSeconds
+            << "s speedup=" << (stats.runWallSeconds > 0
+                                    ? shardWorkSeconds / stats.runWallSeconds
+                                    : 0.0)
+            << "x (total shard work " << shardWorkSeconds << "s)\n\n";
   return ctx;
 }
 

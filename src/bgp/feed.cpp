@@ -2,10 +2,20 @@
 
 namespace v6t::bgp {
 
-BgpFeed::SubscriberId BgpFeed::subscribe(PropagationModel model, Callback cb) {
+BgpFeed::SubscriberId BgpFeed::subscribe(PropagationModel model,
+                                         std::uint64_t streamKey,
+                                         Callback cb) {
   const SubscriberId id = nextId_++;
-  subscribers_.emplace(id, Subscriber{model, std::move(cb)});
+  subscribers_.emplace(
+      id, Subscriber{model, std::move(cb),
+                     sim::Rng{sim::deriveStreamSeed(seed_, streamKey)}});
   return id;
+}
+
+BgpFeed::SubscriberId BgpFeed::subscribe(PropagationModel model, Callback cb) {
+  // Counter-derived key: deterministic within one feed instance, but tied to
+  // subscription order — consumers that must survive sharding pass a key.
+  return subscribe(model, 0x5559bbbf00000000ULL | nextId_, std::move(cb));
 }
 
 void BgpFeed::unsubscribe(SubscriberId id) { subscribers_.erase(id); }
@@ -25,8 +35,8 @@ void BgpFeed::withdraw(const net::Prefix& prefix) {
 }
 
 void BgpFeed::publish(const BgpUpdate& update) {
-  for (const auto& [id, sub] : subscribers_) {
-    const sim::Duration delay = sub.model.sample(rng_);
+  for (auto& [id, sub] : subscribers_) {
+    const sim::Duration delay = sub.model.sample(sub.rng);
     // Copy the callback: the subscriber may unsubscribe before delivery, in
     // which case the update must be dropped, so route through the id.
     const SubscriberId sid = id;

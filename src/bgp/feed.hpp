@@ -37,9 +37,20 @@ public:
   using Callback = std::function<void(const BgpUpdate&)>;
 
   BgpFeed(sim::Engine& engine, Rib& rib, std::uint64_t seed)
-      : engine_(engine), rib_(rib), rng_(seed) {}
+      : engine_(engine), rib_(rib), seed_(seed) {}
 
-  /// Register a consumer; `model` determines its visibility lag.
+  /// Register a consumer; `model` determines its visibility lag. The lag of
+  /// every delivered update is drawn from a private RNG stream derived from
+  /// (feed seed, streamKey): a consumer with a stable key sees the same lag
+  /// sequence regardless of which other consumers exist. This is the
+  /// invariant the sharded experiment runner builds on — a scanner keyed by
+  /// its id behaves identically whether it shares the feed with the whole
+  /// population or with a 1/N shard of it.
+  SubscriberId subscribe(PropagationModel model, std::uint64_t streamKey,
+                         Callback cb);
+
+  /// Convenience for consumers without a natural stable key (tests, ad-hoc
+  /// probes): keys off the subscription counter. Not shard-invariant.
   SubscriberId subscribe(PropagationModel model, Callback cb);
 
   void unsubscribe(SubscriberId id);
@@ -58,16 +69,18 @@ private:
   struct Subscriber {
     PropagationModel model;
     Callback cb;
+    sim::Rng rng; // private lag stream, derived from (seed_, streamKey)
   };
 
   void publish(const BgpUpdate& update);
 
   sim::Engine& engine_;
   Rib& rib_;
-  sim::Rng rng_;
+  std::uint64_t seed_;
   SubscriberId nextId_ = 1;
-  // Ordered map: subscriber notification order (and thus RNG consumption)
-  // must be deterministic for reproducible runs.
+  // Ordered map: subscriber notification order must be deterministic for
+  // reproducible runs (each lag comes from the subscriber's own stream, so
+  // the order affects only same-instant event sequencing).
   std::map<SubscriberId, Subscriber> subscribers_;
 };
 

@@ -2,10 +2,17 @@
 
 namespace v6t::bgp {
 
+namespace {
+/// Stable feed-stream key of the hitlist service, outside the scanner-id
+/// range so sharded and serial runs draw identical collection lags.
+constexpr std::uint64_t kHitlistStreamKey = 0x484954'4c495354ULL; // "HITLIST"
+} // namespace
+
 HitlistService::HitlistService(sim::Engine& engine, BgpFeed& feed,
                                Params params, std::uint64_t seed)
     : engine_(engine), params_(params), rng_(seed) {
   feed.subscribe(PropagationModel{sim::minutes(5), sim::minutes(30)},
+                 kHitlistStreamKey,
                  [this](const BgpUpdate& u) { handleUpdate(u); });
 }
 

@@ -135,6 +135,13 @@ ConfigParseResult parseExperimentConfig(std::istream& in) {
       setPrefix(c.t3Prefix);
     } else if (key == "t4_prefix") {
       setPrefix(c.t4Prefix);
+    } else if (key == "threads") {
+      std::uint64_t v = 0;
+      if (!parseU64(value, v) || v < 1 || v > 64) {
+        error("threads must be 1..64: '" + value + "'");
+      } else {
+        c.threads = static_cast<unsigned>(v);
+      }
     } else if (key == "our_asn") {
       std::uint64_t v = 0;
       if (!parseU64(value, v) || v == 0 || v > 0xffffffffULL) {
@@ -198,7 +205,8 @@ std::string formatExperimentConfig(const ExperimentConfig& c) {
       << "covering = " << c.covering.toString() << "\n"
       << "t3_prefix = " << c.t3Prefix.toString() << "\n"
       << "t4_prefix = " << c.t4Prefix.toString() << "\n"
-      << "our_asn = " << c.ourAsn.value() << "\n";
+      << "our_asn = " << c.ourAsn.value() << "\n"
+      << "threads = " << c.threads << "\n";
   return out.str();
 }
 

@@ -2,36 +2,43 @@
 
 namespace v6t::core {
 
+std::array<std::unique_ptr<telescope::Telescope>, 4> makeTelescopes(
+    const ExperimentConfig& config) {
+  std::array<std::unique_ptr<telescope::Telescope>, 4> telescopes;
+  telescopes[T1] = std::make_unique<telescope::Telescope>(
+      telescope::TelescopeConfig{"T1",
+                                 {config.t1Base},
+                                 telescope::Mode::Passive,
+                                 std::nullopt,
+                                 std::nullopt});
+  telescopes[T2] = std::make_unique<telescope::Telescope>(
+      telescope::TelescopeConfig{"T2",
+                                 {config.t2Prefix},
+                                 telescope::Mode::Traceable,
+                                 config.t2Productive,
+                                 config.t2Attractor});
+  telescopes[T3] = std::make_unique<telescope::Telescope>(
+      telescope::TelescopeConfig{"T3",
+                                 {config.t3Prefix},
+                                 telescope::Mode::Passive,
+                                 std::nullopt,
+                                 std::nullopt});
+  telescopes[T4] = std::make_unique<telescope::Telescope>(
+      telescope::TelescopeConfig{"T4",
+                                 {config.t4Prefix},
+                                 telescope::Mode::Active,
+                                 std::nullopt,
+                                 std::nullopt});
+  return telescopes;
+}
+
 Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
   feed_ = std::make_unique<bgp::BgpFeed>(engine_, rib_, config_.seed ^ 0xfeed);
   hitlist_ = std::make_unique<bgp::HitlistService>(
       engine_, *feed_, bgp::HitlistService::Params{}, config_.seed ^ 0x417);
   fabric_ = std::make_unique<telescope::DeliveryFabric>(engine_, rib_);
 
-  telescopes_[T1] = std::make_unique<telescope::Telescope>(
-      telescope::TelescopeConfig{"T1",
-                                 {config_.t1Base},
-                                 telescope::Mode::Passive,
-                                 std::nullopt,
-                                 std::nullopt});
-  telescopes_[T2] = std::make_unique<telescope::Telescope>(
-      telescope::TelescopeConfig{"T2",
-                                 {config_.t2Prefix},
-                                 telescope::Mode::Traceable,
-                                 config_.t2Productive,
-                                 config_.t2Attractor});
-  telescopes_[T3] = std::make_unique<telescope::Telescope>(
-      telescope::TelescopeConfig{"T3",
-                                 {config_.t3Prefix},
-                                 telescope::Mode::Passive,
-                                 std::nullopt,
-                                 std::nullopt});
-  telescopes_[T4] = std::make_unique<telescope::Telescope>(
-      telescope::TelescopeConfig{"T4",
-                                 {config_.t4Prefix},
-                                 telescope::Mode::Active,
-                                 std::nullopt,
-                                 std::nullopt});
+  telescopes_ = makeTelescopes(config_);
   for (auto& t : telescopes_) fabric_->attach(*t);
 
   // The split schedule for T1.
@@ -59,8 +66,8 @@ Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
   populationParams.coveringPrefix = config_.covering;
   populationParams.start = sim::kEpoch;
   populationParams.end = controller_->schedule().endOfExperiment();
-  scanner::PopulationBuilder builder{populationParams, engine_, *fabric_};
-  population_ = builder.build();
+  scanner::PopulationBuilder builder{populationParams};
+  population_ = scanner::instantiate(builder.plan(), engine_, *fabric_);
 }
 
 std::array<const telescope::Telescope*, 4> Experiment::telescopes() const {

@@ -58,10 +58,21 @@ struct ExperimentConfig {
   /// Stop the simulation early (e.g. after the baseline only); nullopt
   /// runs the complete schedule.
   std::optional<sim::Duration> runLimit;
+
+  /// Worker shards for the parallel ExperimentRunner; the serial Experiment
+  /// ignores it. The runner's results are bitwise-identical for every value
+  /// — see DESIGN.md's determinism contract.
+  unsigned threads = 1;
 };
 
 /// Indexes into telescopes().
 enum TelescopeIndex : std::size_t { T1 = 0, T2 = 1, T3 = 2, T4 = 3 };
+
+/// The four observation points of §3.1 for a given address plan. Shared by
+/// the serial Experiment and every shard of the parallel runner, so the
+/// two worlds can never drift apart.
+[[nodiscard]] std::array<std::unique_ptr<telescope::Telescope>, 4>
+makeTelescopes(const ExperimentConfig& config);
 
 class Experiment {
 public:

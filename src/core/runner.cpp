@@ -1,0 +1,240 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "bgp/feed.hpp"
+#include "bgp/hitlist.hpp"
+#include "bgp/rib.hpp"
+#include "telescope/fabric.hpp"
+#include "telescope/telescope.hpp"
+
+namespace v6t::core {
+
+namespace {
+
+/// One precomputed control-plane operation, broadcast to every shard.
+struct FeedAction {
+  sim::SimTime at;
+  bool announce = true;
+  net::Prefix prefix;
+  net::Asn origin;
+};
+
+/// The full control-plane script, chronological: the static t = 0
+/// announcements plus everything the SplitController would do. Pure data —
+/// shards replay it against their private feeds, so no shard ever talks to
+/// another shard's control plane.
+std::vector<FeedAction> feedScript(const ExperimentConfig& config,
+                                   const bgp::SplitSchedule& schedule) {
+  std::vector<FeedAction> script;
+  // The long-standing announcements exist from the first instant, in the
+  // same order Experiment::run issues them.
+  script.push_back({sim::kEpoch, true, config.t2Prefix, config.ourAsn});
+  script.push_back({sim::kEpoch, true, config.covering, config.coveringAsn});
+  for (const bgp::AnnouncementCycle& cycle : schedule.cycles()) {
+    if (cycle.index > 0) {
+      const bgp::AnnouncementCycle& prev =
+          schedule.cycles()[static_cast<std::size_t>(cycle.index) - 1];
+      for (const net::Prefix& p : prev.announced) {
+        script.push_back({cycle.withdrawAt, false, p, config.ourAsn});
+      }
+    }
+    for (const net::Prefix& p : cycle.announced) {
+      script.push_back({cycle.announceAt, true, p, config.ourAsn});
+    }
+  }
+  return script;
+}
+
+/// A shard's private world: the complete control plane plus its population
+/// slice. Mirrors Experiment's construction exactly (same seeds, same
+/// component order) so threads=1 reproduces the serial environment.
+struct ShardWorld {
+  sim::Engine engine;
+  bgp::Rib rib;
+  std::unique_ptr<bgp::BgpFeed> feed;
+  std::unique_ptr<bgp::HitlistService> hitlist;
+  std::unique_ptr<telescope::DeliveryFabric> fabric;
+  std::array<std::unique_ptr<telescope::Telescope>, 4> telescopes;
+  scanner::Population population;
+
+  ShardWorld(const ExperimentConfig& config,
+             const scanner::PopulationPlan& plan, unsigned shardCount,
+             unsigned shardId) {
+    feed = std::make_unique<bgp::BgpFeed>(engine, rib, config.seed ^ 0xfeed);
+    hitlist = std::make_unique<bgp::HitlistService>(
+        engine, *feed, bgp::HitlistService::Params{}, config.seed ^ 0x417);
+    fabric = std::make_unique<telescope::DeliveryFabric>(engine, rib);
+    fabric->setShard(shardId, shardCount);
+    telescopes = makeTelescopes(config);
+    for (auto& t : telescopes) fabric->attach(*t);
+    population =
+        scanner::instantiate(plan, engine, *fabric, shardCount, shardId);
+  }
+};
+
+} // namespace
+
+ExperimentRunner::ExperimentRunner(RunnerConfig config)
+    : config_(std::move(config)) {
+  bgp::SplitSchedule::Params scheduleParams;
+  scheduleParams.base = config_.experiment.t1Base;
+  scheduleParams.start = sim::kEpoch;
+  scheduleParams.baseline = config_.experiment.baseline;
+  scheduleParams.cycle = config_.experiment.cycle;
+  scheduleParams.withdrawGap = config_.experiment.withdrawGap;
+  scheduleParams.splits = config_.experiment.splits;
+  schedule_ = bgp::SplitSchedule::make(scheduleParams);
+
+  scanner::PopulationParams populationParams;
+  populationParams.seed = config_.experiment.seed;
+  populationParams.sourceScale = config_.experiment.sourceScale;
+  populationParams.volumeScale = config_.experiment.volumeScale;
+  populationParams.t1Base = config_.experiment.t1Base;
+  populationParams.t2Prefix = config_.experiment.t2Prefix;
+  populationParams.t2Attractor = config_.experiment.t2Attractor;
+  populationParams.t3Prefix = config_.experiment.t3Prefix;
+  populationParams.t4Prefix = config_.experiment.t4Prefix;
+  populationParams.coveringPrefix = config_.experiment.covering;
+  populationParams.start = sim::kEpoch;
+  populationParams.end = schedule_.endOfExperiment();
+  // The plan is computed once, serially: the builder's RNG draw sequence
+  // defines the population, and every shard instantiates from this one
+  // shared (read-only) plan.
+  plan_ = scanner::PopulationBuilder{populationParams}.plan();
+}
+
+sim::SimTime ExperimentRunner::experimentEnd() const {
+  return config_.experiment.runLimit
+             ? sim::kEpoch + *config_.experiment.runLimit
+             : schedule_.endOfExperiment();
+}
+
+std::array<const telescope::CaptureStore*, 4> ExperimentRunner::captures()
+    const {
+  return {&captures_[0], &captures_[1], &captures_[2], &captures_[3]};
+}
+
+void ExperimentRunner::run() {
+  if (ran_) return;
+  ran_ = true;
+
+  using Clock = std::chrono::steady_clock;
+  const unsigned shardCount = std::max(1u, config_.experiment.threads);
+  const sim::SimTime end = experimentEnd();
+  const std::vector<FeedAction> script =
+      feedScript(config_.experiment, schedule_);
+
+  std::vector<std::unique_ptr<ShardWorld>> worlds(shardCount);
+  stats_.shards.assign(shardCount, ShardStats{});
+  std::barrier<> barrier(static_cast<std::ptrdiff_t>(shardCount));
+  std::mutex errorMutex;
+  std::exception_ptr firstError;
+
+  auto worker = [&](unsigned shardId) {
+    ShardStats& shard = stats_.shards[shardId];
+    shard.shardId = shardId;
+    const auto t0 = Clock::now();
+    try {
+      auto world = std::make_unique<ShardWorld>(config_.experiment, plan_,
+                                                shardCount, shardId);
+      shard.scanners = world->population.size();
+
+      std::size_t cursor = 0;
+      auto inject = [&](sim::SimTime upTo) {
+        while (cursor < script.size() && script[cursor].at <= upTo) {
+          const FeedAction& a = script[cursor++];
+          world->engine.schedule(a.at, [w = world.get(), a]() {
+            if (a.announce) {
+              w->feed->announce(a.prefix, a.origin);
+            } else {
+              w->feed->withdraw(a.prefix);
+            }
+          });
+        }
+      };
+
+      // The first epoch's broadcast happens before any agent comes online:
+      // the t = 0 announcements must be queued ahead of the scanners'
+      // bootstrap events so the RIB is populated when they first send.
+      inject(std::min(sim::kEpoch + config_.epoch, end));
+      world->population.startAll(world->feed.get(), world->hitlist.get());
+
+      shard.events = world->engine.runEpochs(
+          end, config_.epoch, [&](int epochIndex, sim::SimTime sliceEnd) {
+            barrier.arrive_and_wait();
+            if (epochIndex > 0) inject(sliceEnd);
+          });
+
+      for (const auto& t : world->telescopes) {
+        shard.packetsCaptured += t->capture().packetCount();
+        shard.excludedPackets += t->excludedPackets();
+      }
+      shard.droppedNoRoute = world->fabric->droppedNoRoute();
+      shard.deliveredToVoid = world->fabric->deliveredToVoid();
+      worlds[shardId] = std::move(world);
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+      }
+      // Leave the barrier so surviving shards don't deadlock; this shard's
+      // world stays null and the failure is rethrown after the join.
+      barrier.arrive_and_drop();
+    }
+    shard.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  const auto runStart = Clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(shardCount);
+    for (unsigned s = 0; s < shardCount; ++s) {
+      threads.emplace_back(worker, s);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  stats_.runWallSeconds =
+      std::chrono::duration<double>(Clock::now() - runStart).count();
+  if (firstError) std::rethrow_exception(firstError);
+
+  // Deterministic merge: concatenate per-shard buffers and sort into the
+  // canonical (ts, originId, originSeq) order — also for one shard, whose
+  // buffer arrives in engine-sequence order.
+  const auto mergeStart = Clock::now();
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::vector<const telescope::CaptureStore*> shards;
+    shards.reserve(shardCount);
+    for (const auto& world : worlds) {
+      shards.push_back(&world->telescopes[i]->capture());
+    }
+    captures_[i].mergeFrom(shards);
+    stats_.packetsMerged += captures_[i].packetCount();
+  }
+  stats_.mergeWallSeconds =
+      std::chrono::duration<double>(Clock::now() - mergeStart).count();
+
+  for (const ShardStats& shard : stats_.shards) {
+    stats_.totalEvents += shard.events;
+    stats_.droppedNoRoute += shard.droppedNoRoute;
+    stats_.deliveredToVoid += shard.deliveredToVoid;
+    stats_.excludedPackets += shard.excludedPackets;
+  }
+
+  // The route6 object of §3.2 is a pure registry record with no effect on
+  // any agent; keep it at the runner level instead of per shard.
+  if (sim::kEpoch + config_.experiment.routeObjectAt <= end) {
+    const auto [lower, upper] = config_.experiment.t1Base.split();
+    irr_.addRoute6(lower, config_.experiment.ourAsn,
+                   sim::kEpoch + config_.experiment.routeObjectAt);
+  }
+}
+
+} // namespace v6t::core

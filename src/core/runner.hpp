@@ -1,0 +1,117 @@
+// v6t::core — the sharded parallel experiment runner.
+//
+// ExperimentRunner executes the same 44-week timeline as Experiment, but
+// partitioned across N worker shards. Each shard owns a complete private
+// replica of the control plane — engine, RIB, BGP feed, hitlist service,
+// delivery fabric, and all four telescopes — and runs a 1/N slice of the
+// scanner population (spec i lands in shard i mod N). The control-plane
+// actions (the split schedule's announcements/withdraws and the static
+// t = 0 announcements) are precomputed once from the SplitSchedule and
+// broadcast read-only to every shard at epoch boundaries; a std::barrier
+// keeps the shards' simulated clocks within one epoch of each other.
+//
+// Determinism contract: the merged result is bitwise-identical to the
+// serial run for ANY thread count. Two properties make this hold:
+//
+//   1. Scanners are mutually independent given the control plane. Every
+//      cross-agent randomness source is keyed, not shared: a scanner's
+//      BGP-feed lag stream derives from (feed seed, scanner id), the
+//      hitlist's from a fixed key — so a shard that hosts 1/N of the
+//      population draws exactly the lags the full population would.
+//   2. Each packet carries (originId, originSeq) — the emitting scanner
+//      and its emission counter — giving every capture a unique canonical
+//      order (ts, originId, originSeq). The merge stage k-way-merges the
+//      per-shard buffers into that order; the serial path canonicalizes
+//      the same way, so equal shard interleavings are guaranteed rather
+//      than hoped for.
+//
+// The reference for equivalence tests is runner(threads=1); the classic
+// Experiment is kept unchanged as the single-engine reference
+// implementation for the existing benches and examples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bgp/route_object.hpp"
+#include "bgp/splitter.hpp"
+#include "core/experiment.hpp"
+#include "scanner/population.hpp"
+#include "telescope/capture_store.hpp"
+
+namespace v6t::core {
+
+struct RunnerConfig {
+  ExperimentConfig experiment; // `experiment.threads` is the shard count
+  /// Barrier interval: control-plane actions are broadcast to the shards
+  /// one epoch at a time, and no shard's clock may run ahead of a slower
+  /// shard by more than this.
+  sim::Duration epoch = sim::weeks(1);
+};
+
+/// What one worker shard did, for the timing/speedup report.
+struct ShardStats {
+  unsigned shardId = 0;
+  std::size_t scanners = 0;
+  std::uint64_t events = 0;
+  std::uint64_t packetsCaptured = 0; // summed over the shard's telescopes
+  std::uint64_t droppedNoRoute = 0;
+  std::uint64_t deliveredToVoid = 0;
+  std::uint64_t excludedPackets = 0; // landed in T2's productive /56
+  double wallSeconds = 0.0;
+};
+
+struct RunnerStats {
+  std::vector<ShardStats> shards;
+  double runWallSeconds = 0.0; // parallel phase: slowest shard + sync
+  double mergeWallSeconds = 0.0;
+  std::uint64_t totalEvents = 0;
+  std::uint64_t packetsMerged = 0;
+  std::uint64_t droppedNoRoute = 0;
+  std::uint64_t deliveredToVoid = 0;
+  std::uint64_t excludedPackets = 0;
+};
+
+class ExperimentRunner {
+public:
+  explicit ExperimentRunner(RunnerConfig config);
+
+  /// Execute the timeline across the shards and merge the captures. Call
+  /// once.
+  void run();
+
+  [[nodiscard]] const RunnerConfig& config() const { return config_; }
+  [[nodiscard]] const bgp::SplitSchedule& schedule() const {
+    return schedule_;
+  }
+  /// Merged capture of telescope `i` (TelescopeIndex), in canonical order.
+  [[nodiscard]] const telescope::CaptureStore& capture(std::size_t i) const {
+    return captures_[i];
+  }
+  [[nodiscard]] std::array<const telescope::CaptureStore*, 4> captures() const;
+  [[nodiscard]] const std::string& telescopeName(std::size_t i) const {
+    return names_[i];
+  }
+  [[nodiscard]] const net::AsRegistry& asRegistry() const {
+    return plan_.asRegistry;
+  }
+  [[nodiscard]] const net::RdnsRegistry& rdns() const { return plan_.rdns; }
+  [[nodiscard]] const bgp::IrrRegistry& irr() const { return irr_; }
+  [[nodiscard]] std::size_t populationSize() const { return plan_.size(); }
+  [[nodiscard]] const RunnerStats& stats() const { return stats_; }
+  [[nodiscard]] sim::SimTime experimentEnd() const;
+
+private:
+  RunnerConfig config_;
+  bgp::SplitSchedule schedule_;
+  scanner::PopulationPlan plan_;
+  std::array<telescope::CaptureStore, 4> captures_;
+  std::array<std::string, 4> names_{"T1", "T2", "T3", "T4"};
+  bgp::IrrRegistry irr_;
+  RunnerStats stats_;
+  bool ran_ = false;
+};
+
+} // namespace v6t::core

@@ -4,31 +4,47 @@
 
 namespace v6t::core {
 
-ExperimentSummary ExperimentSummary::compute(const Experiment& experiment) {
+ExperimentSummary ExperimentSummary::compute(
+    const std::array<const telescope::CaptureStore*, 4>& captures,
+    const std::array<std::string, 4>& names) {
   ExperimentSummary summary;
   for (std::size_t i = 0; i < 4; ++i) {
-    const telescope::Telescope& t = experiment.telescope(i);
     TelescopeSummary& out = summary.telescopes_[i];
-    out.name = t.name();
-    out.sessions128 =
-        telescope::sessionize(t.capture().packets(),
-                              telescope::SourceAgg::Addr128);
-    out.sessions64 = telescope::sessionize(t.capture().packets(),
+    out.name = names[i];
+    out.sessions128 = telescope::sessionize(captures[i]->packets(),
+                                            telescope::SourceAgg::Addr128);
+    out.sessions64 = telescope::sessionize(captures[i]->packets(),
                                            telescope::SourceAgg::Net64);
   }
   return summary;
 }
 
+ExperimentSummary ExperimentSummary::compute(const Experiment& experiment) {
+  std::array<const telescope::CaptureStore*, 4> captures{};
+  std::array<std::string, 4> names;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const telescope::Telescope& t = experiment.telescope(i);
+    captures[i] = &t.capture();
+    names[i] = t.name();
+  }
+  return compute(captures, names);
+}
+
+ExperimentSummary ExperimentSummary::compute(const ExperimentRunner& runner) {
+  return compute(runner.captures(),
+                 {runner.telescopeName(0), runner.telescopeName(1),
+                  runner.telescopeName(2), runner.telescopeName(3)});
+}
+
 TelescopeSummary::WindowStats ExperimentSummary::windowStats(
-    const Experiment& experiment, std::size_t telescopeIdx,
+    const telescope::CaptureStore& capture, std::size_t telescopeIdx,
     Period period) const {
-  const auto& packets = experiment.telescope(telescopeIdx).capture().packets();
   TelescopeSummary::WindowStats stats;
   std::unordered_set<net::Ipv6Address> s128;
   std::unordered_set<net::Ipv6Address> s64;
   std::unordered_set<std::uint32_t> asns;
   std::unordered_set<net::Ipv6Address> dsts;
-  for (const net::Packet& p : packets) {
+  for (const net::Packet& p : capture.packets()) {
     if (!period.contains(p.ts)) continue;
     ++stats.packets;
     s128.insert(p.src);
@@ -46,28 +62,43 @@ TelescopeSummary::WindowStats ExperimentSummary::windowStats(
   return stats;
 }
 
-std::set<net::Ipv6Address> ExperimentSummary::sources128(
+TelescopeSummary::WindowStats ExperimentSummary::windowStats(
     const Experiment& experiment, std::size_t telescopeIdx,
     Period period) const {
+  return windowStats(experiment.telescope(telescopeIdx).capture(),
+                     telescopeIdx, period);
+}
+
+std::set<net::Ipv6Address> ExperimentSummary::sources128(
+    const telescope::CaptureStore& capture, Period period) {
   std::set<net::Ipv6Address> out;
-  for (const net::Packet& p :
-       experiment.telescope(telescopeIdx).capture().packets()) {
+  for (const net::Packet& p : capture.packets()) {
     if (period.contains(p.ts)) out.insert(p.src);
   }
   return out;
 }
 
 std::set<std::uint32_t> ExperimentSummary::sourceAsns(
-    const Experiment& experiment, std::size_t telescopeIdx,
-    Period period) const {
+    const telescope::CaptureStore& capture, Period period) {
   std::set<std::uint32_t> out;
-  for (const net::Packet& p :
-       experiment.telescope(telescopeIdx).capture().packets()) {
+  for (const net::Packet& p : capture.packets()) {
     if (period.contains(p.ts) && !p.srcAsn.unattributed()) {
       out.insert(p.srcAsn.value());
     }
   }
   return out;
+}
+
+std::set<net::Ipv6Address> ExperimentSummary::sources128(
+    const Experiment& experiment, std::size_t telescopeIdx,
+    Period period) const {
+  return sources128(experiment.telescope(telescopeIdx).capture(), period);
+}
+
+std::set<std::uint32_t> ExperimentSummary::sourceAsns(
+    const Experiment& experiment, std::size_t telescopeIdx,
+    Period period) const {
+  return sourceAsns(experiment.telescope(telescopeIdx).capture(), period);
 }
 
 std::vector<telescope::Session> sessionsIn(

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/runner.hpp"
 #include "telescope/session.hpp"
 
 namespace v6t::core {
@@ -47,8 +48,15 @@ struct TelescopeSummary {
 
 class ExperimentSummary {
 public:
-  /// Sessionize all four captures (both aggregation levels).
+  /// Sessionize all four captures (both aggregation levels). The three
+  /// overloads are interchangeable views of the same computation: a serial
+  /// Experiment, a (merged) parallel ExperimentRunner, or bare capture
+  /// stores with display names.
   static ExperimentSummary compute(const Experiment& experiment);
+  static ExperimentSummary compute(const ExperimentRunner& runner);
+  static ExperimentSummary compute(
+      const std::array<const telescope::CaptureStore*, 4>& captures,
+      const std::array<std::string, 4>& names);
 
   [[nodiscard]] const TelescopeSummary& telescope(std::size_t i) const {
     return telescopes_[i];
@@ -56,6 +64,9 @@ public:
 
   [[nodiscard]] TelescopeSummary::WindowStats windowStats(
       const Experiment& experiment, std::size_t telescopeIdx,
+      Period period) const;
+  [[nodiscard]] TelescopeSummary::WindowStats windowStats(
+      const telescope::CaptureStore& capture, std::size_t telescopeIdx,
       Period period) const;
 
   /// Distinct /128 sources (or origin ASes) seen at a telescope in a
@@ -66,6 +77,10 @@ public:
   [[nodiscard]] std::set<std::uint32_t> sourceAsns(
       const Experiment& experiment, std::size_t telescopeIdx,
       Period period) const;
+  [[nodiscard]] static std::set<net::Ipv6Address> sources128(
+      const telescope::CaptureStore& capture, Period period);
+  [[nodiscard]] static std::set<std::uint32_t> sourceAsns(
+      const telescope::CaptureStore& capture, Period period);
 
 private:
   std::array<TelescopeSummary, 4> telescopes_;

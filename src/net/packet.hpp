@@ -65,6 +65,12 @@ struct Packet {
   std::uint8_t icmpCode = 0; // ICMPv6 only
   std::uint8_t hopLimit = 64;
   Asn srcAsn{}; // routing-layer annotation; 0 if unattributed
+  /// Merge metadata, not part of the wire format (CaptureWriter skips it):
+  /// the emitting scanner's id and its per-scanner emission counter give
+  /// every packet a unique (ts, originId, originSeq) key, which is the
+  /// canonical capture order the sharded runner merges by.
+  std::uint32_t originId = 0;
+  std::uint64_t originSeq = 0;
   std::vector<std::uint8_t> payload;
 
   [[nodiscard]] bool hasPayload() const { return !payload.empty(); }

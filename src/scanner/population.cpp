@@ -25,7 +25,7 @@ std::uint64_t PopulationBuilder::scaledCount(double paperCount) const {
   return std::max<std::uint64_t>(n, paperCount > 0 ? 1 : 0);
 }
 
-void PopulationBuilder::buildAsUniverse(Population& pop) {
+void PopulationBuilder::buildAsUniverse(PopulationPlan& plan) {
   // Table 8 mix over ~2k source ASes (scaled down with the population).
   struct Quota {
     net::NetworkType type;
@@ -64,7 +64,7 @@ void PopulationBuilder::buildAsUniverse(Population& pop) {
       info.type = q.type;
       info.country = countryCode(rng_.below(130));
       info.research = slot.research;
-      pop.asRegistry.add(info);
+      plan.asRegistry.add(info);
     }
   }
 }
@@ -100,7 +100,7 @@ ScannerConfig PopulationBuilder::baseConfig() {
 
 // ---------------------------------------------------------------- groups
 
-void PopulationBuilder::addAtlasProbes(Population& pop) {
+void PopulationBuilder::addAtlasProbes(PopulationPlan& plan) {
   // One-off topology probes: 55% of T1's split-period sources. The pool is
   // larger than the observed count — probes with no interest roll never
   // fire and stay invisible.
@@ -130,15 +130,14 @@ void PopulationBuilder::addAtlasProbes(Population& pop) {
     cfg.knowledge = Knowledge::BgpReactive;
     cfg.reaction = {sim::hours(1), sim::days(5)};
     cfg.protocol = ProtocolProfile{}; // pure ICMPv6
-    auto scanner = std::make_unique<Scanner>(cfg, engine_, fabric_);
     // A probe's stable address has an rDNS name pointing at the platform.
-    pop.rdns.add(scanner->currentSource(),
-                 "p" + std::to_string(cfg.id) + ".probe.atlas.example");
-    pop.scanners.push_back(std::move(scanner));
+    plan.rdns.add(Scanner::initialSourceFor(cfg),
+                  "p" + std::to_string(cfg.id) + ".probe.atlas.example");
+    plan.specs.push_back(std::move(cfg));
   }
 }
 
-void PopulationBuilder::addResearchFarm(Population& pop) {
+void PopulationBuilder::addResearchFarm(PopulationPlan& plan) {
   // Alpha-Strike-like: one hosting AS, many /64 sources, single-prefix
   // structured scans, TCP-heavy, 58% of hosting-category sources.
   const AsSlot& farmAs = pickAs(net::NetworkType::Hosting);
@@ -188,12 +187,11 @@ void PopulationBuilder::addResearchFarm(Population& pop) {
     cfg.protocol.tcpPorts = {net::kPortHttp, net::kPortHttps, net::kPortFtp,
                              net::kPortSsh, net::kPortHttpAlt};
     cfg.protocol.tcpPortWeights = {0.52, 0.26, 0.08, 0.07, 0.07};
-    pop.scanners.push_back(
-        std::make_unique<Scanner>(cfg, engine_, fabric_));
+    plan.specs.push_back(std::move(cfg));
   }
 }
 
-void PopulationBuilder::addSizeIndependentScanners(Population& pop) {
+void PopulationBuilder::addSizeIndependentScanners(PopulationPlan& plan) {
   // BGP-aware research scanners that cover every announced prefix with a
   // roughly equal number of sessions. Carry the public tool fingerprints.
   struct ToolQuota {
@@ -279,17 +277,16 @@ void PopulationBuilder::addSizeIndependentScanners(Population& pop) {
       cfg.protocol.udpTracerouteRange = true;
       cfg.protocol.tcpPorts = {net::kPortHttp, net::kPortHttps};
       cfg.protocol.tcpPortWeights = {0.7, 0.3};
-      auto scanner = std::make_unique<Scanner>(cfg, engine_, fabric_);
       if (quota.tool == net::ScanTool::CaidaArk) {
-        pop.rdns.add(scanner->currentSource(),
-                     "mon" + std::to_string(cfg.id) + ".ark.caida.example");
+        plan.rdns.add(Scanner::initialSourceFor(cfg),
+                      "mon" + std::to_string(cfg.id) + ".ark.caida.example");
       }
-      pop.scanners.push_back(std::move(scanner));
+      plan.specs.push_back(std::move(cfg));
     }
   }
 }
 
-void PopulationBuilder::addLiveBgpMonitors(Population& pop) {
+void PopulationBuilder::addLiveBgpMonitors(PopulationPlan& plan) {
   // 18 sources arrive within 30 minutes of every new announcement (§7.2).
   const std::uint64_t count = scaledCount(18);
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -312,11 +309,11 @@ void PopulationBuilder::addLiveBgpMonitors(Population& pop) {
     cfg.reaction = {sim::seconds(45), sim::minutes(6)};
     cfg.protocol.icmpWeight = 0.6;
     cfg.protocol.tcpWeight = 0.4;
-    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+    plan.specs.push_back(std::move(cfg));
   }
 }
 
-void PopulationBuilder::addInconsistentScanners(Population& pop) {
+void PopulationBuilder::addInconsistentScanners(PopulationPlan& plan) {
   // 64 sources producing almost half of all sessions: high-rate scanners
   // that first prefer the large prefixes, then flatten out (§7.1).
   const std::uint64_t count = scaledCount(64);
@@ -348,11 +345,11 @@ void PopulationBuilder::addInconsistentScanners(Population& pop) {
     cfg.protocol.icmpWeight = 0.7;
     cfg.protocol.tcpWeight = 0.2;
     cfg.protocol.udpWeight = 0.1;
-    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+    plan.specs.push_back(std::move(cfg));
   }
 }
 
-void PopulationBuilder::addSizeDependentScanners(Population& pop) {
+void PopulationBuilder::addSizeDependentScanners(PopulationPlan& plan) {
   // 24 sources that probe large prefixes only — a /48-only telescope
   // would never see them.
   const std::uint64_t count = scaledCount(24);
@@ -373,11 +370,11 @@ void PopulationBuilder::addSizeDependentScanners(Population& pop) {
     cfg.knowledge = Knowledge::BgpReactive;
     cfg.reaction = {sim::hours(1), sim::hours(20)};
     cfg.protocol.icmpWeight = 1.0;
-    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+    plan.specs.push_back(std::move(cfg));
   }
 }
 
-void PopulationBuilder::addDnsAttractorScanners(Population& pop) {
+void PopulationBuilder::addDnsAttractorScanners(PopulationPlan& plan) {
   // T2's signature crowd: scanners that found the one DNS-named address
   // (it co-exists in IPv4 and sits on a popularity list) and come back for
   // its web ports. Includes the /64 source rotators only T2 attracts.
@@ -429,11 +426,11 @@ void PopulationBuilder::addDnsAttractorScanners(Population& pop) {
     cfg.protocol.udpPorts = {net::kPortDns, net::kPortSnmp, net::kPortIsakmp,
                              net::kPortNtp};
     cfg.protocol.udpPortWeights = {0.5, 0.2, 0.15, 0.15};
-    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+    plan.specs.push_back(std::move(cfg));
   }
 }
 
-void PopulationBuilder::addStaticListScanners(Population& pop) {
+void PopulationBuilder::addStaticListScanners(PopulationPlan& plan) {
   // Scanners working through long-known announced space: they have T2's
   // 13-year-old /48 on file and revisit it, BGP changes or not.
   const std::uint64_t count = scaledCount(900);
@@ -475,11 +472,11 @@ void PopulationBuilder::addStaticListScanners(Population& pop) {
     cfg.protocol.udpWeight = 0.10;
     cfg.protocol.tcpPorts = {net::kPortHttp, net::kPortHttps, net::kPortSsh};
     cfg.protocol.tcpPortWeights = {0.6, 0.3, 0.1};
-    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+    plan.specs.push_back(std::move(cfg));
   }
 }
 
-void PopulationBuilder::addSweepersAndExplorers(Population& pop) {
+void PopulationBuilder::addSweepersAndExplorers(PopulationPlan& plan) {
   // Systematic sub-prefix walkers over the covering /29 — the only way
   // silent space gets touched at all. Unscaled: this traffic is a trickle.
   for (int i = 0; i < 7; ++i) {
@@ -496,7 +493,7 @@ void PopulationBuilder::addSweepersAndExplorers(Population& pop) {
     cfg.addrsel = TargetStrategy::LowByte;
     cfg.interPacketMean = sim::seconds(5);
     cfg.protocol.icmpWeight = 1.0;
-    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+    plan.specs.push_back(std::move(cfg));
   }
   // Shallow probers of responsive space: T4 answers from every address, so
   // its space circulates on responsive-address lists and draws a steady
@@ -527,7 +524,7 @@ void PopulationBuilder::addSweepersAndExplorers(Population& pop) {
     } else {
       cfg.protocol.icmpWeight = 1.0;
     }
-    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+    plan.specs.push_back(std::move(cfg));
   }
   // A handful of global sweepers touch every telescope (the paper finds
   // ten /128 sources at all four telescopes over the full period; one of
@@ -553,7 +550,7 @@ void PopulationBuilder::addSweepersAndExplorers(Population& pop) {
     cfg.packetsPerSessionSigma = 0.4;
     cfg.interPacketMean = sim::seconds(2);
     cfg.protocol.icmpWeight = 1.0;
-    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+    plan.specs.push_back(std::move(cfg));
   }
 
   // Dynamic-TGA explorers: probe shallowly, drill where something answers.
@@ -586,11 +583,11 @@ void PopulationBuilder::addSweepersAndExplorers(Population& pop) {
     } else {
       cfg.protocol.icmpWeight = 1.0;
     }
-    pop.scanners.push_back(std::make_unique<Scanner>(cfg, engine_, fabric_));
+    plan.specs.push_back(std::move(cfg));
   }
 }
 
-void PopulationBuilder::addHeavyHitters(Population& pop) {
+void PopulationBuilder::addHeavyHitters(PopulationPlan& plan) {
   const double volume = params_.volumeScale;
   auto add = [&](net::NetworkType type, bool research,
                  std::function<void(ScannerConfig&)> tweak,
@@ -601,11 +598,10 @@ void PopulationBuilder::addHeavyHitters(Population& pop) {
     cfg.asn = slot.asn;
     (void)research;
     tweak(cfg);
-    auto scanner = std::make_unique<Scanner>(cfg, engine_, fabric_);
     if (rdnsName != nullptr && *rdnsName != '\0') {
-      pop.rdns.add(scanner->currentSource(), rdnsName);
+      plan.rdns.add(Scanner::initialSourceFor(cfg), rdnsName);
     }
-    pop.scanners.push_back(std::move(scanner));
+    plan.specs.push_back(std::move(cfg));
   };
 
   // HH1: the DNS megaspeaker — 85% of all UDP packets, education network.
@@ -749,20 +745,38 @@ void PopulationBuilder::addHeavyHitters(Population& pop) {
   }, "topo.measurement.uni.example");
 }
 
-Population PopulationBuilder::build() {
+PopulationPlan PopulationBuilder::plan() {
   rng_ = sim::Rng{params_.seed};
+  asSlots_.clear();
+  nextScannerId_ = 1;
+  nextSourceNet_ = 1;
+  PopulationPlan plan;
+  buildAsUniverse(plan);
+  addAtlasProbes(plan);
+  addResearchFarm(plan);
+  addSizeIndependentScanners(plan);
+  addLiveBgpMonitors(plan);
+  addInconsistentScanners(plan);
+  addSizeDependentScanners(plan);
+  addDnsAttractorScanners(plan);
+  addStaticListScanners(plan);
+  addSweepersAndExplorers(plan);
+  addHeavyHitters(plan);
+  return plan;
+}
+
+Population instantiate(const PopulationPlan& plan, sim::Engine& engine,
+                       telescope::DeliveryFabric& fabric,
+                       unsigned shardCount, unsigned shardId) {
   Population pop;
-  buildAsUniverse(pop);
-  addAtlasProbes(pop);
-  addResearchFarm(pop);
-  addSizeIndependentScanners(pop);
-  addLiveBgpMonitors(pop);
-  addInconsistentScanners(pop);
-  addSizeDependentScanners(pop);
-  addDnsAttractorScanners(pop);
-  addStaticListScanners(pop);
-  addSweepersAndExplorers(pop);
-  addHeavyHitters(pop);
+  pop.asRegistry = plan.asRegistry;
+  pop.rdns = plan.rdns;
+  pop.scanners.reserve(plan.specs.size() / std::max(shardCount, 1u) + 1);
+  for (std::size_t i = 0; i < plan.specs.size(); ++i) {
+    if (shardCount > 1 && i % shardCount != shardId) continue;
+    pop.scanners.push_back(
+        std::make_unique<Scanner>(plan.specs[i], engine, fabric));
+  }
   return pop;
 }
 

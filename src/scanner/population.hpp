@@ -56,6 +56,19 @@ struct PopulationParams {
   sim::SimTime end; // end of measurement
 };
 
+/// The population before any agent exists: every scanner's full config
+/// plus the world metadata (AS universe, rDNS names). A plan is computed
+/// once — the builder's RNG draw sequence defines the population — and can
+/// then be materialized whole into one engine or split across shard
+/// engines, with every shard seeing identical configs for its subset.
+struct PopulationPlan {
+  std::vector<ScannerConfig> specs;
+  net::AsRegistry asRegistry;
+  net::RdnsRegistry rdns;
+
+  [[nodiscard]] std::size_t size() const { return specs.size(); }
+};
+
 struct Population {
   std::vector<std::unique_ptr<Scanner>> scanners;
   net::AsRegistry asRegistry;
@@ -69,13 +82,24 @@ struct Population {
   [[nodiscard]] std::size_t size() const { return scanners.size(); }
 };
 
+/// Materialize (a shard of) a plan into `engine`/`fabric`. Spec `i` lands
+/// in shard `i % shardCount`; the default 1/0 builds the whole population.
+/// Registries are copied whole into every shard — they are read-only world
+/// context, not per-agent state.
+[[nodiscard]] Population instantiate(const PopulationPlan& plan,
+                                     sim::Engine& engine,
+                                     telescope::DeliveryFabric& fabric,
+                                     unsigned shardCount = 1,
+                                     unsigned shardId = 0);
+
 class PopulationBuilder {
 public:
-  PopulationBuilder(PopulationParams params, sim::Engine& engine,
-                    telescope::DeliveryFabric& fabric)
-      : params_(std::move(params)), engine_(engine), fabric_(fabric) {}
+  explicit PopulationBuilder(PopulationParams params)
+      : params_(std::move(params)) {}
 
-  [[nodiscard]] Population build();
+  /// Generate every scanner config. Deterministic in `params_` alone: no
+  /// engine is involved, so serial and sharded runs share one plan.
+  [[nodiscard]] PopulationPlan plan();
 
 private:
   struct AsSlot {
@@ -86,28 +110,26 @@ private:
   };
 
   /// Generate the AS universe with Table 8's type mix.
-  void buildAsUniverse(Population& pop);
+  void buildAsUniverse(PopulationPlan& plan);
   [[nodiscard]] const AsSlot& pickAs(net::NetworkType type);
   [[nodiscard]] net::Prefix allocateSourceNet(const AsSlot& slot);
 
   [[nodiscard]] std::uint64_t scaledCount(double paperCount) const;
 
-  void addAtlasProbes(Population& pop);
-  void addResearchFarm(Population& pop);
-  void addSizeIndependentScanners(Population& pop);
-  void addLiveBgpMonitors(Population& pop);
-  void addInconsistentScanners(Population& pop);
-  void addSizeDependentScanners(Population& pop);
-  void addDnsAttractorScanners(Population& pop);
-  void addStaticListScanners(Population& pop);
-  void addSweepersAndExplorers(Population& pop);
-  void addHeavyHitters(Population& pop);
+  void addAtlasProbes(PopulationPlan& plan);
+  void addResearchFarm(PopulationPlan& plan);
+  void addSizeIndependentScanners(PopulationPlan& plan);
+  void addLiveBgpMonitors(PopulationPlan& plan);
+  void addInconsistentScanners(PopulationPlan& plan);
+  void addSizeDependentScanners(PopulationPlan& plan);
+  void addDnsAttractorScanners(PopulationPlan& plan);
+  void addStaticListScanners(PopulationPlan& plan);
+  void addSweepersAndExplorers(PopulationPlan& plan);
+  void addHeavyHitters(PopulationPlan& plan);
 
   ScannerConfig baseConfig();
 
   PopulationParams params_;
-  sim::Engine& engine_;
-  telescope::DeliveryFabric& fabric_;
   sim::Rng rng_{0};
   std::vector<AsSlot> asSlots_;
   std::uint64_t nextScannerId_ = 1;

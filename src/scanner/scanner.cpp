@@ -27,16 +27,26 @@ Scanner::Scanner(ScannerConfig config, sim::Engine& engine,
   fabric_.registerSourceRoute(config_.sourceNet, config_.asn);
 }
 
-void Scanner::rotateSource() {
-  if (config_.rotateSourceIid) {
-    source_ = net::Ipv6Address{config_.sourceNet.address().hi64(),
-                               rng_.next()};
-  } else if (source_ == net::Ipv6Address{}) {
-    // Stable source: a plausible host address inside the /64.
-    source_ = net::Ipv6Address{config_.sourceNet.address().hi64(),
-                               0x1ULL + rng_.below(0xffff)};
+net::Ipv6Address Scanner::deriveSource(const ScannerConfig& config,
+                                       sim::Rng& rng,
+                                       const net::Ipv6Address& current) {
+  if (config.rotateSourceIid) {
+    return net::Ipv6Address{config.sourceNet.address().hi64(), rng.next()};
   }
+  if (current == net::Ipv6Address{}) {
+    // Stable source: a plausible host address inside the /64.
+    return net::Ipv6Address{config.sourceNet.address().hi64(),
+                            0x1ULL + rng.below(0xffff)};
+  }
+  return current;
 }
+
+net::Ipv6Address Scanner::initialSourceFor(const ScannerConfig& config) {
+  sim::Rng rng{config.seed};
+  return deriveSource(config, rng, net::Ipv6Address{});
+}
+
+void Scanner::rotateSource() { source_ = deriveSource(config_, rng_, source_); }
 
 void Scanner::start(bgp::BgpFeed* feed, bgp::HitlistService* hitlist) {
   switch (config_.knowledge) {
@@ -57,7 +67,9 @@ void Scanner::start(bgp::BgpFeed* feed, bgp::HitlistService* hitlist) {
                                     b.second.announcedAt;
                            });
           for (const auto& [p, entry] : routes) learnPrefix(p);
-          feed->subscribe(config_.reaction,
+          // Keyed by the scanner id: the lag stream survives population
+          // sharding (see BgpFeed::subscribe).
+          feed->subscribe(config_.reaction, config_.id,
                           [this](const bgp::BgpUpdate& u) {
                             if (u.kind == bgp::UpdateKind::Announce) {
                               learnPrefix(u.prefix);
@@ -307,15 +319,16 @@ void Scanner::enqueueSession(const net::Prefix& prefix) {
   emitSession(prefix, start);
 }
 
+struct Scanner::SessionState {
+  TargetGenerator gen;
+  std::uint64_t remaining;
+  net::Ipv6Address src;
+};
+
 void Scanner::emitSession(const net::Prefix& prefix, sim::SimTime start) {
   rotateSource();
   ++stats_.sessionsEmitted;
 
-  struct SessionState {
-    TargetGenerator gen;
-    std::uint64_t remaining;
-    net::Ipv6Address src;
-  };
   // Sweepers always probe shallowly; explorers probe shallowly until a
   // subnet answers, then drill with full-size sessions.
   std::uint64_t size = sessionSize();
@@ -327,46 +340,50 @@ void Scanner::emitSession(const net::Prefix& prefix, sim::SimTime start) {
 
   auto state = std::make_shared<SessionState>(SessionState{
       TargetGenerator{config_.addrsel, prefix, rng_}, size, source_});
-
   // Emit as a chain of events: O(1) pending events per active session.
-  auto step = std::make_shared<std::function<void()>>();
-  *step = [this, state, step]() {
-    if (state->remaining == 0) return;
-    --state->remaining;
-    net::Ipv6Address dst = config_.fixedTarget ? *config_.fixedTarget
-                                               : state->gen.next();
-    net::Packet p = makePacket(dst);
-    p.src = state->src;
-    const telescope::DeliveryResult result = fabric_.send(std::move(p));
-    ++stats_.packetsEmitted;
-    if (result.responded) {
-      ++stats_.responsesSeen;
-      if (config_.knowledge == Knowledge::ResponsiveExplorer) {
-        const net::Prefix hot{state->gen.prefix().address(),
-                              state->gen.prefix().length()};
-        if (!responsive_.contains(hot)) {
-          responsive_.insert(hot);
-          scheduleDrill(hot); // dynamic-TGA: keep digging where it answers
-        }
+  engine_.schedule(start, [this, state]() { sessionStep(state); });
+}
+
+void Scanner::sessionStep(const std::shared_ptr<SessionState>& state) {
+  if (state->remaining == 0) return;
+  --state->remaining;
+  net::Ipv6Address dst = config_.fixedTarget ? *config_.fixedTarget
+                                             : state->gen.next();
+  net::Packet p = makePacket(dst);
+  p.src = state->src;
+  const telescope::DeliveryResult result = fabric_.send(std::move(p));
+  ++stats_.packetsEmitted;
+  if (result.responded) {
+    ++stats_.responsesSeen;
+    if (config_.knowledge == Knowledge::ResponsiveExplorer) {
+      const net::Prefix hot{state->gen.prefix().address(),
+                            state->gen.prefix().length()};
+      if (!responsive_.contains(hot)) {
+        responsive_.insert(hot);
+        scheduleDrill(hot); // dynamic-TGA: keep digging where it answers
       }
     }
-    if (state->remaining > 0) {
-      const auto gap = static_cast<std::int64_t>(rng_.exponential(
-          static_cast<double>(config_.interPacketMean.millis())));
-      engine_.scheduleAfter(sim::millis(std::max<std::int64_t>(gap, 1)),
-                            *step);
-    } else {
-      // Session complete: release the serialization slot after the
-      // sessionization timeout.
-      nextFree_ = std::max(nextFree_, engine_.now() + kSessionGap);
-    }
-  };
-  engine_.schedule(start, *step);
+  }
+  if (state->remaining > 0) {
+    const auto gap = static_cast<std::int64_t>(rng_.exponential(
+        static_cast<double>(config_.interPacketMean.millis())));
+    engine_.scheduleAfter(sim::millis(std::max<std::int64_t>(gap, 1)),
+                          [this, state]() { sessionStep(state); });
+  } else {
+    // Session complete: release the serialization slot after the
+    // sessionization timeout.
+    nextFree_ = std::max(nextFree_, engine_.now() + kSessionGap);
+  }
 }
 
 net::Packet Scanner::makePacket(const net::Ipv6Address& dst) {
   net::Packet p;
   p.dst = dst;
+  // Origin tag: (scanner, emission index) is unique and independent of how
+  // the population is sharded — the key the parallel runner's capture merge
+  // orders by.
+  p.originId = static_cast<std::uint32_t>(config_.id);
+  p.originSeq = stats_.packetsEmitted;
   if (config_.tracerouteHops) {
     // Cycle outward through the path: 1, 2, 3, ... up to 24 hops.
     p.hopLimit = static_cast<std::uint8_t>(1 + stats_.packetsEmitted % 24);

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <set>
 #include <vector>
@@ -156,7 +157,16 @@ public:
   [[nodiscard]] const ScannerSelfStats& stats() const { return stats_; }
   [[nodiscard]] net::Ipv6Address currentSource() const { return source_; }
 
+  /// The source address a freshly constructed Scanner would start with —
+  /// computable from the config alone, so population planning can register
+  /// rDNS names without instantiating agents.
+  [[nodiscard]] static net::Ipv6Address initialSourceFor(
+      const ScannerConfig& config);
+
 private:
+  [[nodiscard]] static net::Ipv6Address deriveSource(
+      const ScannerConfig& config, sim::Rng& rng,
+      const net::Ipv6Address& current);
   void learnPrefix(const net::Prefix& prefix);
   void forgetPrefix(const net::Prefix& prefix);
   void ensureScheduled();
@@ -166,6 +176,8 @@ private:
   /// Queue one session into `prefix` (or at the fixed target).
   void enqueueSession(const net::Prefix& prefix);
   void emitSession(const net::Prefix& prefix, sim::SimTime start);
+  struct SessionState;
+  void sessionStep(const std::shared_ptr<SessionState>& state);
   net::Packet makePacket(const net::Ipv6Address& dst);
   void rotateSource();
   [[nodiscard]] std::uint64_t sessionSize();

@@ -69,6 +69,20 @@ std::uint64_t Engine::run(SimTime until) {
   return n;
 }
 
+std::uint64_t Engine::runEpochs(
+    SimTime until, Duration epoch,
+    const std::function<void(int, SimTime)>& beforeEpoch) {
+  std::uint64_t n = 0;
+  int index = 0;
+  while (now_ < until) {
+    const SimTime sliceEnd = std::min(now_ + epoch, until);
+    beforeEpoch(index, sliceEnd);
+    n += run(sliceEnd);
+    ++index;
+  }
+  return n;
+}
+
 std::uint64_t Engine::runAll() {
   std::uint64_t n = 0;
   Entry e;

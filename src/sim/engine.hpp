@@ -49,6 +49,17 @@ public:
   /// Run everything to quiescence.
   std::uint64_t runAll();
 
+  /// Epoch-wise execution: advance from now() to `until` in fixed slices of
+  /// `epoch`, invoking `beforeEpoch(index, epochEnd)` before the events of
+  /// each slice run. Epoch k covers (now + k*epoch, now + (k+1)*epoch]; the
+  /// last slice is clipped to `until`. This is the synchronization hook of
+  /// the sharded experiment runner: the callback is where a worker waits on
+  /// the cross-shard barrier and injects the control-plane actions falling
+  /// inside the upcoming slice. Equivalent to run(until) when the callback
+  /// schedules nothing. Returns events executed.
+  std::uint64_t runEpochs(SimTime until, Duration epoch,
+                          const std::function<void(int, SimTime)>& beforeEpoch);
+
   /// Drop all pending events (e.g., between independent experiment phases).
   void clear();
 

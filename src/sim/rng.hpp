@@ -32,6 +32,19 @@ private:
   std::uint64_t state_;
 };
 
+/// Derive the seed of an independent stream identified by (seed, streamKey).
+/// The mapping depends only on its two inputs — never on how many other
+/// streams exist or in which order they are derived — which is what makes
+/// sharded runs reproduce serial ones: a consumer keyed by a stable id draws
+/// the same sequence no matter which shard it lands on.
+[[nodiscard]] constexpr std::uint64_t deriveStreamSeed(std::uint64_t seed,
+                                                       std::uint64_t key) {
+  SplitMix64 outer{seed};
+  SplitMix64 inner{key};
+  SplitMix64 mixed{outer.next() ^ inner.next()};
+  return mixed.next();
+}
+
 /// Xoshiro256** 1.0 (Blackman & Vigna). Fast, 256-bit state, passes BigCrush.
 class Rng {
 public:

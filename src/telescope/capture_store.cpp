@@ -1,6 +1,60 @@
 #include "telescope/capture_store.hpp"
 
+#include <algorithm>
+#include <tuple>
+
 namespace v6t::telescope {
+
+namespace {
+
+[[nodiscard]] auto canonicalKey(const net::Packet& p) {
+  return std::make_tuple(p.ts, p.originId, p.originSeq);
+}
+
+void fnv1a(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+} // namespace
+
+void CaptureStore::mergeFrom(std::span<const CaptureStore* const> shards) {
+  std::vector<net::Packet> merged;
+  std::size_t total = 0;
+  for (const CaptureStore* s : shards) total += s->packets().size();
+  merged.reserve(total);
+  for (const CaptureStore* s : shards) {
+    merged.insert(merged.end(), s->packets().begin(), s->packets().end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const net::Packet& a, const net::Packet& b) {
+              return canonicalKey(a) < canonicalKey(b);
+            });
+  clear();
+  for (net::Packet& p : merged) append(std::move(p));
+}
+
+std::uint64_t CaptureStore::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const net::Packet& p : packets_) {
+    fnv1a(h, static_cast<std::uint64_t>(p.ts.millis()));
+    fnv1a(h, p.src.hi64());
+    fnv1a(h, p.src.lo64());
+    fnv1a(h, p.dst.hi64());
+    fnv1a(h, p.dst.lo64());
+    fnv1a(h, static_cast<std::uint64_t>(p.proto));
+    fnv1a(h, (static_cast<std::uint64_t>(p.srcPort) << 32) | p.dstPort);
+    fnv1a(h, (static_cast<std::uint64_t>(p.icmpType) << 16) |
+                 (static_cast<std::uint64_t>(p.icmpCode) << 8) | p.hopLimit);
+    fnv1a(h, p.srcAsn.value());
+    fnv1a(h, (static_cast<std::uint64_t>(p.originId) << 32) ^ p.originSeq);
+    fnv1a(h, p.payload.size());
+    for (std::uint8_t b : p.payload) fnv1a(h, b);
+  }
+  return h;
+}
 
 void CaptureStore::append(net::Packet p) {
   account(p);

@@ -62,6 +62,20 @@ public:
     return perProtocol_[static_cast<std::size_t>(p)];
   }
 
+  /// Replace this store's contents with the union of `shards`, reordered
+  /// into canonical capture order: ascending (ts, originId, originSeq) — a
+  /// unique key, since a scanner's emission counter never repeats. Applied
+  /// even to a single source store: within one engine, equal-timestamp
+  /// packets sit in event-scheduling order, which depends on how scanners
+  /// interleave, so canonicalization is what makes the merged capture
+  /// identical for every shard count. Stats are rebuilt.
+  void mergeFrom(std::span<const CaptureStore* const> shards);
+
+  /// Order-sensitive FNV-1a hash over every stored field of every packet.
+  /// Two stores with equal digests hold bitwise-identical captures — the
+  /// equality the determinism-equivalence tests assert.
+  [[nodiscard]] std::uint64_t digest() const;
+
   /// Serialize all records in v6tcap format.
   void writeTo(std::ostream& out) const;
 

@@ -53,6 +53,16 @@ public:
   [[nodiscard]] std::uint64_t droppedNoRoute() const { return noRoute_; }
   [[nodiscard]] std::uint64_t deliveredToVoid() const { return toVoid_; }
 
+  /// Which slice of the population feeds this fabric. The sharded runner
+  /// replicates one fabric per worker and tags it so drop/void counters can
+  /// be attributed per shard; the default (0 of 1) is the serial world.
+  void setShard(unsigned shardId, unsigned shardCount) {
+    shardId_ = shardId;
+    shardCount_ = shardCount;
+  }
+  [[nodiscard]] unsigned shardId() const { return shardId_; }
+  [[nodiscard]] unsigned shardCount() const { return shardCount_; }
+
 private:
   sim::Engine& engine_;
   const bgp::Rib& rib_;
@@ -61,6 +71,8 @@ private:
   std::uint64_t sent_ = 0;
   std::uint64_t noRoute_ = 0;
   std::uint64_t toVoid_ = 0;
+  unsigned shardId_ = 0;
+  unsigned shardCount_ = 1;
 };
 
 } // namespace v6t::telescope

@@ -1,0 +1,102 @@
+// Golden-output regression for the analysis pipeline: a fixed-seed mini
+// experiment is run, and the taxonomy / fingerprint / summary results are
+// rendered into one canonical report string compared verbatim against the
+// embedded golden. Any behavioral drift anywhere in the stack — RNG use,
+// event ordering, sessionization, classification — shows up as a diff of
+// this report. If a change is INTENDED to alter results, rerun and paste
+// the new report (the failure message prints it in full).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "analysis/fingerprint.hpp"
+#include "analysis/taxonomy.hpp"
+#include "core/experiment.hpp"
+#include "core/summary.hpp"
+
+namespace v6t::core {
+namespace {
+
+ExperimentConfig goldenConfig() {
+  ExperimentConfig config;
+  config.seed = 20260805;
+  config.sourceScale = 0.04;
+  config.volumeScale = 0.003;
+  config.baseline = sim::weeks(3);
+  config.splits = 3;
+  config.routeObjectAt = sim::weeks(4);
+  return config;
+}
+
+std::string goldenReport() {
+  Experiment experiment{goldenConfig()};
+  experiment.run();
+  const ExperimentSummary summary = ExperimentSummary::compute(experiment);
+
+  std::ostringstream out;
+  for (std::size_t t = 0; t < 4; ++t) {
+    const telescope::CaptureStore& capture = experiment.telescope(t).capture();
+    const TelescopeSummary& ts = summary.telescope(t);
+    out << ts.name << " packets=" << capture.packetCount()
+        << " src128=" << capture.distinctSources128()
+        << " src64=" << capture.distinctSources64()
+        << " asns=" << capture.distinctAsns()
+        << " sessions128=" << ts.sessions128.size()
+        << " sessions64=" << ts.sessions64.size() << "\n";
+  }
+
+  const analysis::TaxonomyResult taxonomy = analysis::classifyCapture(
+      experiment.telescope(T1).capture().packets(),
+      summary.telescope(T1).sessions128, &experiment.schedule());
+  out << "T1 temporal oneoff=" << taxonomy.scannersOf(
+             analysis::TemporalClass::OneOff)
+      << "/" << taxonomy.sessionsOf(analysis::TemporalClass::OneOff)
+      << " periodic=" << taxonomy.scannersOf(analysis::TemporalClass::Periodic)
+      << "/" << taxonomy.sessionsOf(analysis::TemporalClass::Periodic)
+      << " intermittent="
+      << taxonomy.scannersOf(analysis::TemporalClass::Intermittent) << "/"
+      << taxonomy.sessionsOf(analysis::TemporalClass::Intermittent) << "\n";
+  out << "T1 netsel single="
+      << taxonomy.scannersOf(analysis::NetworkSelection::SinglePrefix)
+      << " sizeindep="
+      << taxonomy.scannersOf(analysis::NetworkSelection::SizeIndependent)
+      << " sizedep="
+      << taxonomy.scannersOf(analysis::NetworkSelection::SizeDependent)
+      << " inconsistent="
+      << taxonomy.scannersOf(analysis::NetworkSelection::Inconsistent) << "\n";
+
+  const analysis::FingerprintResult fingerprint = analysis::fingerprintSessions(
+      experiment.telescope(T1).capture().packets(),
+      summary.telescope(T1).sessions128, &experiment.population().rdns);
+  out << "T1 fingerprint clusters=" << fingerprint.clusterCount
+      << " hoplimit=" << fingerprint.hopLimitAttributions
+      << " payloadSessions=" << fingerprint.payloadSessions << "\n";
+  for (const auto& [tool, count] : fingerprint.byTool) {
+    out << "T1 tool " << net::toString(tool) << " scanners=" << count.scanners
+        << " sessions=" << count.sessions << "\n";
+  }
+  return out.str();
+}
+
+TEST(GoldenOutputsTest, MiniExperimentAnalysisReport) {
+  const std::string kGolden =
+      R"(T1 packets=23757 src128=287 src64=287 asns=104 sessions128=878 sessions64=878
+T2 packets=11292 src128=299 src64=229 asns=94 sessions128=906 sessions64=865
+T3 packets=66 src128=17 src64=17 asns=9 sessions128=21 sessions64=21
+T4 packets=3334 src128=189 src64=189 asns=74 sessions128=346 sessions64=346
+T1 temporal oneoff=244/244 periodic=33/567 intermittent=10/67
+T1 netsel single=250 sizeindep=27 sizedep=0 inconsistent=10
+T1 fingerprint clusters=4 hoplimit=0 payloadSessions=836
+T1 tool RIPEAtlasProbe scanners=237 sessions=237
+T1 tool Yarrp6 scanners=2 sessions=11
+T1 tool Traceroute scanners=2 sessions=19
+T1 tool 6Scan scanners=1 sessions=9
+T1 tool CAIDA Ark scanners=1 sessions=7
+T1 tool Unknown scanners=44 sessions=595
+)";
+  EXPECT_EQ(goldenReport(), kGolden);
+}
+
+} // namespace
+} // namespace v6t::core

@@ -1,0 +1,203 @@
+// Property tests for net::PrefixTrie's longest-prefix match: random prefix
+// sets checked against a brute-force oracle, plus the exact shadowing
+// configuration the paper's telescopes depend on — a /48 inside a covering
+// /29, where LPM must pick the /48 while the /29 still covers the rest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "net/prefix_trie.hpp"
+#include "sim/rng.hpp"
+
+namespace v6t::net {
+namespace {
+
+/// Reference implementation: scan every stored prefix, keep the longest
+/// that contains the address.
+class OracleLpm {
+public:
+  void insert(const Prefix& prefix, int value) {
+    for (auto& [p, v] : entries_) {
+      if (p == prefix) {
+        v = value;
+        return;
+      }
+    }
+    entries_.emplace_back(prefix, value);
+  }
+
+  bool erase(const Prefix& prefix) {
+    const auto it = std::find_if(
+        entries_.begin(), entries_.end(),
+        [&](const auto& e) { return e.first == prefix; });
+    if (it == entries_.end()) return false;
+    entries_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] std::optional<std::pair<Prefix, int>> longestMatch(
+      const Ipv6Address& addr) const {
+    std::optional<std::pair<Prefix, int>> best;
+    for (const auto& [p, v] : entries_) {
+      if (!p.contains(addr)) continue;
+      if (!best || p.length() > best->first.length()) best = {p, v};
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<std::pair<Prefix, int>>& entries() const {
+    return entries_;
+  }
+
+private:
+  std::vector<std::pair<Prefix, int>> entries_;
+};
+
+Ipv6Address randomAddress(sim::Rng& rng) {
+  return Ipv6Address{rng.next(), rng.next()};
+}
+
+/// Random prefix biased toward realistic BGP lengths, and clustered into a
+/// narrow space so prefixes actually overlap (a uniformly random pair of
+/// /32s virtually never nests).
+Prefix randomPrefix(sim::Rng& rng) {
+  static constexpr unsigned kLengths[] = {16, 24, 29, 32, 33,
+                                          40, 48, 56, 64, 128};
+  const unsigned len = kLengths[rng.below(std::size(kLengths))];
+  // Confine the top bits to 16 patterns so nesting is common.
+  const std::uint64_t hi =
+      (0x3fffULL << 48) | (rng.below(16) << 44) | (rng.next() & 0xfffffffffffULL);
+  return Prefix{Ipv6Address{hi, rng.next()}, len};
+}
+
+/// A uniformly random address inside `p`: p's first len bits, random rest.
+Ipv6Address insideOf(const Prefix& p, sim::Rng& rng) {
+  const unsigned len = p.length();
+  std::uint64_t hi = rng.next();
+  std::uint64_t lo = rng.next();
+  const std::uint64_t hiMask =
+      len >= 64 ? ~0ULL : (len == 0 ? 0ULL : ~0ULL << (64 - len));
+  const unsigned loLen = len > 64 ? len - 64 : 0;
+  const std::uint64_t loMask =
+      loLen >= 64 ? ~0ULL : (loLen == 0 ? 0ULL : ~0ULL << (64 - loLen));
+  hi = (p.address().hi64() & hiMask) | (hi & ~hiMask);
+  lo = (p.address().lo64() & loMask) | (lo & ~loMask);
+  return Ipv6Address{hi, lo};
+}
+
+void checkAgainstOracle(const PrefixTrie<int>& trie, const OracleLpm& oracle,
+                        const Ipv6Address& addr) {
+  const auto got = trie.longestMatch(addr);
+  const auto want = oracle.longestMatch(addr);
+  ASSERT_EQ(got.has_value(), want.has_value()) << addr.toString();
+  if (got.has_value()) {
+    // The trie reports the match as (addr masked to depth); compare prefix
+    // length and stored value.
+    EXPECT_EQ(got->first.length(), want->first.length()) << addr.toString();
+    EXPECT_EQ(*got->second, want->second) << addr.toString();
+  }
+}
+
+TEST(PrefixTriePropertyTest, RandomSetsMatchBruteForceOracle) {
+  sim::Rng rng{0x7219e};
+  for (int round = 0; round < 30; ++round) {
+    PrefixTrie<int> trie;
+    OracleLpm oracle;
+    const int prefixes = 1 + static_cast<int>(rng.below(40));
+    for (int i = 0; i < prefixes; ++i) {
+      const Prefix p = randomPrefix(rng);
+      trie.insert(p, i);
+      oracle.insert(p, i);
+    }
+    ASSERT_EQ(trie.size(), oracle.size());
+
+    // Probe addresses inside stored prefixes (the interesting cases) and
+    // fully random ones (mostly misses).
+    for (const auto& [p, v] : oracle.entries()) {
+      checkAgainstOracle(trie, oracle, insideOf(p, rng));
+      checkAgainstOracle(trie, oracle, p.address());
+    }
+    for (int i = 0; i < 50; ++i) {
+      checkAgainstOracle(trie, oracle, randomAddress(rng));
+    }
+  }
+}
+
+TEST(PrefixTriePropertyTest, EraseKeepsTrieConsistentWithOracle) {
+  sim::Rng rng{0xe5a5e};
+  for (int round = 0; round < 20; ++round) {
+    PrefixTrie<int> trie;
+    OracleLpm oracle;
+    std::vector<Prefix> inserted;
+    for (int i = 0; i < 25; ++i) {
+      const Prefix p = randomPrefix(rng);
+      trie.insert(p, i);
+      oracle.insert(p, i);
+      inserted.push_back(p);
+    }
+    // Erase half, in random order; check equivalence after each removal.
+    for (int i = 0; i < 12; ++i) {
+      const Prefix victim = inserted[rng.below(inserted.size())];
+      EXPECT_EQ(trie.erase(victim), oracle.erase(victim));
+      ASSERT_EQ(trie.size(), oracle.size());
+      for (int probe = 0; probe < 20; ++probe) {
+        checkAgainstOracle(trie, oracle, randomAddress(rng));
+      }
+      for (const auto& [p, v] : oracle.entries()) {
+        checkAgainstOracle(trie, oracle, p.address());
+      }
+    }
+  }
+}
+
+TEST(PrefixTriePropertyTest, CoveringSlash29VsShadowingSlash48) {
+  // The telescope configuration of §3.1: a third party announces a /29;
+  // our silent T3 and reactive T4 are /48s inside it. LPM must return the
+  // /48 for addresses in T3/T4 and the /29 for the rest of its space.
+  const Prefix covering = Prefix::mustParse("3fff:e00::/29");
+  const Prefix t3 = Prefix::mustParse("3fff:e03:3::/48");
+  const Prefix t4 = Prefix::mustParse("3fff:e05:7::/48");
+  ASSERT_TRUE(covering.contains(t3.address()));
+  ASSERT_TRUE(covering.contains(t4.address()));
+
+  PrefixTrie<int> trie;
+  trie.insert(covering, 29);
+  trie.insert(t3, 3);
+  trie.insert(t4, 4);
+
+  const auto inT3 = trie.longestMatch(Ipv6Address::mustParse("3fff:e03:3::1"));
+  ASSERT_TRUE(inT3.has_value());
+  EXPECT_EQ(inT3->first.length(), 48u);
+  EXPECT_EQ(*inT3->second, 3);
+
+  const auto inT4 =
+      trie.longestMatch(Ipv6Address::mustParse("3fff:e05:7:ffff::42"));
+  ASSERT_TRUE(inT4.has_value());
+  EXPECT_EQ(*inT4->second, 4);
+
+  // Covered-but-unowned space: the /29 wins (the packet then disappears
+  // into the void in the delivery fabric's terms).
+  const auto inVoid = trie.longestMatch(Ipv6Address::mustParse("3fff:e01::1"));
+  ASSERT_TRUE(inVoid.has_value());
+  EXPECT_EQ(inVoid->first.length(), 29u);
+  EXPECT_EQ(*inVoid->second, 29);
+
+  // Outside the /29 entirely: no match.
+  EXPECT_FALSE(
+      trie.longestMatch(Ipv6Address::mustParse("3fff:100::1")).has_value());
+
+  // Withdrawing the /48 reveals the /29 underneath — exactly the withdraw
+  // day's routing state.
+  trie.erase(t3);
+  const auto afterErase =
+      trie.longestMatch(Ipv6Address::mustParse("3fff:e03:3::1"));
+  ASSERT_TRUE(afterErase.has_value());
+  EXPECT_EQ(afterErase->first.length(), 29u);
+}
+
+} // namespace
+} // namespace v6t::net

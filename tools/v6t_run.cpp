@@ -1,26 +1,37 @@
 // v6t_run — run a telescope experiment from a configuration file.
 //
 //   v6t_run [config-file] [--out DIR] [--dump-captures] [--print-config]
+//           [--threads N]
 //
 // Without a config file the paper's default configuration runs. The tool
 // writes a summary report to stdout and, with --dump-captures, one
 // .v6tcap file per telescope into the output directory.
+//
+// With --threads N (or `threads = N` in the config file) the sharded
+// ExperimentRunner executes the population across N worker shards and
+// merges captures into canonical order; results are bitwise-identical for
+// every N. Without either, the classic serial Experiment runs, which also
+// produces the §8 operator guidance.
+#include <array>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "analysis/report.hpp"
 #include "analysis/taxonomy.hpp"
 #include "core/config.hpp"
 #include "core/experiment.hpp"
 #include "core/guidance.hpp"
+#include "core/runner.hpp"
 #include "core/summary.hpp"
 
 namespace {
 
 int usage() {
   std::cerr << "usage: v6t_run [config-file] [--out DIR] [--dump-captures]"
-               " [--print-config]\n";
+               " [--print-config] [--threads N]\n";
   return 2;
 }
 
@@ -33,11 +44,20 @@ int main(int argc, char** argv) {
   std::string outDir = ".";
   bool dumpCaptures = false;
   bool printConfig = false;
+  unsigned threadsOverride = 0; // 0 = not given on the command line
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out") {
       if (++i >= argc) return usage();
       outDir = argv[i];
+    } else if (arg == "--threads") {
+      if (++i >= argc) return usage();
+      const long v = std::strtol(argv[i], nullptr, 10);
+      if (v < 1 || v > 64) {
+        std::cerr << "--threads must be 1..64\n";
+        return usage();
+      }
+      threadsOverride = static_cast<unsigned>(v);
     } else if (arg == "--dump-captures") {
       dumpCaptures = true;
     } else if (arg == "--print-config") {
@@ -68,31 +88,60 @@ int main(int argc, char** argv) {
     }
     config = parsed.config;
   }
+  if (threadsOverride != 0) config.threads = threadsOverride;
   if (printConfig) {
     std::cout << core::formatExperimentConfig(config);
     return 0;
   }
 
-  std::cout << "running experiment (seed " << config.seed << ", "
-            << config.splits << " splits) ...\n";
-  core::Experiment experiment{config};
-  experiment.run();
-  const auto summary = core::ExperimentSummary::compute(experiment);
+  const bool useRunner = threadsOverride != 0 || config.threads > 1;
+
+  // Both paths produce the same capture/summary data (the runner merges
+  // shards into canonical order); only the guidance report is serial-only.
+  std::array<const telescope::CaptureStore*, 4> captures{};
+  std::array<std::string, 4> names;
+  std::unique_ptr<core::Experiment> experiment;
+  std::unique_ptr<core::ExperimentRunner> runner;
+  const bgp::SplitSchedule* schedule = nullptr;
+
+  if (useRunner) {
+    std::cout << "running sharded experiment (seed " << config.seed << ", "
+              << config.splits << " splits, " << config.threads
+              << " threads) ...\n";
+    core::RunnerConfig runnerConfig;
+    runnerConfig.experiment = config;
+    runner = std::make_unique<core::ExperimentRunner>(runnerConfig);
+    runner->run();
+    captures = runner->captures();
+    for (std::size_t t = 0; t < 4; ++t) names[t] = runner->telescopeName(t);
+    schedule = &runner->schedule();
+  } else {
+    std::cout << "running experiment (seed " << config.seed << ", "
+              << config.splits << " splits) ...\n";
+    experiment = std::make_unique<core::Experiment>(config);
+    experiment->run();
+    for (std::size_t t = 0; t < 4; ++t) {
+      captures[t] = &experiment->telescope(t).capture();
+      names[t] = experiment->telescope(t).name();
+    }
+    schedule = &experiment->schedule();
+  }
+  const auto summary =
+      useRunner ? core::ExperimentSummary::compute(*runner)
+                : core::ExperimentSummary::compute(*experiment);
 
   // Per-telescope overview.
-  analysis::TextTable table{{"telescope", "mode", "packets", "sources /128",
+  analysis::TextTable table{{"telescope", "packets", "sources /128",
                              "sessions /128", "one-off", "periodic",
                              "intermittent"}};
   for (std::size_t t = 0; t < 4; ++t) {
-    const auto& scope = experiment.telescope(t);
     const auto& sessions = summary.telescope(t).sessions128;
     const auto taxonomy = analysis::classifyCapture(
-        scope.capture().packets(), sessions,
-        t == core::T1 ? &experiment.schedule() : nullptr);
+        captures[t]->packets(), sessions,
+        t == core::T1 ? schedule : nullptr);
     table.addRow(
-        {scope.name(), std::string{telescope::toString(scope.config().mode)},
-         analysis::withThousands(scope.capture().packetCount()),
-         analysis::withThousands(scope.capture().distinctSources128()),
+        {names[t], analysis::withThousands(captures[t]->packetCount()),
+         analysis::withThousands(captures[t]->distinctSources128()),
          analysis::withThousands(sessions.size()),
          analysis::withThousands(
              taxonomy.scannersOf(analysis::TemporalClass::OneOff)),
@@ -103,24 +152,37 @@ int main(int argc, char** argv) {
   }
   table.render(std::cout);
 
-  // Guidance.
-  std::cout << "\n";
-  for (const auto& finding : core::GuidanceEngine::derive(experiment,
-                                                          summary)) {
-    std::cout << "* " << finding.topic << ": " << finding.statement << "\n  ("
-              << finding.evidence << ")\n";
+  if (useRunner) {
+    const core::RunnerStats& stats = runner->stats();
+    std::cout << "\nshards:\n";
+    for (const core::ShardStats& shard : stats.shards) {
+      std::cout << "  shard " << shard.shardId << ": scanners="
+                << shard.scanners << " events=" << shard.events
+                << " captured=" << shard.packetsCaptured << " wall="
+                << shard.wallSeconds << "s\n";
+    }
+    std::cout << "merged " << stats.packetsMerged << " packets in "
+              << stats.mergeWallSeconds << "s (run " << stats.runWallSeconds
+              << "s)\n";
+  } else {
+    // Guidance (serial path only; the engine reads the Experiment object).
+    std::cout << "\n";
+    for (const auto& finding :
+         core::GuidanceEngine::derive(*experiment, summary)) {
+      std::cout << "* " << finding.topic << ": " << finding.statement
+                << "\n  (" << finding.evidence << ")\n";
+    }
   }
 
   if (dumpCaptures) {
     std::filesystem::create_directories(outDir);
     for (std::size_t t = 0; t < 4; ++t) {
-      const auto path = std::filesystem::path{outDir} /
-                        (experiment.telescope(t).name() + ".v6tcap");
+      const auto path =
+          std::filesystem::path{outDir} / (names[t] + ".v6tcap");
       std::ofstream out{path, std::ios::binary};
-      experiment.telescope(t).capture().writeTo(out);
+      captures[t]->writeTo(out);
       std::cout << "wrote " << path.string() << " ("
-                << experiment.telescope(t).capture().packetCount()
-                << " records)\n";
+                << captures[t]->packetCount() << " records)\n";
     }
   }
   return 0;
