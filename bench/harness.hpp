@@ -13,6 +13,7 @@
 #include "core/runner.hpp"
 #include "core/summary.hpp"
 #include "analysis/report.hpp"
+#include "obs/metrics.hpp"
 
 namespace v6t::bench {
 
@@ -51,11 +52,20 @@ inline RunContext runStandard(const char* benchName) {
             << ", volumeScale=" << config.volumeScale << ") ...\n";
   RunContext ctx;
   ctx.experiment = std::make_unique<core::Experiment>(config);
+  // Bench wall-clock flows through the metrics registry (`bench.*`), the
+  // same channel `--metrics-out` exports, so calibration scripts can read
+  // timings from the snapshot instead of scraping stdout.
+  obs::Span runSpan(ctx.experiment->metrics(), "bench.run_seconds");
   ctx.experiment->run();
+  const double runSeconds = runSpan.stop();
+  obs::Span analyzeSpan(ctx.experiment->metrics(), "bench.analyze_seconds");
   ctx.summary = core::ExperimentSummary::compute(*ctx.experiment);
+  const double analyzeSeconds = analyzeSpan.stop();
   std::cout << "simulated " << sim::toString(ctx.experiment->experimentEnd())
             << ", events=" << ctx.experiment->engine().executedEvents()
-            << ", agents=" << ctx.experiment->population().size() << "\n\n";
+            << ", agents=" << ctx.experiment->population().size()
+            << " (run " << runSeconds << "s, analyze " << analyzeSeconds
+            << "s)\n\n";
   return ctx;
 }
 
@@ -82,8 +92,12 @@ inline ShardedRunContext runSharded(const char* benchName, unsigned threads) {
             << ", threads=" << threads << ") ...\n";
   ShardedRunContext ctx;
   ctx.runner = std::make_unique<core::ExperimentRunner>(config);
+  obs::Span runSpan(ctx.runner->metrics(), "bench.run_seconds");
   ctx.runner->run();
+  runSpan.stop();
+  obs::Span analyzeSpan(ctx.runner->metrics(), "bench.analyze_seconds");
   ctx.summary = core::ExperimentSummary::compute(*ctx.runner);
+  analyzeSpan.stop();
   const core::RunnerStats& stats = ctx.runner->stats();
   double shardWorkSeconds = 0;
   for (const core::ShardStats& shard : stats.shards) {

@@ -1,8 +1,9 @@
 #include "analysis/report.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <sstream>
+
+#include "obs/format.hpp"
 
 namespace v6t::analysis {
 
@@ -82,22 +83,11 @@ void TextTable::writeCsv(std::ostream& out) const {
 }
 
 std::string withThousands(std::uint64_t value) {
-  std::string digits = std::to_string(value);
-  std::string out;
-  out.reserve(digits.size() + digits.size() / 3);
-  std::size_t count = 0;
-  for (std::size_t i = digits.size(); i-- > 0;) {
-    out.push_back(digits[i]);
-    if (++count % 3 == 0 && i != 0) out.push_back(',');
-  }
-  std::reverse(out.begin(), out.end());
-  return out;
+  return obs::fmt::withThousands(value);
 }
 
 std::string fixed(double value, int decimals) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
-  return buf;
+  return obs::fmt::fixed(value, decimals);
 }
 
 std::string percentCell(double value, int decimals) {

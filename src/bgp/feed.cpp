@@ -20,9 +20,18 @@ BgpFeed::SubscriberId BgpFeed::subscribe(PropagationModel model, Callback cb) {
 
 void BgpFeed::unsubscribe(SubscriberId id) { subscribers_.erase(id); }
 
+void BgpFeed::bindMetrics(obs::Registry& registry) {
+  announcesMetric_ = &registry.counter("bgp.feed.announces_total");
+  withdrawsMetric_ = &registry.counter("bgp.feed.withdraws_total");
+  deliveriesMetric_ = &registry.counter("bgp.feed.deliveries_total");
+  delayMetric_ = &registry.histogram("bgp.feed.convergence_delay_seconds",
+                                     obs::delayBoundsSeconds());
+}
+
 void BgpFeed::announce(const net::Prefix& prefix, net::Asn origin) {
   const sim::SimTime now = engine_.now();
   rib_.announce(prefix, origin, now);
+  if (announcesMetric_ != nullptr) announcesMetric_->inc();
   publish(BgpUpdate{UpdateKind::Announce, prefix, origin, now});
 }
 
@@ -31,12 +40,17 @@ void BgpFeed::withdraw(const net::Prefix& prefix) {
   const RouteEntry* entry = rib_.findExact(prefix);
   const net::Asn origin = entry != nullptr ? entry->origin : net::Asn{};
   rib_.withdraw(prefix, now);
+  if (withdrawsMetric_ != nullptr) withdrawsMetric_->inc();
   publish(BgpUpdate{UpdateKind::Withdraw, prefix, origin, now});
 }
 
 void BgpFeed::publish(const BgpUpdate& update) {
   for (auto& [id, sub] : subscribers_) {
     const sim::Duration delay = sub.model.sample(sub.rng);
+    if (delayMetric_ != nullptr) {
+      delayMetric_->observe(static_cast<double>(delay.millis()) / 1000.0);
+      deliveriesMetric_->inc();
+    }
     // Copy the callback: the subscriber may unsubscribe before delivery, in
     // which case the update must be dropped, so route through the id.
     const SubscriberId sid = id;

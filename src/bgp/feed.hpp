@@ -14,6 +14,7 @@
 
 #include "bgp/rib.hpp"
 #include "bgp/update.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 
@@ -65,6 +66,13 @@ public:
     return subscribers_.size();
   }
 
+  /// Attach run-time metrics: update counters plus a histogram of the
+  /// per-subscriber convergence delays the propagation model samples.
+  /// Purely observational — the sampled delays are recorded, not altered —
+  /// so binding (or not) cannot change simulation behavior. The registry
+  /// must outlive the feed.
+  void bindMetrics(obs::Registry& registry);
+
 private:
   struct Subscriber {
     PropagationModel model;
@@ -78,6 +86,10 @@ private:
   Rib& rib_;
   std::uint64_t seed_;
   SubscriberId nextId_ = 1;
+  obs::Counter* announcesMetric_ = nullptr;
+  obs::Counter* withdrawsMetric_ = nullptr;
+  obs::Counter* deliveriesMetric_ = nullptr;
+  obs::Histogram* delayMetric_ = nullptr;
   // Ordered map: subscriber notification order must be deterministic for
   // reproducible runs (each lag comes from the subscriber's own stream, so
   // the order affects only same-instant event sequencing).

@@ -15,6 +15,7 @@ std::string BgpUpdate::toString() const {
 void Rib::announce(const net::Prefix& prefix, net::Asn origin, sim::SimTime t) {
   table_.insert(prefix, RouteEntry{origin, t});
   history_.push_back(BgpUpdate{UpdateKind::Announce, prefix, origin, t});
+  ++announces_;
 }
 
 void Rib::withdraw(const net::Prefix& prefix, sim::SimTime t) {
@@ -23,10 +24,12 @@ void Rib::withdraw(const net::Prefix& prefix, sim::SimTime t) {
   const net::Asn origin = entry->origin;
   table_.erase(prefix);
   history_.push_back(BgpUpdate{UpdateKind::Withdraw, prefix, origin, t});
+  ++withdraws_;
 }
 
 std::optional<std::pair<net::Prefix, RouteEntry>> Rib::lookup(
     const net::Ipv6Address& addr) const {
+  ++lpmLookups_;
   auto match = table_.longestMatch(addr);
   if (!match) return std::nullopt;
   return std::pair{match->first, *match->second};

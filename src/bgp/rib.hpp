@@ -55,9 +55,21 @@ public:
 
   [[nodiscard]] std::size_t size() const { return table_.size(); }
 
+  // Instrumentation counters, sampled into the obs registry by whoever
+  // owns the RIB (the runner per shard; the serial Experiment at end).
+  [[nodiscard]] std::uint64_t announceCount() const { return announces_; }
+  [[nodiscard]] std::uint64_t withdrawCount() const { return withdraws_; }
+  /// LPM lookups served (capture-path routability checks dominate).
+  [[nodiscard]] std::uint64_t lpmLookups() const { return lpmLookups_; }
+
 private:
   net::PrefixTrie<RouteEntry> table_;
   std::vector<BgpUpdate> history_;
+  std::uint64_t announces_ = 0;
+  std::uint64_t withdraws_ = 0;
+  // mutable: lookup() is logically const; each RIB is owned by exactly one
+  // shard thread, so a plain counter is race-free.
+  mutable std::uint64_t lpmLookups_ = 0;
 };
 
 } // namespace v6t::bgp

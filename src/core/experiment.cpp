@@ -1,5 +1,7 @@
 #include "core/experiment.hpp"
 
+#include "core/metrics.hpp"
+
 namespace v6t::core {
 
 std::array<std::unique_ptr<telescope::Telescope>, 4> makeTelescopes(
@@ -34,6 +36,7 @@ std::array<std::unique_ptr<telescope::Telescope>, 4> makeTelescopes(
 
 Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
   feed_ = std::make_unique<bgp::BgpFeed>(engine_, rib_, config_.seed ^ 0xfeed);
+  feed_->bindMetrics(metrics_);
   hitlist_ = std::make_unique<bgp::HitlistService>(
       engine_, *feed_, bgp::HitlistService::Params{}, config_.seed ^ 0x417);
   fabric_ = std::make_unique<telescope::DeliveryFabric>(engine_, rib_);
@@ -103,7 +106,11 @@ void Experiment::run() {
 
   const sim::SimTime end =
       config_.runLimit ? sim::kEpoch + *config_.runLimit : experimentEnd();
-  engine_.run(end);
+  {
+    obs::Span span(metrics_, "experiment.phase.run_seconds");
+    engine_.run(end);
+  }
+  ComponentSampler{metrics_}.sample(engine_, rib_, *fabric_, telescopes_);
 }
 
 } // namespace v6t::core

@@ -18,6 +18,7 @@
 #include "bgp/rib.hpp"
 #include "bgp/route_object.hpp"
 #include "bgp/splitter.hpp"
+#include "obs/metrics.hpp"
 #include "scanner/population.hpp"
 #include "sim/engine.hpp"
 #include "telescope/fabric.hpp"
@@ -101,6 +102,11 @@ public:
     return population_;
   }
   [[nodiscard]] const sim::Engine& engine() const { return engine_; }
+  /// Run-time metrics: live convergence-delay histogram plus a full
+  /// component sample taken at the end of run(). Mutable so callers can
+  /// add analysis-phase metrics before exporting.
+  [[nodiscard]] obs::Registry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
 
   /// Boundary between the initial observation period and the BGP
   /// experiment.
@@ -111,6 +117,7 @@ public:
 
 private:
   ExperimentConfig config_;
+  obs::Registry metrics_; // declared before the components that bind to it
   sim::Engine engine_;
   bgp::Rib rib_;
   bgp::IrrRegistry irr_;

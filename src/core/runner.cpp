@@ -11,6 +11,8 @@
 #include "bgp/feed.hpp"
 #include "bgp/hitlist.hpp"
 #include "bgp/rib.hpp"
+#include "core/metrics.hpp"
+#include "obs/format.hpp"
 #include "telescope/fabric.hpp"
 #include "telescope/telescope.hpp"
 
@@ -66,8 +68,9 @@ struct ShardWorld {
 
   ShardWorld(const ExperimentConfig& config,
              const scanner::PopulationPlan& plan, unsigned shardCount,
-             unsigned shardId) {
+             unsigned shardId, obs::Registry& metrics) {
     feed = std::make_unique<bgp::BgpFeed>(engine, rib, config.seed ^ 0xfeed);
+    feed->bindMetrics(metrics);
     hitlist = std::make_unique<bgp::HitlistService>(
         engine, *feed, bgp::HitlistService::Params{}, config.seed ^ 0x417);
     fabric = std::make_unique<telescope::DeliveryFabric>(engine, rib);
@@ -79,10 +82,16 @@ struct ShardWorld {
   }
 };
 
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 } // namespace
 
 ExperimentRunner::ExperimentRunner(RunnerConfig config)
     : config_(std::move(config)) {
+  obs::Span planSpan(runnerMetrics_, "runner.phase.plan_seconds");
   bgp::SplitSchedule::Params scheduleParams;
   scheduleParams.base = config_.experiment.t1Base;
   scheduleParams.start = sim::kEpoch;
@@ -108,6 +117,19 @@ ExperimentRunner::ExperimentRunner(RunnerConfig config)
   // defines the population, and every shard instantiates from this one
   // shared (read-only) plan.
   plan_ = scanner::PopulationBuilder{populationParams}.plan();
+
+  // Observability state must exist before run(): a live exporter may call
+  // snapshotMetrics()/progressLine() the moment the runner is constructed.
+  const unsigned shardCount = std::max(1u, config_.experiment.threads);
+  shardMetrics_.reserve(shardCount);
+  for (unsigned s = 0; s < shardCount; ++s) {
+    shardMetrics_.push_back(std::make_unique<obs::Registry>());
+  }
+  epochsDone_.reset(new std::atomic<std::uint64_t>[shardCount]);
+  for (unsigned s = 0; s < shardCount; ++s) epochsDone_[s] = 0;
+  const std::int64_t spanMs = (experimentEnd() - sim::kEpoch).millis();
+  const std::int64_t epochMs = std::max<std::int64_t>(1, config_.epoch.millis());
+  totalEpochs_ = static_cast<std::uint64_t>((spanMs + epochMs - 1) / epochMs);
 }
 
 sim::SimTime ExperimentRunner::experimentEnd() const {
@@ -119,6 +141,55 @@ sim::SimTime ExperimentRunner::experimentEnd() const {
 std::array<const telescope::CaptureStore*, 4> ExperimentRunner::captures()
     const {
   return {&captures_[0], &captures_[1], &captures_[2], &captures_[3]};
+}
+
+void ExperimentRunner::snapshotMetrics(obs::Registry& out) const {
+  out.aggregateFrom(runnerMetrics_);
+  for (const auto& shard : shardMetrics_) out.aggregateFrom(*shard);
+}
+
+std::string ExperimentRunner::progressLine() const {
+  if (!started_.load(std::memory_order_acquire)) {
+    return "progress phase=plan";
+  }
+  const unsigned shardCount =
+      static_cast<unsigned>(shardMetrics_.size());
+  std::uint64_t minEpochs = totalEpochs_;
+  for (unsigned s = 0; s < shardCount; ++s) {
+    minEpochs = std::min(
+        minEpochs, epochsDone_[s].load(std::memory_order_relaxed));
+  }
+  double packets = 0.0;
+  double dropped = 0.0;
+  for (const auto& shard : shardMetrics_) {
+    for (const char* name :
+         {"telescope.T1.packets_total", "telescope.T2.packets_total",
+          "telescope.T3.packets_total", "telescope.T4.packets_total"}) {
+      packets += shard->value(name).value_or(0.0);
+    }
+    dropped += shard->value("fabric.dropped_no_route_total").value_or(0.0);
+  }
+  const double elapsed = secondsSince(runStart_);
+  const double simWeeks = static_cast<double>(minEpochs) *
+                          static_cast<double>(config_.epoch.millis()) /
+                          static_cast<double>(sim::weeks(1).millis());
+  std::string line = "progress epochs=" + std::to_string(minEpochs) + "/" +
+                     std::to_string(totalEpochs_) +
+                     " sim_weeks=" + obs::fmt::fixed(simWeeks, 1) +
+                     " packets=" +
+                     obs::fmt::withThousands(
+                         static_cast<std::uint64_t>(packets)) +
+                     " dropped_no_route=" +
+                     obs::fmt::withThousands(
+                         static_cast<std::uint64_t>(dropped)) +
+                     " elapsed=" + obs::fmt::fixed(elapsed, 1) + "s";
+  if (minEpochs > 0 && minEpochs < totalEpochs_) {
+    const double eta = elapsed *
+                       static_cast<double>(totalEpochs_ - minEpochs) /
+                       static_cast<double>(minEpochs);
+    line += " eta=" + obs::fmt::fixed(eta, 1) + "s";
+  }
+  return line;
 }
 
 void ExperimentRunner::run() {
@@ -137,14 +208,39 @@ void ExperimentRunner::run() {
   std::mutex errorMutex;
   std::exception_ptr firstError;
 
+  runnerMetrics_.gauge("runner.shards").set(static_cast<double>(shardCount));
+  runnerMetrics_.gauge("runner.epochs_total")
+      .set(static_cast<double>(totalEpochs_));
+  runStart_ = Clock::now();
+  started_.store(true, std::memory_order_release);
+
   auto worker = [&](unsigned shardId) {
     ShardStats& shard = stats_.shards[shardId];
     shard.shardId = shardId;
+    obs::Registry& metrics = *shardMetrics_[shardId];
+    const std::string shardTag =
+        "runner.shard." + std::to_string(shardId);
     const auto t0 = Clock::now();
     try {
+      obs::Span instantiateSpan(metrics, "runner.phase.instantiate_seconds");
       auto world = std::make_unique<ShardWorld>(config_.experiment, plan_,
-                                                shardCount, shardId);
+                                                shardCount, shardId, metrics);
+      instantiateSpan.stop();
       shard.scanners = world->population.size();
+      metrics.gauge(shardTag + ".scanners")
+          .set(static_cast<double>(shard.scanners));
+
+      // Per-shard component sampling at every epoch boundary keeps the
+      // live snapshot/heartbeat fresh without touching another thread's
+      // data — all reads are of this shard's own world.
+      ComponentSampler sampler{metrics};
+      obs::Histogram& barrierWaitHist = metrics.histogram(
+          "runner.barrier_wait_seconds", obs::durationBoundsSeconds());
+      obs::Histogram& epochHist = metrics.histogram(
+          "runner.epoch_seconds", obs::durationBoundsSeconds());
+      obs::Gauge& barrierWaitTotal = metrics.gauge(
+          shardTag + ".barrier_wait_seconds_total", obs::GaugeMode::Sum);
+      obs::Counter& shardEvents = metrics.counter(shardTag + ".events_total");
 
       std::size_t cursor = 0;
       auto inject = [&](sim::SimTime upTo) {
@@ -166,11 +262,38 @@ void ExperimentRunner::run() {
       inject(std::min(sim::kEpoch + config_.epoch, end));
       world->population.startAll(world->feed.get(), world->hitlist.get());
 
+      std::uint64_t eventsAtEpochStart = 0;
+      auto epochStart = Clock::now();
+      auto closeEpoch = [&] {
+        // Wall time and event count of the epoch slice that just ran.
+        const std::uint64_t executed = world->engine.executedEvents();
+        shard.epochEvents.push_back(executed - eventsAtEpochStart);
+        shardEvents.inc(executed - eventsAtEpochStart);
+        eventsAtEpochStart = executed;
+        epochHist.observe(secondsSince(epochStart));
+        sampler.sample(world->engine, world->rib, *world->fabric,
+                       world->telescopes);
+      };
+
       shard.events = world->engine.runEpochs(
           end, config_.epoch, [&](int epochIndex, sim::SimTime sliceEnd) {
+            if (epochIndex > 0) {
+              closeEpoch();
+              epochsDone_[shardId].store(
+                  static_cast<std::uint64_t>(epochIndex),
+                  std::memory_order_relaxed);
+            }
+            const auto waitStart = Clock::now();
             barrier.arrive_and_wait();
+            const double waited = secondsSince(waitStart);
+            shard.barrierWaitSeconds += waited;
+            barrierWaitHist.observe(waited);
+            barrierWaitTotal.add(waited);
             if (epochIndex > 0) inject(sliceEnd);
+            epochStart = Clock::now();
           });
+      closeEpoch();
+      epochsDone_[shardId].store(totalEpochs_, std::memory_order_relaxed);
 
       for (const auto& t : world->telescopes) {
         shard.packetsCaptured += t->capture().packetCount();
@@ -178,6 +301,7 @@ void ExperimentRunner::run() {
       }
       shard.droppedNoRoute = world->fabric->droppedNoRoute();
       shard.deliveredToVoid = world->fabric->deliveredToVoid();
+      shard.queueDepthHighWater = world->engine.queueDepthHighWater();
       worlds[shardId] = std::move(world);
     } catch (...) {
       {
@@ -188,12 +312,13 @@ void ExperimentRunner::run() {
       // world stays null and the failure is rethrown after the join.
       barrier.arrive_and_drop();
     }
-    shard.wallSeconds =
-        std::chrono::duration<double>(Clock::now() - t0).count();
+    shard.wallSeconds = secondsSince(t0);
+    metrics.gauge(shardTag + ".wall_seconds").set(shard.wallSeconds);
   };
 
   const auto runStart = Clock::now();
   {
+    obs::Span epochsSpan(runnerMetrics_, "runner.phase.epochs_seconds");
     std::vector<std::thread> threads;
     threads.reserve(shardCount);
     for (unsigned s = 0; s < shardCount; ++s) {
@@ -201,25 +326,28 @@ void ExperimentRunner::run() {
     }
     for (std::thread& t : threads) t.join();
   }
-  stats_.runWallSeconds =
-      std::chrono::duration<double>(Clock::now() - runStart).count();
+  stats_.runWallSeconds = secondsSince(runStart);
   if (firstError) std::rethrow_exception(firstError);
 
   // Deterministic merge: concatenate per-shard buffers and sort into the
   // canonical (ts, originId, originSeq) order — also for one shard, whose
   // buffer arrives in engine-sequence order.
   const auto mergeStart = Clock::now();
-  for (std::size_t i = 0; i < 4; ++i) {
-    std::vector<const telescope::CaptureStore*> shards;
-    shards.reserve(shardCount);
-    for (const auto& world : worlds) {
-      shards.push_back(&world->telescopes[i]->capture());
+  {
+    obs::Span mergeSpan(runnerMetrics_, "runner.phase.merge_seconds");
+    for (std::size_t i = 0; i < 4; ++i) {
+      std::vector<const telescope::CaptureStore*> shards;
+      shards.reserve(shardCount);
+      for (const auto& world : worlds) {
+        shards.push_back(&world->telescopes[i]->capture());
+      }
+      captures_[i].mergeFrom(shards);
+      stats_.packetsMerged += captures_[i].packetCount();
     }
-    captures_[i].mergeFrom(shards);
-    stats_.packetsMerged += captures_[i].packetCount();
   }
-  stats_.mergeWallSeconds =
-      std::chrono::duration<double>(Clock::now() - mergeStart).count();
+  stats_.mergeWallSeconds = secondsSince(mergeStart);
+  runnerMetrics_.counter("runner.packets_merged_total")
+      .inc(stats_.packetsMerged);
 
   for (const ShardStats& shard : stats_.shards) {
     stats_.totalEvents += shard.events;
@@ -235,6 +363,8 @@ void ExperimentRunner::run() {
     irr_.addRoute6(lower, config_.experiment.ourAsn,
                    sim::kEpoch + config_.experiment.routeObjectAt);
   }
+
+  snapshotMetrics(metrics_);
 }
 
 } // namespace v6t::core

@@ -31,13 +31,17 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bgp/route_object.hpp"
 #include "bgp/splitter.hpp"
 #include "core/experiment.hpp"
+#include "obs/metrics.hpp"
 #include "scanner/population.hpp"
 #include "telescope/capture_store.hpp"
 
@@ -61,6 +65,13 @@ struct ShardStats {
   std::uint64_t deliveredToVoid = 0;
   std::uint64_t excludedPackets = 0; // landed in T2's productive /56
   double wallSeconds = 0.0;
+  /// Total wall time this shard spent parked at the epoch barrier — the
+  /// direct measure of shard imbalance (a fast shard waits for the slow
+  /// one; a balanced run has near-zero waits everywhere).
+  double barrierWaitSeconds = 0.0;
+  /// Events executed per epoch slice, in epoch order.
+  std::vector<std::uint64_t> epochEvents;
+  std::uint64_t queueDepthHighWater = 0;
 };
 
 struct RunnerStats {
@@ -103,6 +114,27 @@ public:
   [[nodiscard]] const RunnerStats& stats() const { return stats_; }
   [[nodiscard]] sim::SimTime experimentEnd() const;
 
+  // --- observability -----------------------------------------------------
+  //
+  // Each shard writes to a private obs::Registry (lock-free relaxed
+  // atomics); the observer-side calls below may run concurrently with the
+  // shards and only ever *read* metric values, so attaching an exporter
+  // cannot perturb the simulation.
+
+  /// Aggregate the current state of every shard registry plus the
+  /// runner-level registry into `out`. Safe to call while run() executes
+  /// (the live `--metrics-out` snapshot path).
+  void snapshotMetrics(obs::Registry& out) const;
+
+  /// One-line progress heartbeat: epochs completed (slowest shard),
+  /// simulated weeks, packets captured so far, wall-clock elapsed and ETA.
+  [[nodiscard]] std::string progressLine() const;
+
+  /// Final aggregated registry, filled when run() returns. Mutable so the
+  /// analysis phase can add its metrics before export.
+  [[nodiscard]] obs::Registry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
+
 private:
   RunnerConfig config_;
   bgp::SplitSchedule schedule_;
@@ -112,6 +144,14 @@ private:
   bgp::IrrRegistry irr_;
   RunnerStats stats_;
   bool ran_ = false;
+
+  std::vector<std::unique_ptr<obs::Registry>> shardMetrics_;
+  obs::Registry runnerMetrics_; // coordinator-side phases and totals
+  obs::Registry metrics_; // final aggregate, valid after run()
+  std::uint64_t totalEpochs_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> epochsDone_;
+  std::chrono::steady_clock::time_point runStart_{};
+  std::atomic<bool> started_{false};
 };
 
 } // namespace v6t::core

@@ -12,9 +12,13 @@ ExperimentSummary ExperimentSummary::compute(
     TelescopeSummary& out = summary.telescopes_[i];
     out.name = names[i];
     out.sessions128 = telescope::sessionize(captures[i]->packets(),
-                                            telescope::SourceAgg::Addr128);
+                                            telescope::SourceAgg::Addr128,
+                                            telescope::kSessionTimeout,
+                                            &out.stats128);
     out.sessions64 = telescope::sessionize(captures[i]->packets(),
-                                           telescope::SourceAgg::Net64);
+                                           telescope::SourceAgg::Net64,
+                                           telescope::kSessionTimeout,
+                                           &out.stats64);
   }
   return summary;
 }

@@ -32,6 +32,10 @@ struct TelescopeSummary {
   std::string name;
   std::vector<telescope::Session> sessions128;
   std::vector<telescope::Session> sessions64;
+  /// Sessionizer lifecycle counters (opened / closed-by-timeout / still
+  /// open at end of measurement), surfaced through the obs registry.
+  telescope::Sessionizer::Stats stats128;
+  telescope::Sessionizer::Stats stats64;
 
   /// Distinct sources/ASes/destinations within a window, straight from the
   /// packet records.

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "obs/log.hpp"
+
 namespace v6t::net {
 
 namespace {
@@ -137,8 +139,8 @@ std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
 Ipv6Address Ipv6Address::mustParse(std::string_view text) {
   auto a = parse(text);
   if (!a) {
-    std::fprintf(stderr, "Ipv6Address::mustParse: bad literal '%.*s'\n",
-                 static_cast<int>(text.size()), text.data());
+    obs::logError("net", "Ipv6Address::mustParse: bad literal",
+                  {{"literal", text}});
     std::abort();
   }
   return *a;

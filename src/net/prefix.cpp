@@ -1,7 +1,8 @@
 #include "net/prefix.hpp"
 
-#include <cstdio>
 #include <cstdlib>
+
+#include "obs/log.hpp"
 
 namespace v6t::net {
 
@@ -24,8 +25,8 @@ std::optional<Prefix> Prefix::parse(std::string_view text) {
 Prefix Prefix::mustParse(std::string_view text) {
   auto p = parse(text);
   if (!p) {
-    std::fprintf(stderr, "Prefix::mustParse: bad literal '%.*s'\n",
-                 static_cast<int>(text.size()), text.data());
+    obs::logError("net", "Prefix::mustParse: bad literal",
+                  {{"literal", text}});
     std::abort();
   }
   return *p;

@@ -1,0 +1,67 @@
+#include "obs/exporter.hpp"
+
+#include <chrono>
+#include <iostream>
+
+#include "obs/log.hpp"
+
+namespace v6t::obs {
+
+PeriodicExporter::PeriodicExporter(ExporterOptions options,
+                                   SnapshotFn writeSnapshot,
+                                   HeartbeatFn heartbeat)
+    : options_(std::move(options)),
+      writeSnapshot_(std::move(writeSnapshot)),
+      heartbeat_(std::move(heartbeat)) {
+  if (!options_.jsonlPath.empty()) {
+    out_.open(options_.jsonlPath, std::ios::trunc);
+    if (!out_) {
+      logError("obs", "cannot open metrics snapshot file",
+               {{"path", options_.jsonlPath}});
+    }
+  }
+  thread_ = std::thread([this] { loop(); });
+}
+
+PeriodicExporter::~PeriodicExporter() { stop(); }
+
+void PeriodicExporter::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  tick(); // final snapshot + heartbeat, after the run completed
+  if (out_.is_open()) out_.flush();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+  }
+}
+
+void PeriodicExporter::loop() {
+  const auto interval = std::chrono::duration<double>(
+      options_.intervalSeconds > 0 ? options_.intervalSeconds : 1.0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, interval, [this] { return stopping_; })) break;
+    lock.unlock();
+    tick();
+    lock.lock();
+  }
+}
+
+void PeriodicExporter::tick() {
+  if (out_.is_open() && writeSnapshot_) {
+    writeSnapshot_(out_);
+    out_.flush();
+  }
+  if (options_.heartbeat && heartbeat_) {
+    const std::string line = heartbeat_();
+    if (!line.empty()) std::cerr << line << '\n';
+  }
+}
+
+} // namespace v6t::obs

@@ -1,0 +1,46 @@
+#include "obs/format.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace v6t::obs::fmt {
+
+std::string fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string withThousands(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t count = 0;
+  for (std::size_t i = digits.size(); i-- > 0;) {
+    out.push_back(digits[i]);
+    if (++count % 3 == 0 && i != 0) out.push_back(',');
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string daysClock(std::int64_t ms, bool signedValue) {
+  const bool neg = signedValue && ms < 0;
+  if (neg) ms = -ms;
+  const std::int64_t d = ms / (24LL * 3600 * 1000);
+  ms %= 24LL * 3600 * 1000;
+  const std::int64_t h = ms / (3600LL * 1000);
+  ms %= 3600LL * 1000;
+  const std::int64_t m = ms / 60000;
+  ms %= 60000;
+  const std::int64_t s = ms / 1000;
+  ms %= 1000;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%lldd %02lld:%02lld:%02lld.%03lld",
+                neg ? "-" : "", static_cast<long long>(d),
+                static_cast<long long>(h), static_cast<long long>(m),
+                static_cast<long long>(s), static_cast<long long>(ms));
+  return buf;
+}
+
+} // namespace v6t::obs::fmt

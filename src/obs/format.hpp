@@ -1,0 +1,22 @@
+// v6t::obs — shared text formatting for diagnostics and reports.
+//
+// The one place raw printf-style buffer formatting is allowed; the sim,
+// net, and analysis layers route their number/time rendering through these
+// helpers instead of carrying private snprintf calls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace v6t::obs::fmt {
+
+/// Fixed-point decimal, e.g. fixed(3.14159, 2) == "3.14".
+[[nodiscard]] std::string fixed(double value, int decimals);
+
+/// 1234567 -> "1,234,567".
+[[nodiscard]] std::string withThousands(std::uint64_t value);
+
+/// Milliseconds -> "Nd HH:MM:SS.mmm" (sign-aware when `signedValue`).
+[[nodiscard]] std::string daysClock(std::int64_t ms, bool signedValue);
+
+} // namespace v6t::obs::fmt

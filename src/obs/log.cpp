@@ -1,0 +1,101 @@
+#include "obs/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/format.hpp"
+
+namespace v6t::obs {
+
+std::string_view toString(Level level) {
+  switch (level) {
+    case Level::Trace: return "trace";
+    case Level::Debug: return "debug";
+    case Level::Info: return "info";
+    case Level::Warn: return "warn";
+    case Level::Error: return "error";
+    case Level::Off: return "off";
+  }
+  return "?";
+}
+
+Level parseLevel(std::string_view name) {
+  if (name == "trace") return Level::Trace;
+  if (name == "debug") return Level::Debug;
+  if (name == "info") return Level::Info;
+  if (name == "warn") return Level::Warn;
+  if (name == "error") return Level::Error;
+  if (name == "off") return Level::Off;
+  return Level::Info;
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  static const bool initialized = [] {
+    if (const char* env = std::getenv("V6T_LOG_LEVEL")) {
+      logger.setLevel(parseLevel(env));
+    }
+    return true;
+  }();
+  (void)initialized;
+  return logger;
+}
+
+void Logger::setSink(Sink sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+namespace {
+
+void appendQuoted(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+void appendValue(std::string& out, const KV& kv) {
+  switch (kv.kind) {
+    case KV::Kind::Str: appendQuoted(out, kv.str); break;
+    case KV::Kind::I64: out += std::to_string(kv.i64); break;
+    case KV::Kind::U64: out += std::to_string(kv.u64); break;
+    case KV::Kind::F64: out += fmt::fixed(kv.f64, 6); break;
+    case KV::Kind::Bool: out += kv.b ? "true" : "false"; break;
+  }
+}
+
+} // namespace
+
+void Logger::log(Level level, std::string_view component,
+                 std::string_view message, std::initializer_list<KV> fields) {
+  if (!enabled(level) || level == Level::Off) return;
+  std::string line;
+  line.reserve(64 + message.size());
+  line += "level=";
+  line += toString(level);
+  line += " comp=";
+  line += component;
+  line += " msg=";
+  appendQuoted(line, message);
+  for (const KV& kv : fields) {
+    line.push_back(' ');
+    line += kv.key;
+    line.push_back('=');
+    appendValue(line, kv);
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+} // namespace v6t::obs

@@ -1,0 +1,119 @@
+// v6t::obs — structured logging.
+//
+// One process-wide logger with severity levels, component tags, and
+// machine-parseable key=value output:
+//
+//   level=warn comp=net msg="bad literal" literal="3fff::/zz"
+//
+// The default sink is stderr; tests swap in a capturing sink. Per-packet
+// call sites rate-limit with `EveryN`, which counts occurrences instead of
+// reading a clock — the simulation stays wall-clock-free (DESIGN.md §9).
+// The initial level comes from the V6T_LOG_LEVEL environment variable
+// (trace|debug|info|warn|error|off), defaulting to info.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace v6t::obs {
+
+enum class Level : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+[[nodiscard]] std::string_view toString(Level level);
+/// Case-sensitive lowercase name -> level; unknown names map to Info.
+[[nodiscard]] Level parseLevel(std::string_view name);
+
+/// One structured field. Values are formatted at emit time; string values
+/// are quoted, numerics are bare.
+struct KV {
+  KV(std::string_view k, std::string_view v) : key(k), str(v), kind(Kind::Str) {}
+  KV(std::string_view k, const char* v) : KV(k, std::string_view{v}) {}
+  KV(std::string_view k, std::int64_t v) : key(k), i64(v), kind(Kind::I64) {}
+  KV(std::string_view k, std::uint64_t v) : key(k), u64(v), kind(Kind::U64) {}
+  KV(std::string_view k, int v) : KV(k, static_cast<std::int64_t>(v)) {}
+  KV(std::string_view k, unsigned v) : KV(k, static_cast<std::uint64_t>(v)) {}
+  KV(std::string_view k, double v) : key(k), f64(v), kind(Kind::F64) {}
+  KV(std::string_view k, bool v) : key(k), b(v), kind(Kind::Bool) {}
+
+  enum class Kind : std::uint8_t { Str, I64, U64, F64, Bool };
+
+  std::string_view key;
+  std::string_view str{};
+  std::int64_t i64 = 0;
+  std::uint64_t u64 = 0;
+  double f64 = 0.0;
+  bool b = false;
+  Kind kind = Kind::Str;
+};
+
+class Logger {
+public:
+  using Sink = std::function<void(std::string_view line)>;
+
+  /// The process-wide logger (level initialized from V6T_LOG_LEVEL once).
+  static Logger& global();
+
+  void setLevel(Level level) noexcept {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  [[nodiscard]] Level level() const noexcept {
+    return static_cast<Level>(level_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] bool enabled(Level level) const noexcept {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
+
+  /// Replace the output sink; an empty function restores stderr.
+  void setSink(Sink sink);
+
+  void log(Level level, std::string_view component, std::string_view message,
+           std::initializer_list<KV> fields = {});
+
+private:
+  std::atomic<int> level_{static_cast<int>(Level::Info)};
+  std::mutex mutex_; // serializes sink calls across shard threads
+  Sink sink_;
+};
+
+inline void logDebug(std::string_view comp, std::string_view msg,
+                     std::initializer_list<KV> fields = {}) {
+  Logger::global().log(Level::Debug, comp, msg, fields);
+}
+inline void logInfo(std::string_view comp, std::string_view msg,
+                    std::initializer_list<KV> fields = {}) {
+  Logger::global().log(Level::Info, comp, msg, fields);
+}
+inline void logWarn(std::string_view comp, std::string_view msg,
+                    std::initializer_list<KV> fields = {}) {
+  Logger::global().log(Level::Warn, comp, msg, fields);
+}
+inline void logError(std::string_view comp, std::string_view msg,
+                     std::initializer_list<KV> fields = {}) {
+  Logger::global().log(Level::Error, comp, msg, fields);
+}
+
+/// Count-based rate limiter for hot-path diagnostics: allows occurrence
+/// 0, N, 2N, ... — no wall clock, so gating is deterministic given the
+/// event sequence.
+class EveryN {
+public:
+  explicit EveryN(std::uint64_t every) : every_(every == 0 ? 1 : every) {}
+
+  [[nodiscard]] bool allow() noexcept {
+    return count_.fetch_add(1, std::memory_order_relaxed) % every_ == 0;
+  }
+  [[nodiscard]] std::uint64_t seen() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<std::uint64_t> count_{0};
+  std::uint64_t every_;
+};
+
+} // namespace v6t::obs

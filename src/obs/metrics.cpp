@@ -1,0 +1,298 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace v6t::obs {
+
+namespace {
+
+/// Shortest float form that still round-trips (%.17g is exact for double;
+/// try %g first and keep it when it parses back bit-equal).
+std::string formatNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  if (std::strtod(buf, nullptr) == v) return buf;
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string promName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+} // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) noexcept {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomicAdd(sum_, v);
+}
+
+void Histogram::combine(const Histogram& other) noexcept {
+  if (other.bounds_.size() != bounds_.size()) return; // mismatched: skip
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].fetch_add(other.bucketCount(i), std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  atomicAdd(sum_, other.sum());
+}
+
+std::span<const double> durationBoundsSeconds() {
+  static const std::vector<double> kBounds{0.0001, 0.001, 0.01,  0.05,
+                                           0.1,    0.5,   1.0,   5.0,
+                                           15.0,   60.0,  300.0, 1800.0};
+  return kBounds;
+}
+
+std::span<const double> delayBoundsSeconds() {
+  static const std::vector<double> kBounds{1.0,   5.0,   15.0,  30.0,
+                                           60.0,  120.0, 300.0, 600.0,
+                                           1800.0, 3600.0};
+  return kBounds;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Metric m;
+    m.c = std::make_unique<Counter>();
+    it = metrics_.emplace(std::string{name}, std::move(m)).first;
+  }
+  return *it->second.c;
+}
+
+Gauge& Registry::gauge(std::string_view name, GaugeMode mode) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Metric m;
+    m.g = std::make_unique<Gauge>(mode);
+    it = metrics_.emplace(std::string{name}, std::move(m)).first;
+  }
+  return *it->second.g;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Metric m;
+    m.h = std::make_unique<Histogram>(
+        std::vector<double>{bounds.begin(), bounds.end()});
+    it = metrics_.emplace(std::string{name}, std::move(m)).first;
+  }
+  return *it->second.h;
+}
+
+std::optional<double> Registry::value(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = metrics_.find(name);
+  if (it == metrics_.end()) return std::nullopt;
+  if (it->second.c) return static_cast<double>(it->second.c->value());
+  if (it->second.g) return it->second.g->value();
+  return std::nullopt;
+}
+
+void Registry::aggregateFrom(const Registry& other) {
+  // Snapshot other's entries under its lock, then fold without holding
+  // both locks at once (handles are stable for the registry's lifetime).
+  struct Seen {
+    std::string name;
+    const Counter* c;
+    const Gauge* g;
+    const Histogram* h;
+  };
+  std::vector<Seen> seen;
+  {
+    const std::lock_guard<std::mutex> lock(other.mutex_);
+    seen.reserve(other.metrics_.size());
+    for (const auto& [name, m] : other.metrics_) {
+      seen.push_back({name, m.c.get(), m.g.get(), m.h.get()});
+    }
+  }
+  for (const Seen& s : seen) {
+    if (s.c != nullptr) counter(s.name).inc(s.c->value());
+    if (s.g != nullptr) gauge(s.name, s.g->mode()).combine(s.g->value());
+    if (s.h != nullptr) histogram(s.name, s.h->bounds()).combine(*s.h);
+  }
+}
+
+std::map<std::string, double> Registry::flatten() const {
+  std::map<std::string, double> out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, m] : metrics_) {
+    if (m.c) {
+      out[name] = static_cast<double>(m.c->value());
+    } else if (m.g) {
+      out[name] = m.g->value();
+    } else if (m.h) {
+      out[name + ".count"] = static_cast<double>(m.h->count());
+      out[name + ".sum"] = m.h->sum();
+      std::uint64_t cumulative = 0;
+      const auto bounds = m.h->bounds();
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        cumulative += m.h->bucketCount(i);
+        out[name + ".le." + formatNumber(bounds[i])] =
+            static_cast<double>(cumulative);
+      }
+      cumulative += m.h->bucketCount(bounds.size());
+      out[name + ".le.inf"] = static_cast<double>(cumulative);
+    }
+  }
+  return out;
+}
+
+void Registry::writeJsonLine(
+    std::ostream& out,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        textFields) const {
+  const auto flat = flatten();
+  out << '{';
+  bool first = true;
+  for (const auto& [key, value] : textFields) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << jsonEscape(key) << "\":\"" << jsonEscape(value) << '"';
+  }
+  for (const auto& [name, value] : flat) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << jsonEscape(name) << "\":" << formatNumber(value);
+  }
+  out << "}\n";
+}
+
+void Registry::writePrometheus(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, m] : metrics_) {
+    const std::string p = promName(name);
+    if (m.c) {
+      out << "# TYPE " << p << " counter\n" << p << ' ' << m.c->value()
+          << '\n';
+    } else if (m.g) {
+      out << "# TYPE " << p << " gauge\n" << p << ' '
+          << formatNumber(m.g->value()) << '\n';
+    } else if (m.h) {
+      out << "# TYPE " << p << " histogram\n";
+      std::uint64_t cumulative = 0;
+      const auto bounds = m.h->bounds();
+      for (std::size_t i = 0; i < bounds.size(); ++i) {
+        cumulative += m.h->bucketCount(i);
+        out << p << "_bucket{le=\"" << formatNumber(bounds[i]) << "\"} "
+            << cumulative << '\n';
+      }
+      cumulative += m.h->bucketCount(bounds.size());
+      out << p << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+      out << p << "_sum " << formatNumber(m.h->sum()) << '\n';
+      out << p << "_count " << m.h->count() << '\n';
+    }
+  }
+}
+
+std::optional<std::map<std::string, double>> Registry::parseJsonLine(
+    std::string_view line) {
+  std::map<std::string, double> out;
+  std::size_t i = 0;
+  auto skipWs = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\n' || line[i] == '\r')) {
+      ++i;
+    }
+  };
+  auto parseString = [&]() -> std::optional<std::string> {
+    if (i >= line.size() || line[i] != '"') return std::nullopt;
+    ++i;
+    std::string s;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\' && i + 1 < line.size()) {
+        ++i;
+        switch (line[i]) {
+          case 'n': s.push_back('\n'); break;
+          case 't': s.push_back('\t'); break;
+          default: s.push_back(line[i]);
+        }
+      } else {
+        s.push_back(line[i]);
+      }
+      ++i;
+    }
+    if (i >= line.size()) return std::nullopt;
+    ++i; // closing quote
+    return s;
+  };
+
+  skipWs();
+  if (i >= line.size() || line[i] != '{') return std::nullopt;
+  ++i;
+  skipWs();
+  if (i < line.size() && line[i] == '}') return out; // empty object
+  while (true) {
+    skipWs();
+    const auto key = parseString();
+    if (!key) return std::nullopt;
+    skipWs();
+    if (i >= line.size() || line[i] != ':') return std::nullopt;
+    ++i;
+    skipWs();
+    if (i < line.size() && line[i] == '"') {
+      if (!parseString()) return std::nullopt; // string field: skip value
+    } else {
+      char* end = nullptr;
+      const std::string num{line.substr(i)};
+      const double v = std::strtod(num.c_str(), &end);
+      if (end == num.c_str()) return std::nullopt;
+      out[*key] = v;
+      i += static_cast<std::size_t>(end - num.c_str());
+    }
+    skipWs();
+    if (i >= line.size()) return std::nullopt;
+    if (line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (line[i] == '}') return out;
+    return std::nullopt;
+  }
+}
+
+bool Registry::empty() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_.empty();
+}
+
+} // namespace v6t::obs

@@ -1,0 +1,226 @@
+// v6t::obs — run-time metrics registry.
+//
+// Named counters, gauges, and fixed-bucket histograms with a lock-free hot
+// path: every mutation is a relaxed atomic on a handle obtained once at
+// setup time, so instrumented code never takes a lock, never allocates,
+// and never serializes shards. The registry mutex guards only metric
+// *registration* and snapshot iteration, which happen at wiring time and
+// in the observer respectively.
+//
+// Determinism contract (DESIGN.md §9): metrics record what the simulation
+// did; they never feed back into it. Wall-clock time enters only through
+// `Span` (phase profiling) and the exporter — observer-side constructs —
+// and only ever lands in metric *values*, never in simulation decisions.
+//
+// Sharding model: each worker shard owns a private Registry and mutates it
+// without coordination; `aggregateFrom` folds shard registries into one
+// view at merge/export time (counters sum, gauges combine per their mode,
+// histograms with identical bounds add bucket-wise).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace v6t::obs {
+
+/// fetch_add for atomic<double> without requiring C++20 library support.
+inline double atomicAdd(std::atomic<double>& a, double delta) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+  return cur + delta;
+}
+
+inline void atomicMax(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+  void inc(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// How a gauge folds when shard registries are aggregated.
+enum class GaugeMode : std::uint8_t {
+  Last, // later registries win (config-like values, identical everywhere)
+  Sum, // per-shard contributions add up (wall seconds, scanners)
+  Max, // high-water marks
+};
+
+class Gauge {
+public:
+  explicit Gauge(GaugeMode mode) : mode_(mode) {}
+
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept { atomicAdd(v_, d); }
+  void max(double v) noexcept { atomicMax(v_, v); }
+  [[nodiscard]] double value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] GaugeMode mode() const noexcept { return mode_; }
+
+  /// Fold another gauge's value in, per this gauge's mode.
+  void combine(double other) noexcept {
+    switch (mode_) {
+      case GaugeMode::Last: set(other); break;
+      case GaugeMode::Sum: add(other); break;
+      case GaugeMode::Max: max(other); break;
+    }
+  }
+
+private:
+  std::atomic<double> v_{0.0};
+  GaugeMode mode_;
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending upper edges (value v
+/// falls into the first bucket with v <= bound); an implicit +inf bucket
+/// catches the rest. Observation is two relaxed atomics plus a short scan.
+class Histogram {
+public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::span<const double> bounds() const noexcept {
+    return bounds_;
+  }
+  /// Non-cumulative count of bucket i, i in [0, bounds().size()]; the last
+  /// index is the +inf bucket.
+  [[nodiscard]] std::uint64_t bucketCount(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Bucket-wise addition; bounds must be identical.
+  void combine(const Histogram& other) noexcept;
+
+private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default bounds for wall-clock phase/epoch durations (seconds).
+[[nodiscard]] std::span<const double> durationBoundsSeconds();
+/// Bounds for BGP convergence delays (seconds, 30 s base + up to 10 min
+/// jitter per the propagation model, coarse tail to an hour).
+[[nodiscard]] std::span<const double> delayBoundsSeconds();
+
+/// Named metric store. Handles returned by counter()/gauge()/histogram()
+/// are stable for the registry's lifetime.
+class Registry {
+public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name, GaugeMode mode = GaugeMode::Last);
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> bounds =
+                           durationBoundsSeconds());
+
+  /// Scalar value of a counter or gauge, if registered.
+  [[nodiscard]] std::optional<double> value(std::string_view name) const;
+
+  /// Fold `other` into this registry: counters sum, gauges combine per
+  /// mode, histograms (same bounds) add bucket-wise. Safe to call while
+  /// `other` is still being mutated — reads are relaxed-atomic snapshots.
+  void aggregateFrom(const Registry& other);
+
+  /// Every metric as flat (name, value) pairs, sorted by name. Histograms
+  /// flatten to `name.count`, `name.sum`, and cumulative `name.le.<bound>`
+  /// / `name.le.inf` keys.
+  [[nodiscard]] std::map<std::string, double> flatten() const;
+
+  /// One JSON object per call, `\n`-terminated: the flattened metrics plus
+  /// optional leading string fields (e.g. {"phase","live"}).
+  void writeJsonLine(
+      std::ostream& out,
+      std::initializer_list<std::pair<std::string_view, std::string_view>>
+          textFields = {}) const;
+
+  /// Prometheus text exposition (counters, gauges, histograms with
+  /// cumulative le-buckets). Metric names are sanitized (dots become
+  /// underscores).
+  void writePrometheus(std::ostream& out) const;
+
+  /// Parse one JSONL snapshot line back into (name, value) pairs; string
+  /// fields are skipped. Returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<std::map<std::string, double>>
+  parseJsonLine(std::string_view line);
+
+  [[nodiscard]] bool empty() const;
+
+private:
+  struct Metric {
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+
+  mutable std::mutex mutex_; // guards metrics_ structure, not values
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+/// RAII wall-clock phase timer: observes the elapsed seconds into a
+/// duration histogram when stopped/destroyed. This is the only sanctioned
+/// way wall-clock enters the metric space from inside the pipeline.
+class Span {
+public:
+  explicit Span(Histogram& h)
+      : h_(&h), t0_(std::chrono::steady_clock::now()) {}
+  Span(Registry& r, std::string_view name)
+      : Span(r.histogram(name, durationBoundsSeconds())) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { stop(); }
+
+  /// Record now; further stops are no-ops. Returns the elapsed seconds.
+  double stop() noexcept {
+    if (h_ == nullptr) return 0.0;
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0_)
+                               .count();
+    h_->observe(elapsed);
+    h_ = nullptr;
+    return elapsed;
+  }
+
+private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+} // namespace v6t::obs

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/log.hpp"
+
 namespace v6t::sim {
 
 void Engine::push(Entry e) {
   heap_.push_back(std::move(e));
   std::push_heap(heap_.begin(), heap_.end(), later);
+  if (heap_.size() > queueHighWater_) queueHighWater_ = heap_.size();
 }
 
 Engine::Entry Engine::pop() {
@@ -32,7 +35,19 @@ bool Engine::popLive(Entry& out) {
 }
 
 EventId Engine::schedule(SimTime when, Action action) {
-  if (when < now_) when = now_;
+  if (when < now_) {
+    // Clamped-to-now is tolerated but suspicious; surface it without
+    // flooding (schedule() is the hottest call in the system).
+    if (obs::Logger::global().enabled(obs::Level::Debug)) {
+      static obs::EveryN rateLimit{4096};
+      if (rateLimit.allow()) {
+        obs::logDebug("sim", "schedule in the past clamped to now",
+                      {{"behind_ms", (now_ - when).millis()},
+                       {"occurrences", rateLimit.seen()}});
+      }
+    }
+    when = now_;
+  }
   const EventId id = nextSeq_++;
   push(Entry{when, id, std::move(action)});
   return id;

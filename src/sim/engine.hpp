@@ -67,6 +67,11 @@ public:
     return heap_.size() - cancelled_.size();
   }
   [[nodiscard]] std::uint64_t executedEvents() const { return executed_; }
+  /// Largest pending-queue size ever reached — the engine's memory
+  /// high-water mark, reported through the obs registry.
+  [[nodiscard]] std::size_t queueDepthHighWater() const {
+    return queueHighWater_;
+  }
 
 private:
   struct Entry {
@@ -89,6 +94,7 @@ private:
   SimTime now_ = kEpoch;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t executed_ = 0;
+  std::size_t queueHighWater_ = 0;
   std::vector<Entry> heap_;
   std::unordered_set<EventId> cancelled_;
 };

@@ -1,34 +1,11 @@
 #include "sim/time.hpp"
 
-#include <cstdio>
+#include "obs/format.hpp"
 
 namespace v6t::sim {
 
-namespace {
+std::string toString(SimTime t) { return obs::fmt::daysClock(t.millis(), true); }
 
-std::string format(std::int64_t ms, bool signedValue) {
-  const bool neg = signedValue && ms < 0;
-  if (neg) ms = -ms;
-  const std::int64_t d = ms / (24LL * 3600 * 1000);
-  ms %= 24LL * 3600 * 1000;
-  const std::int64_t h = ms / (3600LL * 1000);
-  ms %= 3600LL * 1000;
-  const std::int64_t m = ms / 60000;
-  ms %= 60000;
-  const std::int64_t s = ms / 1000;
-  ms %= 1000;
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%s%lldd %02lld:%02lld:%02lld.%03lld",
-                neg ? "-" : "", static_cast<long long>(d),
-                static_cast<long long>(h), static_cast<long long>(m),
-                static_cast<long long>(s), static_cast<long long>(ms));
-  return buf;
-}
-
-} // namespace
-
-std::string toString(SimTime t) { return format(t.millis(), true); }
-
-std::string toString(Duration d) { return format(d.millis(), true); }
+std::string toString(Duration d) { return obs::fmt::daysClock(d.millis(), true); }
 
 } // namespace v6t::sim

@@ -18,7 +18,9 @@ void Sessionizer::offer(const net::Packet& p, std::uint32_t idx) {
     // Gap exceeded: the old session is complete.
     done_.push_back(std::move(o.session));
     open_.erase(it);
+    ++stats_.closedByTimeout;
   }
+  ++stats_.opened;
   Open fresh;
   fresh.session.source = SourceKey{key, agg_};
   fresh.session.start = p.ts;
@@ -29,6 +31,7 @@ void Sessionizer::offer(const net::Packet& p, std::uint32_t idx) {
 }
 
 std::vector<Session> Sessionizer::finish() {
+  stats_.openAtFinish += open_.size();
   for (auto& [key, o] : open_) done_.push_back(std::move(o.session));
   open_.clear();
   std::vector<Session> out = std::move(done_);
@@ -42,10 +45,13 @@ std::vector<Session> Sessionizer::finish() {
 }
 
 std::vector<Session> sessionize(std::span<const net::Packet> packets,
-                                SourceAgg agg, sim::Duration timeout) {
+                                SourceAgg agg, sim::Duration timeout,
+                                Sessionizer::Stats* statsOut) {
   Sessionizer s{agg, timeout};
   for (std::uint32_t i = 0; i < packets.size(); ++i) s.offer(packets[i], i);
-  return s.finish();
+  auto out = s.finish();
+  if (statsOut != nullptr) *statsOut = s.stats();
+  return out;
 }
 
 std::vector<SourceSessions> groupBySource(std::span<const Session> sessions) {

@@ -57,6 +57,15 @@ inline constexpr sim::Duration kSessionTimeout = sim::hours(1);
 /// sessions at any point, flush at end of measurement.
 class Sessionizer {
 public:
+  /// Lifecycle counters for the obs layer: every session is opened once
+  /// and closed exactly once — either by the inter-packet timeout or by
+  /// the end-of-measurement flush in finish().
+  struct Stats {
+    std::uint64_t opened = 0;
+    std::uint64_t closedByTimeout = 0;
+    std::uint64_t openAtFinish = 0;
+  };
+
   explicit Sessionizer(SourceAgg agg,
                        sim::Duration timeout = kSessionTimeout)
       : agg_(agg), timeout_(timeout) {}
@@ -69,6 +78,8 @@ public:
   [[nodiscard]] std::vector<Session> finish();
 
   [[nodiscard]] SourceAgg aggregation() const { return agg_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t openSessions() const { return open_.size(); }
 
 private:
   struct Open {
@@ -80,12 +91,15 @@ private:
   sim::Duration timeout_;
   std::unordered_map<net::Ipv6Address, Open> open_;
   std::vector<Session> done_;
+  Stats stats_;
 };
 
-/// Convenience: sessionize a whole capture in one call.
+/// Convenience: sessionize a whole capture in one call. When `statsOut`
+/// is non-null the sessionizer's lifecycle counters are copied there.
 [[nodiscard]] std::vector<Session> sessionize(
     std::span<const net::Packet> packets, SourceAgg agg,
-    sim::Duration timeout = kSessionTimeout);
+    sim::Duration timeout = kSessionTimeout,
+    Sessionizer::Stats* statsOut = nullptr);
 
 /// Sessions grouped per source key (insertion order = first appearance).
 struct SourceSessions {

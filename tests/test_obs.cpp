@@ -1,0 +1,357 @@
+// v6t::obs — registry, logger, exporter, and the observability
+// determinism contract: metrics record what the simulation did and never
+// feed back into it, so a metrics-enabled run is bitwise-identical to a
+// metrics-disabled one.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "core/summary.hpp"
+#include "obs/exporter.hpp"
+#include "obs/format.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace v6t {
+namespace {
+
+// --- metric semantics ----------------------------------------------------
+
+TEST(ObsMetrics, CounterIsMonotonic) {
+  obs::Registry registry;
+  obs::Counter& c = registry.counter("test.events_total");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name returns the same handle.
+  EXPECT_EQ(&registry.counter("test.events_total"), &c);
+  EXPECT_EQ(registry.value("test.events_total"), 42.0);
+}
+
+TEST(ObsMetrics, GaugeModes) {
+  obs::Registry registry;
+  obs::Gauge& last = registry.gauge("g.last", obs::GaugeMode::Last);
+  obs::Gauge& sum = registry.gauge("g.sum", obs::GaugeMode::Sum);
+  obs::Gauge& max = registry.gauge("g.max", obs::GaugeMode::Max);
+  last.set(1.0);
+  last.set(2.5);
+  EXPECT_DOUBLE_EQ(last.value(), 2.5);
+  sum.add(1.5);
+  sum.add(2.5);
+  EXPECT_DOUBLE_EQ(sum.value(), 4.0);
+  max.max(3.0);
+  max.max(1.0);
+  EXPECT_DOUBLE_EQ(max.value(), 3.0);
+  last.combine(9.0);
+  EXPECT_DOUBLE_EQ(last.value(), 9.0);
+  sum.combine(6.0);
+  EXPECT_DOUBLE_EQ(sum.value(), 10.0);
+  max.combine(2.0);
+  EXPECT_DOUBLE_EQ(max.value(), 3.0);
+}
+
+TEST(ObsMetrics, HistogramBucketsAndSum) {
+  obs::Registry registry;
+  const std::vector<double> bounds{1.0, 10.0, 100.0};
+  obs::Histogram& h = registry.histogram("h", bounds);
+  h.observe(0.5); // bucket 0 (<= 1)
+  h.observe(1.0); // bucket 0 (boundary is inclusive)
+  h.observe(5.0); // bucket 1
+  h.observe(1000.0); // +inf bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  EXPECT_EQ(h.bucketCount(0), 2u);
+  EXPECT_EQ(h.bucketCount(1), 1u);
+  EXPECT_EQ(h.bucketCount(2), 0u);
+  EXPECT_EQ(h.bucketCount(3), 1u); // +inf
+}
+
+TEST(ObsMetrics, SpanObservesElapsedOnce) {
+  obs::Registry registry;
+  obs::Histogram& h =
+      registry.histogram("phase.x_seconds", obs::durationBoundsSeconds());
+  {
+    obs::Span span(h);
+    const double elapsed = span.stop();
+    EXPECT_GE(elapsed, 0.0);
+    span.stop(); // no-op
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// --- cross-shard aggregation ---------------------------------------------
+
+TEST(ObsMetrics, AggregateFoldsShardRegistries) {
+  obs::Registry shard0;
+  obs::Registry shard1;
+  shard0.counter("events_total").inc(10);
+  shard1.counter("events_total").inc(32);
+  shard0.gauge("wall_seconds", obs::GaugeMode::Sum).set(1.5);
+  shard1.gauge("wall_seconds", obs::GaugeMode::Sum).set(2.5);
+  shard0.gauge("queue_hwm", obs::GaugeMode::Max).set(100.0);
+  shard1.gauge("queue_hwm", obs::GaugeMode::Max).set(40.0);
+  const std::vector<double> bounds{1.0, 2.0};
+  shard0.histogram("lat", bounds).observe(0.5);
+  shard1.histogram("lat", bounds).observe(1.5);
+  shard1.histogram("lat", bounds).observe(9.0);
+
+  obs::Registry total;
+  total.aggregateFrom(shard0);
+  total.aggregateFrom(shard1);
+  EXPECT_EQ(total.value("events_total"), 42.0);
+  EXPECT_EQ(total.value("wall_seconds"), 4.0);
+  EXPECT_EQ(total.value("queue_hwm"), 100.0);
+  const auto flat = total.flatten();
+  EXPECT_EQ(flat.at("lat.count"), 3.0);
+  EXPECT_DOUBLE_EQ(flat.at("lat.sum"), 11.0);
+  EXPECT_EQ(flat.at("lat.le.1"), 1.0); // cumulative
+  EXPECT_EQ(flat.at("lat.le.2"), 2.0);
+  EXPECT_EQ(flat.at("lat.le.inf"), 3.0);
+}
+
+TEST(ObsMetrics, AggregateIsSafeWhileSourceMutates) {
+  obs::Registry shard;
+  obs::Counter& c = shard.counter("events_total");
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) c.inc();
+  });
+  for (int i = 0; i < 100; ++i) {
+    obs::Registry snapshot;
+    snapshot.aggregateFrom(shard);
+    EXPECT_GE(snapshot.value("events_total").value_or(-1.0), 0.0);
+  }
+  stop.store(true);
+  writer.join();
+}
+
+// --- snapshot round-trip -------------------------------------------------
+
+TEST(ObsMetrics, JsonSnapshotRoundTrips) {
+  obs::Registry registry;
+  registry.counter("sim.events_total").inc(123456789);
+  registry.gauge("runner.shards").set(4.0);
+  registry.gauge("frac").set(0.125);
+  const std::vector<double> bounds{0.001, 0.5, 30.0};
+  obs::Histogram& h = registry.histogram("bgp.delay_seconds", bounds);
+  h.observe(0.0005);
+  h.observe(0.3);
+  h.observe(100.0);
+
+  std::ostringstream out;
+  registry.writeJsonLine(out, {{"phase", "final"}});
+  const std::string line = out.str();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_NE(line.find("\"phase\":\"final\""), std::string::npos);
+
+  const auto parsed = obs::Registry::parseJsonLine(line);
+  ASSERT_TRUE(parsed.has_value());
+  const auto flat = registry.flatten();
+  EXPECT_EQ(*parsed, flat) << "JSONL snapshot must round-trip exactly";
+  EXPECT_EQ(parsed->at("sim.events_total"), 123456789.0);
+  EXPECT_EQ(parsed->at("bgp.delay_seconds.count"), 3.0);
+  EXPECT_EQ(parsed->at("bgp.delay_seconds.le.inf"), 3.0);
+}
+
+TEST(ObsMetrics, ParseRejectsMalformedLines) {
+  EXPECT_FALSE(obs::Registry::parseJsonLine("").has_value());
+  EXPECT_FALSE(obs::Registry::parseJsonLine("not json").has_value());
+  EXPECT_FALSE(obs::Registry::parseJsonLine("{\"a\":").has_value());
+  EXPECT_FALSE(obs::Registry::parseJsonLine("[1,2,3]").has_value());
+}
+
+TEST(ObsMetrics, PrometheusDumpContainsSanitizedNames) {
+  obs::Registry registry;
+  registry.counter("sim.events_total").inc(7);
+  registry.histogram("runner.epoch_seconds", obs::durationBoundsSeconds())
+      .observe(0.25);
+  std::ostringstream out;
+  registry.writePrometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("sim_events_total 7"), std::string::npos);
+  EXPECT_NE(text.find("runner_epoch_seconds_bucket{le="), std::string::npos);
+  EXPECT_NE(text.find("runner_epoch_seconds_count 1"), std::string::npos);
+}
+
+// --- structured logger ---------------------------------------------------
+
+class CapturingSink {
+public:
+  CapturingSink() {
+    obs::Logger::global().setSink(
+        [this](std::string_view line) { lines_.emplace_back(line); });
+    previousLevel_ = obs::Logger::global().level();
+  }
+  ~CapturingSink() {
+    obs::Logger::global().setSink({});
+    obs::Logger::global().setLevel(previousLevel_);
+  }
+  [[nodiscard]] const std::vector<std::string>& lines() const {
+    return lines_;
+  }
+
+private:
+  std::vector<std::string> lines_;
+  obs::Level previousLevel_;
+};
+
+TEST(ObsLog, EmitsMachineParseableKeyValues) {
+  CapturingSink sink;
+  obs::Logger::global().setLevel(obs::Level::Debug);
+  obs::logWarn("net", "bad literal",
+               {{"literal", "3fff::/zz"}, {"count", 3}, {"frac", 0.5}});
+  ASSERT_EQ(sink.lines().size(), 1u);
+  const std::string& line = sink.lines()[0];
+  EXPECT_NE(line.find("level=warn"), std::string::npos);
+  EXPECT_NE(line.find("comp=net"), std::string::npos);
+  EXPECT_NE(line.find("msg=\"bad literal\""), std::string::npos);
+  EXPECT_NE(line.find("literal=\"3fff::/zz\""), std::string::npos);
+  EXPECT_NE(line.find("count=3"), std::string::npos);
+}
+
+TEST(ObsLog, LevelGatesEmission) {
+  CapturingSink sink;
+  obs::Logger::global().setLevel(obs::Level::Warn);
+  obs::logDebug("sim", "suppressed");
+  obs::logInfo("sim", "suppressed too");
+  obs::logError("sim", "emitted");
+  ASSERT_EQ(sink.lines().size(), 1u);
+  EXPECT_NE(sink.lines()[0].find("level=error"), std::string::npos);
+  EXPECT_TRUE(obs::Logger::global().enabled(obs::Level::Warn));
+  EXPECT_FALSE(obs::Logger::global().enabled(obs::Level::Info));
+}
+
+TEST(ObsLog, ParseLevelNames) {
+  EXPECT_EQ(obs::parseLevel("trace"), obs::Level::Trace);
+  EXPECT_EQ(obs::parseLevel("off"), obs::Level::Off);
+  EXPECT_EQ(obs::parseLevel("bogus"), obs::Level::Info);
+}
+
+TEST(ObsLog, EveryNAllowsFirstAndEveryNth) {
+  obs::EveryN limiter{3};
+  EXPECT_TRUE(limiter.allow()); // occurrence 0
+  EXPECT_FALSE(limiter.allow());
+  EXPECT_FALSE(limiter.allow());
+  EXPECT_TRUE(limiter.allow()); // occurrence 3
+  EXPECT_EQ(limiter.seen(), 4u);
+}
+
+// --- formatting helpers --------------------------------------------------
+
+TEST(ObsFormat, Helpers) {
+  EXPECT_EQ(obs::fmt::withThousands(1234567), "1,234,567");
+  EXPECT_EQ(obs::fmt::fixed(1.25, 2), "1.25");
+  EXPECT_EQ(obs::fmt::daysClock(0, false), "0d 00:00:00.000");
+}
+
+// --- determinism: metrics-enabled == metrics-disabled --------------------
+
+core::ExperimentConfig tinyConfig() {
+  core::ExperimentConfig config;
+  config.seed = 7;
+  config.sourceScale = 0.05;
+  config.volumeScale = 0.004;
+  config.baseline = sim::weeks(2);
+  config.splits = 2;
+  config.routeObjectAt = sim::weeks(3);
+  config.runLimit = sim::weeks(7);
+  config.threads = 2;
+  return config;
+}
+
+TEST(ObsDeterminism, LiveExporterDoesNotPerturbCaptures) {
+  // Reference run: no exporter, no logging, metrics never read.
+  core::RunnerConfig plain;
+  plain.experiment = tinyConfig();
+  core::ExperimentRunner reference(plain);
+  reference.run();
+
+  // Observed run: verbose logging into a capturing sink plus a fast live
+  // exporter hammering snapshotMetrics()/progressLine() while the shards
+  // execute. Captures must still be bitwise-identical.
+  const auto jsonlPath =
+      std::filesystem::path{::testing::TempDir()} / "v6t_obs_live.jsonl";
+  std::filesystem::remove(jsonlPath);
+  {
+    CapturingSink sink;
+    obs::Logger::global().setLevel(obs::Level::Trace);
+    core::RunnerConfig observedConfig;
+    observedConfig.experiment = tinyConfig();
+    core::ExperimentRunner observed(observedConfig);
+    obs::ExporterOptions options;
+    options.jsonlPath = jsonlPath.string();
+    options.intervalSeconds = 0.01;
+    options.heartbeat = false;
+    {
+      obs::PeriodicExporter exporter(
+          options,
+          [&observed](std::ostream& out) {
+            obs::Registry snapshot;
+            observed.snapshotMetrics(snapshot);
+            snapshot.writeJsonLine(out, {{"phase", "live"}});
+          },
+          [&observed] { return observed.progressLine(); });
+      observed.run();
+    }
+    for (std::size_t t = 0; t < 4; ++t) {
+      EXPECT_EQ(observed.capture(t).digest(), reference.capture(t).digest())
+          << "telescope " << t
+          << ": metrics observation changed the simulation";
+      EXPECT_EQ(observed.capture(t).packetCount(),
+                reference.capture(t).packetCount());
+    }
+
+    // The aggregated registry carries the instrumented components.
+    const obs::Registry& metrics = observed.metrics();
+    EXPECT_GT(metrics.value("sim.events_total").value_or(0.0), 0.0);
+    EXPECT_GT(metrics.value("bgp.rib.lpm_lookups_total").value_or(0.0), 0.0);
+    EXPECT_GT(metrics.value("bgp.feed.announces_total").value_or(0.0), 0.0);
+    EXPECT_GT(metrics.value("telescope.T1.packets_total").value_or(0.0), 0.0);
+    EXPECT_GT(metrics.value("runner.shard.0.events_total").value_or(0.0),
+              0.0);
+    EXPECT_GT(metrics.value("runner.shard.1.events_total").value_or(0.0),
+              0.0);
+    const auto flat = metrics.flatten();
+    EXPECT_GT(flat.at("bgp.feed.convergence_delay_seconds.count"), 0.0);
+    EXPECT_GT(flat.at("runner.barrier_wait_seconds.count"), 0.0);
+
+    // Shard stats carry the satellite extensions.
+    const core::RunnerStats& stats = observed.stats();
+    ASSERT_EQ(stats.shards.size(), 2u);
+    for (const core::ShardStats& shard : stats.shards) {
+      EXPECT_FALSE(shard.epochEvents.empty());
+      EXPECT_GE(shard.barrierWaitSeconds, 0.0);
+      EXPECT_GT(shard.queueDepthHighWater, 0u);
+      std::uint64_t total = 0;
+      for (std::uint64_t n : shard.epochEvents) total += n;
+      EXPECT_EQ(total, shard.events)
+          << "per-epoch event counts must partition the shard total";
+    }
+  }
+
+  // The exporter wrote at least one valid live line; every line parses.
+  std::ifstream in{jsonlPath};
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_TRUE(obs::Registry::parseJsonLine(line).has_value())
+        << "malformed snapshot line: " << line;
+  }
+  EXPECT_GE(lines, 1u);
+  std::filesystem::remove(jsonlPath);
+}
+
+} // namespace
+} // namespace v6t

@@ -1,7 +1,8 @@
 // v6t_run — run a telescope experiment from a configuration file.
 //
 //   v6t_run [config-file] [--out DIR] [--dump-captures] [--print-config]
-//           [--threads N]
+//           [--threads N] [--metrics-out FILE] [--metrics-prom FILE]
+//           [--metrics-interval SEC] [--log-level LEVEL]
 //
 // Without a config file the paper's default configuration runs. The tool
 // writes a summary report to stdout and, with --dump-captures, one
@@ -12,26 +13,41 @@
 // merges captures into canonical order; results are bitwise-identical for
 // every N. Without either, the classic serial Experiment runs, which also
 // produces the §8 operator guidance.
+//
+// --metrics-out streams one JSONL metrics snapshot per --metrics-interval
+// seconds of wall time (plus a final post-analysis snapshot) and prints a
+// live progress heartbeat to stderr; --metrics-prom writes a final
+// Prometheus text dump. Both are pure observers: a run with metrics
+// enabled produces bitwise-identical captures to one without.
+#include <algorithm>
 #include <array>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 
 #include "analysis/report.hpp"
 #include "analysis/taxonomy.hpp"
 #include "core/config.hpp"
 #include "core/experiment.hpp"
 #include "core/guidance.hpp"
+#include "core/metrics.hpp"
 #include "core/runner.hpp"
 #include "core/summary.hpp"
+#include "obs/exporter.hpp"
+#include "obs/format.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
 int usage() {
   std::cerr << "usage: v6t_run [config-file] [--out DIR] [--dump-captures]"
-               " [--print-config] [--threads N]\n";
+               " [--print-config] [--threads N]\n"
+               "               [--metrics-out FILE] [--metrics-prom FILE]"
+               " [--metrics-interval SEC] [--log-level LEVEL]\n";
   return 2;
 }
 
@@ -42,6 +58,9 @@ int main(int argc, char** argv) {
 
   std::string configPath;
   std::string outDir = ".";
+  std::string metricsOut;
+  std::string metricsProm;
+  double metricsInterval = 1.0;
   bool dumpCaptures = false;
   bool printConfig = false;
   unsigned threadsOverride = 0; // 0 = not given on the command line
@@ -58,6 +77,28 @@ int main(int argc, char** argv) {
         return usage();
       }
       threadsOverride = static_cast<unsigned>(v);
+    } else if (arg == "--metrics-out") {
+      if (++i >= argc) return usage();
+      metricsOut = argv[i];
+    } else if (arg == "--metrics-prom") {
+      if (++i >= argc) return usage();
+      metricsProm = argv[i];
+    } else if (arg == "--metrics-interval") {
+      if (++i >= argc) return usage();
+      metricsInterval = std::strtod(argv[i], nullptr);
+      if (!(metricsInterval > 0.0)) {
+        std::cerr << "--metrics-interval must be > 0\n";
+        return usage();
+      }
+    } else if (arg == "--log-level") {
+      if (++i >= argc) return usage();
+      const std::string name = argv[i];
+      if (name != "trace" && name != "debug" && name != "info" &&
+          name != "warn" && name != "error" && name != "off") {
+        std::cerr << "--log-level must be trace|debug|info|warn|error|off\n";
+        return usage();
+      }
+      obs::Logger::global().setLevel(obs::parseLevel(name));
     } else if (arg == "--dump-captures") {
       dumpCaptures = true;
     } else if (arg == "--print-config") {
@@ -104,6 +145,11 @@ int main(int argc, char** argv) {
   std::unique_ptr<core::ExperimentRunner> runner;
   const bgp::SplitSchedule* schedule = nullptr;
 
+  std::unique_ptr<obs::PeriodicExporter> exporter;
+  obs::ExporterOptions exporterOptions;
+  exporterOptions.jsonlPath = metricsOut;
+  exporterOptions.intervalSeconds = metricsInterval;
+
   if (useRunner) {
     std::cout << "running sharded experiment (seed " << config.seed << ", "
               << config.splits << " splits, " << config.threads
@@ -111,6 +157,18 @@ int main(int argc, char** argv) {
     core::RunnerConfig runnerConfig;
     runnerConfig.experiment = config;
     runner = std::make_unique<core::ExperimentRunner>(runnerConfig);
+    if (!metricsOut.empty()) {
+      // The exporter thread only reads relaxed-atomic metric values; it
+      // cannot perturb the shards (DESIGN.md §9 determinism contract).
+      exporter = std::make_unique<obs::PeriodicExporter>(
+          exporterOptions,
+          [&runner](std::ostream& out) {
+            obs::Registry snapshot;
+            runner->snapshotMetrics(snapshot);
+            snapshot.writeJsonLine(out, {{"phase", "live"}});
+          },
+          [&runner] { return runner->progressLine(); });
+    }
     runner->run();
     captures = runner->captures();
     for (std::size_t t = 0; t < 4; ++t) names[t] = runner->telescopeName(t);
@@ -119,6 +177,16 @@ int main(int argc, char** argv) {
     std::cout << "running experiment (seed " << config.seed << ", "
               << config.splits << " splits) ...\n";
     experiment = std::make_unique<core::Experiment>(config);
+    if (!metricsOut.empty()) {
+      exporter = std::make_unique<obs::PeriodicExporter>(
+          exporterOptions,
+          [&experiment](std::ostream& out) {
+            obs::Registry snapshot;
+            snapshot.aggregateFrom(experiment->metrics());
+            snapshot.writeJsonLine(out, {{"phase", "live"}});
+          },
+          [] { return std::string{}; });
+    }
     experiment->run();
     for (std::size_t t = 0; t < 4; ++t) {
       captures[t] = &experiment->telescope(t).capture();
@@ -126,16 +194,45 @@ int main(int argc, char** argv) {
     }
     schedule = &experiment->schedule();
   }
-  const auto summary =
-      useRunner ? core::ExperimentSummary::compute(*runner)
-                : core::ExperimentSummary::compute(*experiment);
+
+  obs::Registry& metrics =
+      useRunner ? runner->metrics() : experiment->metrics();
+
+  std::optional<core::ExperimentSummary> summary;
+  {
+    obs::Span analyzeSpan(metrics, "experiment.phase.analyze_seconds");
+    summary = useRunner ? core::ExperimentSummary::compute(*runner)
+                        : core::ExperimentSummary::compute(*experiment);
+  }
+  core::collectSummaryMetrics(*summary, metrics);
+
+  // The live exporter's ticks are done; the final post-analysis snapshot
+  // (and the Prometheus dump) come from the fully aggregated registry.
+  if (exporter) exporter->stop();
+  exporter.reset();
+  if (!metricsOut.empty()) {
+    std::ofstream out{metricsOut, std::ios::app};
+    if (!out) {
+      std::cerr << "cannot write " << metricsOut << "\n";
+      return 1;
+    }
+    metrics.writeJsonLine(out, {{"phase", "final"}});
+  }
+  if (!metricsProm.empty()) {
+    std::ofstream out{metricsProm};
+    if (!out) {
+      std::cerr << "cannot write " << metricsProm << "\n";
+      return 1;
+    }
+    metrics.writePrometheus(out);
+  }
 
   // Per-telescope overview.
   analysis::TextTable table{{"telescope", "packets", "sources /128",
                              "sessions /128", "one-off", "periodic",
                              "intermittent"}};
   for (std::size_t t = 0; t < 4; ++t) {
-    const auto& sessions = summary.telescope(t).sessions128;
+    const auto& sessions = summary->telescope(t).sessions128;
     const auto taxonomy = analysis::classifyCapture(
         captures[t]->packets(), sessions,
         t == core::T1 ? schedule : nullptr);
@@ -155,20 +252,45 @@ int main(int argc, char** argv) {
   if (useRunner) {
     const core::RunnerStats& stats = runner->stats();
     std::cout << "\nshards:\n";
+    double maxWall = 0.0;
+    double sumWall = 0.0;
+    double sumBarrierWait = 0.0;
     for (const core::ShardStats& shard : stats.shards) {
+      std::uint64_t minEpochEvents = 0;
+      std::uint64_t maxEpochEvents = 0;
+      if (!shard.epochEvents.empty()) {
+        const auto [lo, hi] = std::minmax_element(shard.epochEvents.begin(),
+                                                  shard.epochEvents.end());
+        minEpochEvents = *lo;
+        maxEpochEvents = *hi;
+      }
       std::cout << "  shard " << shard.shardId << ": scanners="
                 << shard.scanners << " events=" << shard.events
                 << " captured=" << shard.packetsCaptured << " wall="
-                << shard.wallSeconds << "s\n";
+                << obs::fmt::fixed(shard.wallSeconds, 3) << "s barrier_wait="
+                << obs::fmt::fixed(shard.barrierWaitSeconds, 3)
+                << "s epoch_events=" << minEpochEvents << ".."
+                << maxEpochEvents << " queue_hwm="
+                << shard.queueDepthHighWater << "\n";
+      maxWall = std::max(maxWall, shard.wallSeconds);
+      sumWall += shard.wallSeconds;
+      sumBarrierWait += shard.barrierWaitSeconds;
     }
+    const double meanWall =
+        stats.shards.empty() ? 0.0
+                             : sumWall / static_cast<double>(stats.shards.size());
+    std::cout << "imbalance: slowest/mean wall="
+              << obs::fmt::fixed(meanWall > 0 ? maxWall / meanWall : 0.0, 2)
+              << "x, total barrier wait="
+              << obs::fmt::fixed(sumBarrierWait, 3) << "s\n";
     std::cout << "merged " << stats.packetsMerged << " packets in "
-              << stats.mergeWallSeconds << "s (run " << stats.runWallSeconds
-              << "s)\n";
+              << obs::fmt::fixed(stats.mergeWallSeconds, 3) << "s (run "
+              << obs::fmt::fixed(stats.runWallSeconds, 3) << "s)\n";
   } else {
     // Guidance (serial path only; the engine reads the Experiment object).
     std::cout << "\n";
     for (const auto& finding :
-         core::GuidanceEngine::derive(*experiment, summary)) {
+         core::GuidanceEngine::derive(*experiment, *summary)) {
       std::cout << "* " << finding.topic << ": " << finding.statement
                 << "\n  (" << finding.evidence << ")\n";
     }
