@@ -101,4 +101,9 @@ std::string bar(double value, double maxValue, int width) {
   return std::string(static_cast<std::size_t>(filled), '#');
 }
 
+std::string gapFlagged(std::string cell, bool overlapsGap) {
+  if (overlapsGap) cell += " !gap";
+  return cell;
+}
+
 } // namespace v6t::analysis

@@ -44,4 +44,9 @@ private:
 /// A labelled horizontal bar for ASCII "figures".
 [[nodiscard]] std::string bar(double value, double maxValue, int width = 40);
 
+/// Flag a cell whose time window overlaps a declared capture outage:
+/// degraded numbers are marked "<cell> !gap", never silently blended in
+/// with clean windows (graceful degradation under fault injection).
+[[nodiscard]] std::string gapFlagged(std::string cell, bool overlapsGap);
+
 } // namespace v6t::analysis

@@ -149,6 +149,12 @@ ConfigParseResult parseExperimentConfig(std::istream& in) {
       } else {
         c.ourAsn = net::Asn{static_cast<std::uint32_t>(v)};
       }
+    } else if (key == "fault_seed") {
+      setU64(c.faultSeed);
+    } else if (key.starts_with("faults.")) {
+      const std::string faultError =
+          c.faults.applyKey(std::string_view{key}.substr(7), value);
+      if (!faultError.empty()) error(faultError);
     } else {
       error("unknown key '" + key + "'");
     }
@@ -207,6 +213,12 @@ std::string formatExperimentConfig(const ExperimentConfig& c) {
       << "t4_prefix = " << c.t4Prefix.toString() << "\n"
       << "our_asn = " << c.ourAsn.value() << "\n"
       << "threads = " << c.threads << "\n";
+  // Fault keys only when configured: fault-free configs format exactly as
+  // they did before the fault layer existed (golden round-trip test).
+  if (c.faultSeed != ExperimentConfig{}.faultSeed || !c.faults.empty()) {
+    out << "fault_seed = " << c.faultSeed << "\n";
+  }
+  out << c.faults.formatKeys("faults.");
   return out.str();
 }
 

@@ -18,6 +18,7 @@
 #include "bgp/rib.hpp"
 #include "bgp/route_object.hpp"
 #include "bgp/splitter.hpp"
+#include "fault/spec.hpp"
 #include "obs/metrics.hpp"
 #include "scanner/population.hpp"
 #include "sim/engine.hpp"
@@ -64,6 +65,15 @@ struct ExperimentConfig {
   /// ignores it. The runner's results are bitwise-identical for every value
   /// — see DESIGN.md's determinism contract.
   unsigned threads = 1;
+
+  /// Fault-injection spec, honored by the parallel ExperimentRunner (the
+  /// serial Experiment is kept fault-free as the pristine reference). An
+  /// empty spec leaves every output bitwise-identical to a build without
+  /// the fault layer.
+  fault::FaultSpec faults;
+  /// Seed for the keyed fault streams — independent of `seed` so the same
+  /// world can be replayed under different fault draws and vice versa.
+  std::uint64_t faultSeed = 0xfa017;
 };
 
 /// Indexes into telescopes().

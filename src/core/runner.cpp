@@ -12,6 +12,8 @@
 #include "bgp/hitlist.hpp"
 #include "bgp/rib.hpp"
 #include "core/metrics.hpp"
+#include "fault/injector.hpp"
+#include "fault/keyed.hpp"
 #include "obs/format.hpp"
 #include "telescope/fabric.hpp"
 #include "telescope/telescope.hpp"
@@ -20,21 +22,14 @@ namespace v6t::core {
 
 namespace {
 
-/// One precomputed control-plane operation, broadcast to every shard.
-struct FeedAction {
-  sim::SimTime at;
-  bool announce = true;
-  net::Prefix prefix;
-  net::Asn origin;
-};
-
 /// The full control-plane script, chronological: the static t = 0
 /// announcements plus everything the SplitController would do. Pure data —
 /// shards replay it against their private feeds, so no shard ever talks to
-/// another shard's control plane.
-std::vector<FeedAction> feedScript(const ExperimentConfig& config,
-                                   const bgp::SplitSchedule& schedule) {
-  std::vector<FeedAction> script;
+/// another shard's control plane. Expressed as fault::FeedOp so the fault
+/// layer can rewrite it (drop/duplicate/delay/flap) before broadcast.
+std::vector<fault::FeedOp> feedScript(const ExperimentConfig& config,
+                                      const bgp::SplitSchedule& schedule) {
+  std::vector<fault::FeedOp> script;
   // The long-standing announcements exist from the first instant, in the
   // same order Experiment::run issues them.
   script.push_back({sim::kEpoch, true, config.t2Prefix, config.ourAsn});
@@ -64,6 +59,7 @@ struct ShardWorld {
   std::unique_ptr<bgp::HitlistService> hitlist;
   std::unique_ptr<telescope::DeliveryFabric> fabric;
   std::array<std::unique_ptr<telescope::Telescope>, 4> telescopes;
+  std::unique_ptr<fault::PacketFaultPlane> faultPlane;
   scanner::Population population;
 
   ShardWorld(const ExperimentConfig& config,
@@ -77,6 +73,15 @@ struct ShardWorld {
     fabric->setShard(shardId, shardCount);
     telescopes = makeTelescopes(config);
     for (auto& t : telescopes) fabric->attach(*t);
+    if (config.faults.hasPacketFaults()) {
+      // Stateless per-packet draws keyed by (originId, originSeq): every
+      // shard's plane makes the same call for the same packet, so sharding
+      // never changes which packets are faulted.
+      faultPlane = std::make_unique<fault::PacketFaultPlane>(config.faults,
+                                                            config.faultSeed);
+      faultPlane->bindMetrics(metrics);
+      fabric->setTap(faultPlane.get());
+    }
     population =
         scanner::instantiate(plan, engine, *fabric, shardCount, shardId);
   }
@@ -199,8 +204,19 @@ void ExperimentRunner::run() {
   using Clock = std::chrono::steady_clock;
   const unsigned shardCount = std::max(1u, config_.experiment.threads);
   const sim::SimTime end = experimentEnd();
-  const std::vector<FeedAction> script =
-      feedScript(config_.experiment, schedule_);
+  const fault::FaultSpec& faults = config_.experiment.faults;
+  fault::ScriptFaultStats scriptFaults;
+  const std::vector<fault::FeedOp> script = fault::applyBgpFaults(
+      feedScript(config_.experiment, schedule_), faults,
+      config_.experiment.faultSeed, config_.experiment.covering,
+      &scriptFaults);
+  if (!faults.empty()) {
+    // Run-level, recorded exactly once: the script transform and the gap
+    // schedule are global facts, so folding them per shard would make the
+    // aggregate depend on the shard count. Zero-fault runs register no
+    // fault.* keys at all — the metric surface stays bitwise-identical.
+    fault::recordScriptFaultMetrics(scriptFaults, faults, runnerMetrics_);
+  }
 
   std::vector<std::unique_ptr<ShardWorld>> worlds(shardCount);
   stats_.shards.assign(shardCount, ShardStats{});
@@ -241,11 +257,17 @@ void ExperimentRunner::run() {
       obs::Gauge& barrierWaitTotal = metrics.gauge(
           shardTag + ".barrier_wait_seconds_total", obs::GaugeMode::Sum);
       obs::Counter& shardEvents = metrics.counter(shardTag + ".events_total");
+      // Registered only when stalls are configured, so a zero-fault run
+      // exposes no fault.* keys.
+      obs::Counter* stallCounter =
+          faults.stallProb > 0.0
+              ? &metrics.counter("fault.injected.stall_total")
+              : nullptr;
 
       std::size_t cursor = 0;
       auto inject = [&](sim::SimTime upTo) {
         while (cursor < script.size() && script[cursor].at <= upTo) {
-          const FeedAction& a = script[cursor++];
+          const fault::FeedOp& a = script[cursor++];
           world->engine.schedule(a.at, [w = world.get(), a]() {
             if (a.announce) {
               w->feed->announce(a.prefix, a.origin);
@@ -282,6 +304,19 @@ void ExperimentRunner::run() {
               epochsDone_[shardId].store(
                   static_cast<std::uint64_t>(epochIndex),
                   std::memory_order_relaxed);
+            }
+            // Injected shard stall: a wall-clock sleep before the barrier,
+            // keyed by (shard, epoch). It delays every other shard's
+            // arrive_and_wait — exactly the imbalance the epoch-barrier
+            // logic must absorb — while the simulated clock never notices.
+            if (stallCounter != nullptr &&
+                fault::drawChance(config_.experiment.faultSeed,
+                                  fault::Kind::Stall, faults.stallProb,
+                                  shardId,
+                                  static_cast<std::uint64_t>(epochIndex))) {
+              std::this_thread::sleep_for(
+                  std::chrono::milliseconds(faults.stallFor.millis()));
+              stallCounter->inc();
             }
             const auto waitStart = Clock::now();
             barrier.arrive_and_wait();

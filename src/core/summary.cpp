@@ -7,18 +7,23 @@ namespace v6t::core {
 ExperimentSummary ExperimentSummary::compute(
     const std::array<const telescope::CaptureStore*, 4>& captures,
     const std::array<std::string, 4>& names) {
+  return compute(captures, names, fault::FaultSpec{});
+}
+
+ExperimentSummary ExperimentSummary::compute(
+    const std::array<const telescope::CaptureStore*, 4>& captures,
+    const std::array<std::string, 4>& names,
+    const fault::FaultSpec& faults) {
   ExperimentSummary summary;
   for (std::size_t i = 0; i < 4; ++i) {
     TelescopeSummary& out = summary.telescopes_[i];
     out.name = names[i];
-    out.sessions128 = telescope::sessionize(captures[i]->packets(),
-                                            telescope::SourceAgg::Addr128,
-                                            telescope::kSessionTimeout,
-                                            &out.stats128);
-    out.sessions64 = telescope::sessionize(captures[i]->packets(),
-                                           telescope::SourceAgg::Net64,
-                                           telescope::kSessionTimeout,
-                                           &out.stats64);
+    out.sessions128 = telescope::sessionize(
+        captures[i]->packets(), telescope::SourceAgg::Addr128,
+        telescope::kSessionTimeout, &out.stats128, faults.gapWindowsFor(i));
+    out.sessions64 = telescope::sessionize(
+        captures[i]->packets(), telescope::SourceAgg::Net64,
+        telescope::kSessionTimeout, &out.stats64, faults.gapWindowsFor(i));
   }
   return summary;
 }
@@ -37,7 +42,8 @@ ExperimentSummary ExperimentSummary::compute(const Experiment& experiment) {
 ExperimentSummary ExperimentSummary::compute(const ExperimentRunner& runner) {
   return compute(runner.captures(),
                  {runner.telescopeName(0), runner.telescopeName(1),
-                  runner.telescopeName(2), runner.telescopeName(3)});
+                  runner.telescopeName(2), runner.telescopeName(3)},
+                 runner.config().experiment.faults);
 }
 
 TelescopeSummary::WindowStats ExperimentSummary::windowStats(

@@ -55,12 +55,18 @@ public:
   /// Sessionize all four captures (both aggregation levels). The three
   /// overloads are interchangeable views of the same computation: a serial
   /// Experiment, a (merged) parallel ExperimentRunner, or bare capture
-  /// stores with display names.
+  /// stores with display names. The runner overload honors the config's
+  /// declared capture gaps (gap-aware session closing); the spec overload
+  /// lets callers pass them explicitly.
   static ExperimentSummary compute(const Experiment& experiment);
   static ExperimentSummary compute(const ExperimentRunner& runner);
   static ExperimentSummary compute(
       const std::array<const telescope::CaptureStore*, 4>& captures,
       const std::array<std::string, 4>& names);
+  static ExperimentSummary compute(
+      const std::array<const telescope::CaptureStore*, 4>& captures,
+      const std::array<std::string, 4>& names,
+      const fault::FaultSpec& faults);
 
   [[nodiscard]] const TelescopeSummary& telescope(std::size_t i) const {
     return telescopes_[i];

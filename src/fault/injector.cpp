@@ -1,0 +1,175 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "fault/keyed.hpp"
+
+namespace v6t::fault {
+
+namespace {
+
+/// Origin AS of the most recent pristine announce of `prefix` at or before
+/// `when` — what a flap's re-announce must restore. nullopt if the prefix
+/// was never announced by then (the flap cycle is skipped: there is no
+/// route to flap).
+std::optional<net::Asn> originBefore(const std::vector<FeedOp>& script,
+                                     const net::Prefix& prefix,
+                                     sim::SimTime when) {
+  std::optional<net::Asn> origin;
+  for (const FeedOp& op : script) {
+    if (op.at > when) break; // pristine script is chronological
+    if (op.announce && op.prefix == prefix) origin = op.origin;
+  }
+  return origin;
+}
+
+} // namespace
+
+std::vector<FeedOp> applyBgpFaults(std::vector<FeedOp> script,
+                                   const FaultSpec& spec, std::uint64_t seed,
+                                   const net::Prefix& covering,
+                                   ScriptFaultStats* stats) {
+  ScriptFaultStats local;
+  if (!spec.hasBgpFaults()) {
+    if (stats != nullptr) *stats = local;
+    return script;
+  }
+
+  // (op, tiebreak): pristine ops keep their script index; injected ops get
+  // indices past the end in a fixed construction order, so the final sort
+  // is total and identical on every shard.
+  std::vector<std::pair<FeedOp, std::uint64_t>> out;
+  out.reserve(script.size() + spec.flaps.size() * 2 + 2);
+  std::uint64_t nextSeq = script.size();
+
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    FeedOp op = script[i];
+    if (drawChance(seed, Kind::BgpDrop, spec.bgpDropProb, i)) {
+      ++local.dropped;
+      continue;
+    }
+    if (drawChance(seed, Kind::BgpDelay, spec.bgpDelayProb, i)) {
+      const auto extra = static_cast<std::int64_t>(
+          drawUniform(seed, Kind::BgpDelayAmount, i) *
+          static_cast<double>(spec.bgpDelayMax.millis()));
+      op.at += sim::millis(extra);
+      ++local.delayed;
+    }
+    if (drawChance(seed, Kind::BgpDup, spec.bgpDupProb, i)) {
+      const auto extra = static_cast<std::int64_t>(
+          drawUniform(seed, Kind::BgpDupDelay, i) *
+          static_cast<double>(spec.bgpDelayMax.millis()));
+      FeedOp dup = op;
+      dup.at += sim::millis(extra);
+      out.emplace_back(dup, nextSeq++);
+      ++local.duplicated;
+    }
+    out.emplace_back(op, i);
+  }
+
+  for (const PrefixFlap& flap : spec.flaps) {
+    for (int k = 0; k < flap.count; ++k) {
+      const sim::SimTime downAt = flap.start + flap.period * k;
+      const auto origin = originBefore(script, flap.prefix, downAt);
+      if (!origin) continue; // nothing announced yet — nothing to flap
+      out.emplace_back(FeedOp{downAt, false, flap.prefix, *origin},
+                       nextSeq++);
+      out.emplace_back(
+          FeedOp{downAt + flap.down, true, flap.prefix, *origin}, nextSeq++);
+      local.flapOps += 2;
+    }
+  }
+
+  if (spec.coveringOutageAt) {
+    const auto origin = originBefore(script, covering, *spec.coveringOutageAt);
+    if (origin) {
+      out.emplace_back(
+          FeedOp{*spec.coveringOutageAt, false, covering, *origin},
+          nextSeq++);
+      out.emplace_back(FeedOp{*spec.coveringOutageAt + spec.coveringOutageFor,
+                              true, covering, *origin},
+                       nextSeq++);
+      local.outageOps += 2;
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.at != b.first.at) return a.first.at < b.first.at;
+              return a.second < b.second;
+            });
+  std::vector<FeedOp> result;
+  result.reserve(out.size());
+  for (auto& [op, seq] : out) result.push_back(op);
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+std::span<const double> gapDurationBoundsSeconds() {
+  static constexpr std::array<double, 8> kBounds{
+      60.0,           600.0,           3600.0,          6.0 * 3600,
+      24.0 * 3600,    3.0 * 24 * 3600, 7.0 * 24 * 3600, 14.0 * 24 * 3600};
+  return kBounds;
+}
+
+void recordScriptFaultMetrics(const ScriptFaultStats& stats,
+                              const FaultSpec& spec,
+                              obs::Registry& registry) {
+  registry.counter("fault.injected.bgp_dropped_total").inc(stats.dropped);
+  registry.counter("fault.injected.bgp_duplicated_total")
+      .inc(stats.duplicated);
+  registry.counter("fault.injected.bgp_delayed_total").inc(stats.delayed);
+  registry.counter("fault.injected.flap_ops_total").inc(stats.flapOps);
+  registry.counter("fault.injected.covering_outage_ops_total")
+      .inc(stats.outageOps);
+  obs::Histogram& gapHist = registry.histogram(
+      "fault.gap_duration_seconds", gapDurationBoundsSeconds());
+  for (const CaptureGap& g : spec.gaps) {
+    gapHist.observe(g.duration().seconds());
+  }
+}
+
+void PacketFaultPlane::bindMetrics(obs::Registry& registry) {
+  lossMetric_ = &registry.counter("fault.injected.packet_loss_total");
+  dupMetric_ = &registry.counter("fault.injected.packet_dup_total");
+  truncateMetric_ = &registry.counter("fault.injected.truncated_total");
+  gapDropMetric_ = &registry.counter("fault.injected.gap_dropped_total");
+}
+
+PacketFaultPlane::Verdict PacketFaultPlane::onSend(net::Packet& p) {
+  Verdict verdict;
+  // Keyed by the packet's globally unique (originId, originSeq) identity:
+  // the verdict is the same whichever shard emits the packet.
+  if (drawChance(seed_, Kind::PacketLoss, spec_.packetLossProb, p.originId,
+                 p.originSeq)) {
+    verdict.drop = true;
+    if (lossMetric_ != nullptr) lossMetric_->inc();
+    return verdict;
+  }
+  if (drawChance(seed_, Kind::PacketDup, spec_.packetDupProb, p.originId,
+                 p.originSeq)) {
+    verdict.duplicate = true;
+    if (dupMetric_ != nullptr) dupMetric_->inc();
+  }
+  if (!p.payload.empty() &&
+      drawChance(seed_, Kind::Truncate, spec_.truncateProb, p.originId,
+                 p.originSeq)) {
+    p.payload.resize(p.payload.size() / 2);
+    if (truncateMetric_ != nullptr) truncateMetric_->inc();
+  }
+  return verdict;
+}
+
+bool PacketFaultPlane::onDeliver(std::size_t telescopeIdx,
+                                 const net::Packet& p) {
+  for (const CaptureGap& g : spec_.gaps) {
+    if (g.covers(telescopeIdx, p.ts)) {
+      if (gapDropMetric_ != nullptr) gapDropMetric_->inc();
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace v6t::fault

@@ -1,0 +1,88 @@
+// v6t::fault — the fault injectors for the three I/O seams.
+//
+// applyBgpFaults() rewrites the runner's precomputed control-plane script:
+// individual announce/withdraw ops are dropped, duplicated, or delayed
+// (keyed by their index in the pristine script — NOT by execution order),
+// scripted prefix flaps and the transient covering-prefix outage are woven
+// in, and the result is restored to chronological order. Because every
+// shard replays the same transformed script, a faulty control plane is
+// shard-count-invariant by construction.
+//
+// PacketFaultPlane implements telescope::PacketTap: per-packet loss,
+// duplication, and payload truncation keyed by the packet's globally
+// unique (originId, originSeq) identity, plus scheduled capture outages
+// checked against the packet timestamp. Stateless draws mean the verdict
+// for a packet is independent of shard placement and arrival order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/spec.hpp"
+#include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "telescope/fabric.hpp"
+
+namespace v6t::fault {
+
+/// One control-plane operation, chronological. Mirrors what the experiment
+/// runner precomputes from the split schedule.
+struct FeedOp {
+  sim::SimTime at;
+  bool announce = true;
+  net::Prefix prefix;
+  net::Asn origin;
+};
+
+/// What the script transform injected, for the obs registry.
+struct ScriptFaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t flapOps = 0; // withdraw/announce pairs count as two
+  std::uint64_t outageOps = 0;
+};
+
+/// Transform the pristine script per `spec`, keyed by `seed`.
+/// `covering` names the prefix subject to the transient covering outage.
+/// Deterministic in (script, spec, seed): thread counts, wall clock, and
+/// call order play no part. A zero-fault spec returns the script unchanged.
+[[nodiscard]] std::vector<FeedOp> applyBgpFaults(
+    std::vector<FeedOp> script, const FaultSpec& spec, std::uint64_t seed,
+    const net::Prefix& covering, ScriptFaultStats* stats = nullptr);
+
+/// Record the injected script-fault counters and per-gap durations into a
+/// registry. Call once at the run level (not per shard) so aggregated
+/// metrics stay shard-count-invariant.
+void recordScriptFaultMetrics(const ScriptFaultStats& stats,
+                              const FaultSpec& spec, obs::Registry& registry);
+
+/// Bucket bounds for the capture-gap duration histogram (seconds; minutes
+/// to a fortnight).
+[[nodiscard]] std::span<const double> gapDurationBoundsSeconds();
+
+/// The data-plane fault injector, installed on a DeliveryFabric via
+/// setTap(). One instance per shard; bindMetrics attaches the shard's
+/// registry (counters sum shard-count-invariantly because each packet is
+/// faulted exactly once, in whichever shard emits it).
+class PacketFaultPlane final : public telescope::PacketTap {
+public:
+  PacketFaultPlane(const FaultSpec& spec, std::uint64_t seed)
+      : spec_(spec), seed_(seed) {}
+
+  /// Attach fault.injected.* counters. The registry must outlive the plane.
+  void bindMetrics(obs::Registry& registry);
+
+  Verdict onSend(net::Packet& p) override;
+  bool onDeliver(std::size_t telescopeIdx, const net::Packet& p) override;
+
+private:
+  FaultSpec spec_; // private copy: the plane must outlive config edits
+  std::uint64_t seed_;
+  obs::Counter* lossMetric_ = nullptr;
+  obs::Counter* dupMetric_ = nullptr;
+  obs::Counter* truncateMetric_ = nullptr;
+  obs::Counter* gapDropMetric_ = nullptr;
+};
+
+} // namespace v6t::fault

@@ -1,0 +1,58 @@
+// v6t::fault — keyed fault randomness.
+//
+// Every fault decision is a pure function of (fault seed, fault kind,
+// entity key) with NO mutable generator state: whether packet
+// (originId=17, originSeq=204) is lost does not depend on which shard
+// routed it, how many packets came before it, or how many other fault
+// kinds are enabled. This is the property that makes a chaos run replay
+// bitwise across thread counts — the same guarantee sim::deriveStreamSeed
+// gives the simulation proper, extended to stateless per-event draws.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace v6t::fault {
+
+/// Independent fault-draw stream identifiers. The numeric values are part
+/// of the replay contract: changing them reshuffles every chaos run.
+enum class Kind : std::uint64_t {
+  BgpDrop = 1,
+  BgpDup = 2,
+  BgpDelay = 3,
+  BgpDelayAmount = 4,
+  BgpDupDelay = 5,
+  PacketLoss = 6,
+  PacketDup = 7,
+  Truncate = 8,
+  Stall = 9,
+};
+
+/// The raw 64-bit draw for (seed, kind, a, b). SplitMix64 finalization at
+/// every step keeps the mapping statistically independent across kinds and
+/// entity keys.
+[[nodiscard]] constexpr std::uint64_t draw(std::uint64_t seed, Kind kind,
+                                           std::uint64_t a,
+                                           std::uint64_t b = 0) {
+  const std::uint64_t stream =
+      sim::deriveStreamSeed(seed, static_cast<std::uint64_t>(kind));
+  return sim::deriveStreamSeed(sim::deriveStreamSeed(stream, a), b);
+}
+
+/// The draw mapped to [0, 1), matching sim::Rng::uniform's mapping.
+[[nodiscard]] constexpr double drawUniform(std::uint64_t seed, Kind kind,
+                                           std::uint64_t a,
+                                           std::uint64_t b = 0) {
+  return static_cast<double>(draw(seed, kind, a, b) >> 11) * 0x1.0p-53;
+}
+
+/// Bernoulli decision with probability p.
+[[nodiscard]] constexpr bool drawChance(std::uint64_t seed, Kind kind,
+                                        double p, std::uint64_t a,
+                                        std::uint64_t b = 0) {
+  if (p <= 0.0) return false;
+  return drawUniform(seed, kind, a, b) < p;
+}
+
+} // namespace v6t::fault

@@ -100,11 +100,20 @@ inline void logError(std::string_view comp, std::string_view msg,
 /// Count-based rate limiter for hot-path diagnostics: allows occurrence
 /// 0, N, 2N, ... — no wall clock, so gating is deterministic given the
 /// event sequence.
+///
+/// Thread-safety contract: the emit decision is a SINGLE atomic
+/// fetch_add — each caller owns a unique occurrence index, so exactly one
+/// call out of every window of N is allowed no matter how many threads
+/// race (no load-then-increment split that could double- or zero-emit).
+/// Callers must not re-read seen() to decide emission; allow()'s return
+/// value is the decision.
 class EveryN {
 public:
   explicit EveryN(std::uint64_t every) : every_(every == 0 ? 1 : every) {}
 
   [[nodiscard]] bool allow() noexcept {
+    // One fetch_add = one decision; splitting this into load + store would
+    // let two threads observe the same index and both (or neither) emit.
     return count_.fetch_add(1, std::memory_order_relaxed) % every_ == 0;
   }
   [[nodiscard]] std::uint64_t seen() const noexcept {

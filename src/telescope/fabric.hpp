@@ -23,6 +23,31 @@
 
 namespace v6t::telescope {
 
+/// Decision hook on the packet path, installed by the fault-injection
+/// layer (src/fault). The fabric consults it once per packet before
+/// routing (loss / duplication / payload truncation) and once per
+/// delivery (scheduled capture outages). No tap installed = the identity
+/// behavior, bit for bit. Implementations must be deterministic functions
+/// of the packet (and the tap's own configuration) — never of arrival
+/// order — or sharded runs lose their equivalence guarantee.
+class PacketTap {
+public:
+  virtual ~PacketTap() = default;
+
+  struct Verdict {
+    bool drop = false; // packet vanishes before routing
+    bool duplicate = false; // owning telescope records it twice
+  };
+
+  /// Called after timestamping and source-AS annotation, before routing.
+  /// May mutate the packet (payload truncation).
+  virtual Verdict onSend(net::Packet& p) = 0;
+
+  /// False = the owning telescope (by attach index) is inside a scheduled
+  /// capture outage and records nothing.
+  virtual bool onDeliver(std::size_t telescopeIdx, const net::Packet& p) = 0;
+};
+
 class DeliveryFabric {
 public:
   DeliveryFabric(sim::Engine& engine, const bgp::Rib& rib)
@@ -53,6 +78,12 @@ public:
   [[nodiscard]] std::uint64_t droppedNoRoute() const { return noRoute_; }
   [[nodiscard]] std::uint64_t deliveredToVoid() const { return toVoid_; }
 
+  /// Install (or clear, with nullptr) the fault tap. The tap must outlive
+  /// the fabric. Without a tap the packet path is exactly the historical
+  /// one — zero-fault runs stay bitwise-identical.
+  void setTap(PacketTap* tap) { tap_ = tap; }
+  [[nodiscard]] PacketTap* tap() const { return tap_; }
+
   /// Which slice of the population feeds this fabric. The sharded runner
   /// replicates one fabric per worker and tags it so drop/void counters can
   /// be attributed per shard; the default (0 of 1) is the serial world.
@@ -68,6 +99,7 @@ private:
   const bgp::Rib& rib_;
   std::vector<Telescope*> telescopes_;
   net::PrefixTrie<net::Asn> sourceRoutes_;
+  PacketTap* tap_ = nullptr;
   std::uint64_t sent_ = 0;
   std::uint64_t noRoute_ = 0;
   std::uint64_t toVoid_ = 0;

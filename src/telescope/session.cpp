@@ -4,21 +4,36 @@
 
 namespace v6t::telescope {
 
+bool Sessionizer::spansGap(sim::SimTime lastSeen, sim::SimTime now) const {
+  for (const auto& [start, end] : gaps_) {
+    // The silent interval (lastSeen, now] overlaps the outage window: the
+    // telescope was dark for part of the silence, so continuity cannot be
+    // attested and the session must split.
+    if (lastSeen < end && now >= start && now > lastSeen) return true;
+  }
+  return false;
+}
+
 void Sessionizer::offer(const net::Packet& p, std::uint32_t idx) {
   const net::Ipv6Address key = p.src.maskedTo(bits(agg_));
   auto it = open_.find(key);
   if (it != open_.end()) {
     Open& o = it->second;
-    if (p.ts - o.lastSeen <= timeout_) {
+    const bool gapped = spansGap(o.lastSeen, p.ts);
+    if (p.ts - o.lastSeen <= timeout_ && !gapped) {
       o.session.end = p.ts;
       o.session.packetIdx.push_back(idx);
       o.lastSeen = p.ts;
       return;
     }
-    // Gap exceeded: the old session is complete.
+    // Timeout exceeded or a capture gap interposed: the session is done.
     done_.push_back(std::move(o.session));
     open_.erase(it);
-    ++stats_.closedByTimeout;
+    if (gapped) {
+      ++stats_.closedByGap;
+    } else {
+      ++stats_.closedByTimeout;
+    }
   }
   ++stats_.opened;
   Open fresh;
@@ -44,10 +59,12 @@ std::vector<Session> Sessionizer::finish() {
   return out;
 }
 
-std::vector<Session> sessionize(std::span<const net::Packet> packets,
-                                SourceAgg agg, sim::Duration timeout,
-                                Sessionizer::Stats* statsOut) {
+std::vector<Session> sessionize(
+    std::span<const net::Packet> packets, SourceAgg agg,
+    sim::Duration timeout, Sessionizer::Stats* statsOut,
+    std::vector<std::pair<sim::SimTime, sim::SimTime>> captureGaps) {
   Sessionizer s{agg, timeout};
+  if (!captureGaps.empty()) s.setCaptureGaps(std::move(captureGaps));
   for (std::uint32_t i = 0; i < packets.size(); ++i) s.offer(packets[i], i);
   auto out = s.finish();
   if (statsOut != nullptr) *statsOut = s.stats();

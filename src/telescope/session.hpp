@@ -58,17 +58,29 @@ inline constexpr sim::Duration kSessionTimeout = sim::hours(1);
 class Sessionizer {
 public:
   /// Lifecycle counters for the obs layer: every session is opened once
-  /// and closed exactly once — either by the inter-packet timeout or by
-  /// the end-of-measurement flush in finish().
+  /// and closed exactly once — by the inter-packet timeout, by a declared
+  /// capture gap, or by the end-of-measurement flush in finish().
   struct Stats {
     std::uint64_t opened = 0;
     std::uint64_t closedByTimeout = 0;
+    std::uint64_t closedByGap = 0;
     std::uint64_t openAtFinish = 0;
   };
 
   explicit Sessionizer(SourceAgg agg,
                        sim::Duration timeout = kSessionTimeout)
       : agg_(agg), timeout_(timeout) {}
+
+  /// Declare capture outages: an inter-packet interval that overlaps a
+  /// [start, end) gap splits the session even when it is shorter than the
+  /// timeout — the silence is the telescope's, not the scanner's, so
+  /// counting it as one session would fabricate continuity across an
+  /// outage (graceful degradation under fault injection). No gaps = the
+  /// historical timeout-only behavior, bit for bit.
+  void setCaptureGaps(
+      std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps) {
+    gaps_ = std::move(gaps);
+  }
 
   /// Offer the packet at index `idx` of the capture.
   void offer(const net::Packet& p, std::uint32_t idx);
@@ -87,8 +99,11 @@ private:
     sim::SimTime lastSeen;
   };
 
+  [[nodiscard]] bool spansGap(sim::SimTime lastSeen, sim::SimTime now) const;
+
   SourceAgg agg_;
   sim::Duration timeout_;
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps_;
   std::unordered_map<net::Ipv6Address, Open> open_;
   std::vector<Session> done_;
   Stats stats_;
@@ -96,10 +111,13 @@ private:
 
 /// Convenience: sessionize a whole capture in one call. When `statsOut`
 /// is non-null the sessionizer's lifecycle counters are copied there.
+/// `captureGaps` are declared outages for this capture's telescope (see
+/// Sessionizer::setCaptureGaps).
 [[nodiscard]] std::vector<Session> sessionize(
     std::span<const net::Packet> packets, SourceAgg agg,
     sim::Duration timeout = kSessionTimeout,
-    Sessionizer::Stats* statsOut = nullptr);
+    Sessionizer::Stats* statsOut = nullptr,
+    std::vector<std::pair<sim::SimTime, sim::SimTime>> captureGaps = {});
 
 /// Sessions grouped per source key (insertion order = first appearance).
 struct SourceSessions {

@@ -1,0 +1,680 @@
+// The chaos suite for the fault-injection substrate (src/fault).
+//
+// Three layers of assurance:
+//   1. Zero-fault transparency — an empty FaultSpec leaves the sharded
+//      runner's outputs bitwise-identical to the serial reference world
+//      (and the fault seed is irrelevant until a fault is configured).
+//   2. Chaos determinism — a decidedly non-trivial fault spec produces
+//      bitwise-identical captures, session tables, and injected-fault
+//      counters for 1, 2, and 8 worker shards. The fault seed can be
+//      overridden via V6T_FAULT_SEED so CI can sweep random seeds.
+//   3. Invariants — every InvariantChecker rule passes on healthy input
+//      and trips on a deliberately broken fixture.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bgp/rib.hpp"
+#include "core/runner.hpp"
+#include "core/summary.hpp"
+#include "fault/injector.hpp"
+#include "fault/invariants.hpp"
+#include "fault/keyed.hpp"
+#include "fault/spec.hpp"
+#include "telescope/session.hpp"
+
+namespace v6t {
+namespace {
+
+using core::ExperimentConfig;
+using core::ExperimentRunner;
+using core::RunnerConfig;
+
+// --- spec parsing ----------------------------------------------------------
+
+TEST(FaultSpec, ParseDurationUnits) {
+  EXPECT_EQ(fault::parseDuration("250ms")->millis(), 250);
+  EXPECT_EQ(fault::parseDuration("5s")->millis(), 5000);
+  EXPECT_EQ(fault::parseDuration("3m")->millis(), 3 * 60 * 1000);
+  EXPECT_EQ(fault::parseDuration("2h")->millis(), 2 * 3600 * 1000);
+  EXPECT_EQ(fault::parseDuration("1d")->millis(), 24LL * 3600 * 1000);
+  EXPECT_EQ(fault::parseDuration("2w")->millis(), 14LL * 24 * 3600 * 1000);
+  EXPECT_FALSE(fault::parseDuration("5"));
+  EXPECT_FALSE(fault::parseDuration("h"));
+  EXPECT_FALSE(fault::parseDuration("-3s"));
+  EXPECT_FALSE(fault::parseDuration(""));
+}
+
+TEST(FaultSpec, FormatDurationRoundTrips) {
+  for (const char* text : {"250ms", "5s", "3m", "2h", "1d", "2w", "90m"}) {
+    const auto d = fault::parseDuration(text);
+    ASSERT_TRUE(d) << text;
+    EXPECT_EQ(fault::parseDuration(fault::formatDuration(*d)), d) << text;
+  }
+}
+
+TEST(FaultSpec, ParsesFullSpecString) {
+  const auto parsed = fault::FaultSpec::parse(
+      "packet_loss=0.01, packet_dup=0.005, truncate=0.1, bgp_drop=0.2,"
+      "bgp_dup=0.1, bgp_delay=0.5, bgp_delay_max=10m, stall=0.25,"
+      "stall_for=3ms, gap=T1@2w+3d, gap=all@5w+6h,"
+      "covering_outage=4w+12h, flap=3fff:2::/48@1w+1d/2h*3");
+  ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty() ? "" : parsed.errors[0]);
+  const fault::FaultSpec& spec = parsed.spec;
+  EXPECT_DOUBLE_EQ(spec.packetLossProb, 0.01);
+  EXPECT_DOUBLE_EQ(spec.packetDupProb, 0.005);
+  EXPECT_DOUBLE_EQ(spec.truncateProb, 0.1);
+  EXPECT_DOUBLE_EQ(spec.bgpDropProb, 0.2);
+  EXPECT_DOUBLE_EQ(spec.bgpDupProb, 0.1);
+  EXPECT_DOUBLE_EQ(spec.bgpDelayProb, 0.5);
+  EXPECT_EQ(spec.bgpDelayMax, sim::minutes(10));
+  EXPECT_DOUBLE_EQ(spec.stallProb, 0.25);
+  EXPECT_EQ(spec.stallFor, sim::millis(3));
+  ASSERT_EQ(spec.gaps.size(), 2u);
+  EXPECT_EQ(spec.gaps[0].telescope, 0);
+  EXPECT_EQ(spec.gaps[0].start, sim::kEpoch + sim::weeks(2));
+  EXPECT_EQ(spec.gaps[0].duration(), sim::days(3));
+  EXPECT_EQ(spec.gaps[1].telescope, -1);
+  ASSERT_TRUE(spec.coveringOutageAt.has_value());
+  EXPECT_EQ(*spec.coveringOutageAt, sim::kEpoch + sim::weeks(4));
+  EXPECT_EQ(spec.coveringOutageFor, sim::hours(12));
+  ASSERT_EQ(spec.flaps.size(), 1u);
+  EXPECT_EQ(spec.flaps[0].prefix, net::Prefix::mustParse("3fff:2::/48"));
+  EXPECT_EQ(spec.flaps[0].period, sim::days(1));
+  EXPECT_EQ(spec.flaps[0].down, sim::hours(2));
+  EXPECT_EQ(spec.flaps[0].count, 3);
+  EXPECT_FALSE(spec.empty());
+}
+
+TEST(FaultSpec, RejectsBadInput) {
+  EXPECT_FALSE(fault::FaultSpec::parse("packet_loss=1.5").ok());
+  EXPECT_FALSE(fault::FaultSpec::parse("no_such_key=1").ok());
+  EXPECT_FALSE(fault::FaultSpec::parse("gap=T9@1w+1d").ok());
+  EXPECT_FALSE(fault::FaultSpec::parse("gap=T1@1w").ok());
+  EXPECT_FALSE(fault::FaultSpec::parse("flap=3fff:2::/48@1w").ok());
+  // down must be shorter than the period.
+  EXPECT_FALSE(fault::FaultSpec::parse("flap=3fff:2::/48@1w+1h/2h*3").ok());
+  EXPECT_FALSE(fault::FaultSpec::parse("justgarbage").ok());
+  // Errors accumulate; good keys still apply.
+  const auto mixed = fault::FaultSpec::parse("packet_loss=0.5,bogus=1");
+  EXPECT_EQ(mixed.errors.size(), 1u);
+  EXPECT_DOUBLE_EQ(mixed.spec.packetLossProb, 0.5);
+}
+
+TEST(FaultSpec, FormatKeysRoundTrips) {
+  const auto parsed = fault::FaultSpec::parse(
+      "packet_loss=0.25, bgp_drop=0.125, bgp_delay=0.5, bgp_delay_max=10m,"
+      "gap=T2@1w+12h, covering_outage=2w+6h, stall=0.5, stall_for=2ms,"
+      "flap=3fff:100::/32@1w+1d/2h*2");
+  ASSERT_TRUE(parsed.ok());
+  const std::string keys = parsed.spec.formatKeys("");
+  fault::FaultSpec reparsed;
+  std::istringstream in{keys};
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto eq = line.find('=');
+    ASSERT_NE(eq, std::string::npos) << line;
+    std::string key = line.substr(0, eq);
+    while (!key.empty() && key.back() == ' ') key.pop_back();
+    ASSERT_EQ(reparsed.applyKey(key, line.substr(eq + 1)), "") << line;
+  }
+  EXPECT_EQ(reparsed.formatKeys(""), keys);
+}
+
+TEST(FaultSpec, EmptySpecFormatsToNothing) {
+  EXPECT_TRUE(fault::FaultSpec{}.empty());
+  EXPECT_EQ(fault::FaultSpec{}.formatKeys("faults."), "");
+}
+
+// --- keyed draws -----------------------------------------------------------
+
+TEST(KeyedDraws, StatelessAndKindSeparated) {
+  // Same key, same draw — regardless of call order or repetition.
+  const std::uint64_t a = fault::draw(42, fault::Kind::PacketLoss, 7, 9);
+  const std::uint64_t b = fault::draw(42, fault::Kind::PacketLoss, 7, 9);
+  EXPECT_EQ(a, b);
+  // Different kind, seed, or entity key → a different stream.
+  EXPECT_NE(a, fault::draw(42, fault::Kind::PacketDup, 7, 9));
+  EXPECT_NE(a, fault::draw(43, fault::Kind::PacketLoss, 7, 9));
+  EXPECT_NE(a, fault::draw(42, fault::Kind::PacketLoss, 8, 9));
+  EXPECT_NE(a, fault::draw(42, fault::Kind::PacketLoss, 7, 10));
+}
+
+TEST(KeyedDraws, ChanceEdgeCases) {
+  EXPECT_FALSE(fault::drawChance(1, fault::Kind::PacketLoss, 0.0, 1));
+  EXPECT_TRUE(fault::drawChance(1, fault::Kind::PacketLoss, 1.0, 1));
+  const double u = fault::drawUniform(99, fault::Kind::Truncate, 5);
+  EXPECT_GE(u, 0.0);
+  EXPECT_LT(u, 1.0);
+}
+
+// --- BGP script transform --------------------------------------------------
+
+std::vector<fault::FeedOp> demoScript() {
+  const net::Asn as65010{65010};
+  const net::Asn as65020{65020};
+  return {
+      {sim::kEpoch, true, net::Prefix::mustParse("3fff:2::/48"), as65010},
+      {sim::kEpoch, true, net::Prefix::mustParse("3fff:e00::/29"), as65020},
+      {sim::kEpoch + sim::weeks(1), true,
+       net::Prefix::mustParse("3fff:100::/32"), as65010},
+      {sim::kEpoch + sim::weeks(2), false,
+       net::Prefix::mustParse("3fff:100::/32"), as65010},
+  };
+}
+
+bool chronological(const std::vector<fault::FeedOp>& script) {
+  for (std::size_t i = 1; i < script.size(); ++i) {
+    if (script[i].at < script[i - 1].at) return false;
+  }
+  return true;
+}
+
+TEST(ApplyBgpFaults, EmptySpecIsIdentity) {
+  const auto script = demoScript();
+  fault::ScriptFaultStats stats;
+  const auto out = fault::applyBgpFaults(
+      script, fault::FaultSpec{}, 1, net::Prefix::mustParse("3fff:e00::/29"),
+      &stats);
+  ASSERT_EQ(out.size(), script.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].at, script[i].at);
+    EXPECT_EQ(out[i].prefix, script[i].prefix);
+    EXPECT_EQ(out[i].announce, script[i].announce);
+  }
+  EXPECT_EQ(stats.dropped + stats.duplicated + stats.delayed + stats.flapOps +
+                stats.outageOps,
+            0u);
+}
+
+TEST(ApplyBgpFaults, DropAllEmptiesTheScript) {
+  fault::FaultSpec spec;
+  spec.bgpDropProb = 1.0;
+  fault::ScriptFaultStats stats;
+  const auto out = fault::applyBgpFaults(
+      demoScript(), spec, 1, net::Prefix::mustParse("3fff:e00::/29"), &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.dropped, 4u);
+}
+
+TEST(ApplyBgpFaults, DelayKeepsOrderAndNeverRewindsOps) {
+  fault::FaultSpec spec;
+  spec.bgpDelayProb = 1.0;
+  spec.bgpDelayMax = sim::hours(4);
+  fault::ScriptFaultStats stats;
+  const auto script = demoScript();
+  const auto out = fault::applyBgpFaults(
+      script, spec, 7, net::Prefix::mustParse("3fff:e00::/29"), &stats);
+  ASSERT_EQ(out.size(), script.size());
+  EXPECT_EQ(stats.delayed, script.size());
+  EXPECT_TRUE(chronological(out));
+  // The transform is a pure function of (script, spec, seed): repeating it
+  // reproduces every delayed timestamp exactly.
+  const auto again = fault::applyBgpFaults(
+      script, spec, 7, net::Prefix::mustParse("3fff:e00::/29"), nullptr);
+  ASSERT_EQ(again.size(), out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(again[i].at, out[i].at);
+    EXPECT_EQ(again[i].prefix, out[i].prefix);
+  }
+}
+
+TEST(ApplyBgpFaults, DuplicateAllDoublesTheScript) {
+  fault::FaultSpec spec;
+  spec.bgpDupProb = 1.0;
+  fault::ScriptFaultStats stats;
+  const auto out = fault::applyBgpFaults(
+      demoScript(), spec, 3, net::Prefix::mustParse("3fff:e00::/29"), &stats);
+  EXPECT_EQ(out.size(), 8u);
+  EXPECT_EQ(stats.duplicated, 4u);
+  EXPECT_TRUE(chronological(out));
+}
+
+TEST(ApplyBgpFaults, FlapWeavesWithdrawAnnouncePairs) {
+  fault::FaultSpec spec;
+  fault::PrefixFlap flap;
+  flap.prefix = net::Prefix::mustParse("3fff:2::/48");
+  flap.start = sim::kEpoch + sim::days(1);
+  flap.period = sim::days(1);
+  flap.down = sim::hours(2);
+  flap.count = 3;
+  spec.flaps.push_back(flap);
+  fault::ScriptFaultStats stats;
+  const auto out = fault::applyBgpFaults(
+      demoScript(), spec, 5, net::Prefix::mustParse("3fff:e00::/29"), &stats);
+  EXPECT_EQ(stats.flapOps, 6u);
+  EXPECT_EQ(out.size(), demoScript().size() + 6);
+  EXPECT_TRUE(chronological(out));
+  // Each flap cycle: withdraw at start+k*period, announce back down later,
+  // restoring the origin the pristine script used.
+  int withdraws = 0;
+  int announces = 0;
+  for (const fault::FeedOp& op : out) {
+    if (op.prefix != flap.prefix) continue;
+    if (op.at == sim::kEpoch) continue; // the pristine announce
+    EXPECT_EQ(op.origin, net::Asn{65010});
+    (op.announce ? announces : withdraws)++;
+  }
+  EXPECT_EQ(withdraws, 3);
+  EXPECT_EQ(announces, 3);
+}
+
+TEST(ApplyBgpFaults, FlapOfUnannouncedPrefixInjectsNothing) {
+  fault::FaultSpec spec;
+  fault::PrefixFlap flap;
+  flap.prefix = net::Prefix::mustParse("3fff:dead::/48");
+  flap.start = sim::kEpoch + sim::days(1);
+  flap.period = sim::days(1);
+  flap.down = sim::hours(1);
+  flap.count = 2;
+  spec.flaps.push_back(flap);
+  fault::ScriptFaultStats stats;
+  const auto out = fault::applyBgpFaults(
+      demoScript(), spec, 5, net::Prefix::mustParse("3fff:e00::/29"), &stats);
+  EXPECT_EQ(out.size(), demoScript().size());
+  EXPECT_EQ(stats.flapOps, 0u);
+}
+
+TEST(ApplyBgpFaults, CoveringOutageWithdrawsAndRestores) {
+  fault::FaultSpec spec;
+  spec.coveringOutageAt = sim::kEpoch + sim::weeks(1) + sim::hours(1);
+  spec.coveringOutageFor = sim::hours(6);
+  const net::Prefix covering = net::Prefix::mustParse("3fff:e00::/29");
+  fault::ScriptFaultStats stats;
+  const auto out =
+      fault::applyBgpFaults(demoScript(), spec, 5, covering, &stats);
+  EXPECT_EQ(stats.outageOps, 2u);
+  bool sawWithdraw = false;
+  bool sawRestore = false;
+  for (const fault::FeedOp& op : out) {
+    if (op.prefix != covering || op.at == sim::kEpoch) continue;
+    if (!op.announce && op.at == *spec.coveringOutageAt) sawWithdraw = true;
+    if (op.announce && op.at == *spec.coveringOutageAt + sim::hours(6)) {
+      sawRestore = true;
+      EXPECT_EQ(op.origin, net::Asn{65020});
+    }
+  }
+  EXPECT_TRUE(sawWithdraw);
+  EXPECT_TRUE(sawRestore);
+}
+
+// --- zero-fault transparency ----------------------------------------------
+
+ExperimentConfig chaosBaseConfig() {
+  ExperimentConfig config;
+  config.seed = 7;
+  config.sourceScale = 0.05;
+  config.volumeScale = 0.004;
+  config.baseline = sim::weeks(3);
+  config.splits = 3;
+  config.routeObjectAt = sim::weeks(4);
+  return config;
+}
+
+std::unique_ptr<ExperimentRunner> runWith(const ExperimentConfig& experiment) {
+  RunnerConfig config;
+  config.experiment = experiment;
+  auto runner = std::make_unique<ExperimentRunner>(config);
+  runner->run();
+  return runner;
+}
+
+TEST(ZeroFault, RunnerOutputsAreBitwiseIdenticalToSerialReference) {
+  // The serial Experiment never sees the fault layer at all; its
+  // canonicalized capture is the pre-fault ground truth.
+  core::Experiment serial{chaosBaseConfig()};
+  serial.run();
+
+  ExperimentConfig zeroFault = chaosBaseConfig();
+  zeroFault.threads = 2;
+  ASSERT_TRUE(zeroFault.faults.empty());
+  const auto runner = runWith(zeroFault);
+
+  // An empty spec must also make the fault seed inert.
+  ExperimentConfig otherSeed = zeroFault;
+  otherSeed.faultSeed = 0xdecade;
+  const auto runnerOtherSeed = runWith(otherSeed);
+
+  for (std::size_t t = 0; t < 4; ++t) {
+    telescope::CaptureStore canonical;
+    const telescope::CaptureStore* serialStore =
+        &serial.telescope(t).capture();
+    canonical.mergeFrom({&serialStore, 1});
+    EXPECT_EQ(runner->capture(t).digest(), canonical.digest())
+        << "telescope " << t;
+    EXPECT_EQ(runnerOtherSeed->capture(t).digest(), canonical.digest())
+        << "telescope " << t;
+  }
+}
+
+TEST(ZeroFault, NoFaultMetricKeysAppear) {
+  ExperimentConfig config = chaosBaseConfig();
+  config.threads = 2;
+  config.baseline = sim::weeks(2);
+  config.splits = 1;
+  config.runLimit = sim::weeks(3);
+  const auto runner = runWith(config);
+  for (const auto& [name, value] : runner->metrics().flatten()) {
+    EXPECT_EQ(name.find("fault."), std::string::npos) << name;
+  }
+}
+
+// --- the chaos matrix ------------------------------------------------------
+
+fault::FaultSpec chaosSpec() {
+  // Probabilities are high enough that the statistical ">0" assertions
+  // below hold for effectively every fault seed (CI sweeps random seeds).
+  const auto parsed = fault::FaultSpec::parse(
+      "packet_loss=0.02, packet_dup=0.01, truncate=0.05,"
+      "bgp_drop=0.25, bgp_dup=0.25, bgp_delay=0.9, bgp_delay_max=30m,"
+      "gap=all@4w+2d, gap=T2@2w+12h, covering_outage=5w+6h,"
+      "flap=3fff:2::/48@2w+1d/2h*3, stall=0.2, stall_for=1ms");
+  EXPECT_TRUE(parsed.ok());
+  return parsed.spec;
+}
+
+/// CI sweeps random fault seeds by exporting V6T_FAULT_SEED; locally the
+/// suite stays pinned for reproducible failures.
+std::uint64_t faultSeedFromEnv() {
+  if (const char* env = std::getenv("V6T_FAULT_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 0xfa017;
+}
+
+struct ChaosRun {
+  std::unique_ptr<ExperimentRunner> runner;
+  std::unique_ptr<core::ExperimentSummary> summary;
+};
+
+class ChaosMatrixTest : public ::testing::Test {
+protected:
+  static constexpr unsigned kThreadCounts[3] = {1, 2, 8};
+
+  static void SetUpTestSuite() {
+    runs_ = new std::map<unsigned, ChaosRun>;
+    for (unsigned threads : kThreadCounts) {
+      ExperimentConfig config = chaosBaseConfig();
+      config.threads = threads;
+      config.faults = chaosSpec();
+      config.faultSeed = faultSeedFromEnv();
+      ChaosRun run;
+      run.runner = runWith(config);
+      run.summary = std::make_unique<core::ExperimentSummary>(
+          core::ExperimentSummary::compute(*run.runner));
+      (*runs_)[threads] = std::move(run);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete runs_;
+    runs_ = nullptr;
+  }
+
+  static const ChaosRun& runOf(unsigned threads) { return runs_->at(threads); }
+
+  static std::map<unsigned, ChaosRun>* runs_;
+};
+
+std::map<unsigned, ChaosRun>* ChaosMatrixTest::runs_ = nullptr;
+
+TEST_F(ChaosMatrixTest, FaultsActuallyChangeTheWorld) {
+  const auto clean = runWith(chaosBaseConfig());
+  bool anyDiff = false;
+  for (std::size_t t = 0; t < 4; ++t) {
+    anyDiff |= runOf(1).runner->capture(t).digest() != clean->capture(t).digest();
+  }
+  EXPECT_TRUE(anyDiff);
+  const auto metrics = runOf(1).runner->metrics().flatten();
+  // Statistically certain given the spec's probabilities and traffic volume.
+  EXPECT_GT(metrics.at("fault.injected.packet_loss_total"), 0.0);
+  EXPECT_GT(metrics.at("fault.injected.gap_dropped_total"), 0.0);
+  EXPECT_GT(metrics.at("fault.injected.bgp_delayed_total"), 0.0);
+  // Script-level drops/dups are seed-dependent on a small script; the
+  // counters must exist either way (DropAll* unit tests pin the mechanics).
+  EXPECT_TRUE(metrics.contains("fault.injected.bgp_dropped_total"));
+  EXPECT_TRUE(metrics.contains("fault.injected.bgp_duplicated_total"));
+  // Deterministic, schedule-driven injections.
+  EXPECT_EQ(metrics.at("fault.injected.flap_ops_total"), 6.0);
+  EXPECT_EQ(metrics.at("fault.injected.covering_outage_ops_total"), 2.0);
+  EXPECT_EQ(metrics.at("fault.gap_duration_seconds.count"), 2.0);
+}
+
+TEST_F(ChaosMatrixTest, FaultyCapturesAreShardCountInvariant) {
+  for (std::size_t t = 0; t < 4; ++t) {
+    const std::uint64_t reference = runOf(1).runner->capture(t).digest();
+    for (unsigned threads : kThreadCounts) {
+      EXPECT_EQ(runOf(threads).runner->capture(t).digest(), reference)
+          << "telescope " << t << ", threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ChaosMatrixTest, FaultySessionTablesAreShardCountInvariant) {
+  for (unsigned threads : kThreadCounts) {
+    for (std::size_t t = 0; t < 4; ++t) {
+      const core::TelescopeSummary& ref = runOf(1).summary->telescope(t);
+      const core::TelescopeSummary& got =
+          runOf(threads).summary->telescope(t);
+      ASSERT_EQ(got.sessions128.size(), ref.sessions128.size())
+          << "telescope " << t << ", threads=" << threads;
+      for (std::size_t s = 0; s < ref.sessions128.size(); ++s) {
+        EXPECT_EQ(got.sessions128[s].source, ref.sessions128[s].source);
+        EXPECT_EQ(got.sessions128[s].start, ref.sessions128[s].start);
+        EXPECT_EQ(got.sessions128[s].end, ref.sessions128[s].end);
+        EXPECT_EQ(got.sessions128[s].packetIdx, ref.sessions128[s].packetIdx);
+      }
+      EXPECT_EQ(got.stats128.closedByGap, ref.stats128.closedByGap);
+    }
+  }
+}
+
+TEST_F(ChaosMatrixTest, InjectedFaultCountersAreShardCountInvariant) {
+  // Stall counts are inherently per-shard (a 1-thread run draws one stall
+  // lottery per epoch, an 8-thread run eight), so they are excluded; all
+  // simulation-facing fault counters must agree exactly.
+  const char* kInvariantCounters[] = {
+      "fault.injected.packet_loss_total", "fault.injected.packet_dup_total",
+      "fault.injected.truncated_total", "fault.injected.gap_dropped_total",
+      "fault.injected.bgp_dropped_total",
+      "fault.injected.bgp_duplicated_total",
+      "fault.injected.bgp_delayed_total", "fault.injected.flap_ops_total",
+      "fault.injected.covering_outage_ops_total"};
+  const auto reference = runOf(1).runner->metrics().flatten();
+  for (unsigned threads : kThreadCounts) {
+    const auto got = runOf(threads).runner->metrics().flatten();
+    for (const char* name : kInvariantCounters) {
+      ASSERT_TRUE(got.contains(name)) << name;
+      EXPECT_EQ(got.at(name), reference.at(name))
+          << name << ", threads=" << threads;
+    }
+  }
+}
+
+TEST_F(ChaosMatrixTest, InvariantsHoldUnderChaos) {
+  const fault::FaultSpec spec = chaosSpec();
+  for (unsigned threads : kThreadCounts) {
+    fault::InvariantChecker checker;
+    for (std::size_t t = 0; t < 4; ++t) {
+      const telescope::CaptureStore& capture =
+          runOf(threads).runner->capture(t);
+      EXPECT_TRUE(checker.checkCanonicalOrder(capture));
+      EXPECT_TRUE(checker.checkSessionsRespectGaps(
+          runOf(threads).summary->telescope(t).sessions128,
+          capture.packets(), spec.gapWindowsFor(t)));
+    }
+    EXPECT_TRUE(checker.ok()) << checker.violations().front();
+  }
+}
+
+TEST_F(ChaosMatrixTest, GapsActuallyDarkenTheTelescopes) {
+  // No packet may carry a timestamp inside an all-telescope gap window.
+  const fault::FaultSpec spec = chaosSpec();
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (const net::Packet& p : runOf(1).runner->capture(t).packets()) {
+      for (const fault::CaptureGap& g : spec.gaps) {
+        EXPECT_FALSE(g.covers(t, p.ts))
+            << "packet at " << p.ts.millis() << "ms inside gap";
+      }
+    }
+  }
+}
+
+// --- invariant rules: positive and negative --------------------------------
+
+net::Packet packetAt(sim::SimTime ts, std::uint32_t originId,
+                     std::uint64_t originSeq,
+                     std::string_view src = "3fff:aaaa::1") {
+  net::Packet p;
+  p.ts = ts;
+  p.src = net::Ipv6Address::mustParse(src);
+  p.dst = net::Ipv6Address::mustParse("3fff:100::42");
+  p.originId = originId;
+  p.originSeq = originSeq;
+  return p;
+}
+
+TEST(InvariantChecker, SessionsRespectGapsPositiveAndNegative) {
+  // Source heard 20 min before a 10-min outage and 20 min after it: the
+  // 50-min silence is within the 1 h timeout, so only gap-awareness can
+  // split the session.
+  const sim::SimTime gapStart = sim::kEpoch + sim::hours(3);
+  const sim::SimTime gapEnd = gapStart + sim::minutes(10);
+  const std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps{
+      {gapStart, gapEnd}};
+  std::vector<net::Packet> packets{
+      packetAt(gapStart - sim::minutes(20), 1, 0),
+      packetAt(gapEnd + sim::minutes(20), 1, 1),
+  };
+
+  telescope::Sessionizer::Stats stats;
+  const auto gapAware = telescope::sessionize(
+      packets, telescope::SourceAgg::Addr128, telescope::kSessionTimeout,
+      &stats, gaps);
+  ASSERT_EQ(gapAware.size(), 2u);
+  EXPECT_EQ(stats.closedByGap, 1u);
+  fault::InvariantChecker checker;
+  EXPECT_TRUE(checker.checkSessionsRespectGaps(gapAware, packets, gaps));
+  EXPECT_TRUE(checker.ok());
+
+  // The legacy timeout-only sessionizer glues them into one session —
+  // exactly the fabricated continuity the rule must flag.
+  const auto blind = telescope::sessionize(
+      packets, telescope::SourceAgg::Addr128, telescope::kSessionTimeout);
+  ASSERT_EQ(blind.size(), 1u);
+  fault::InvariantChecker broken;
+  EXPECT_FALSE(broken.checkSessionsRespectGaps(blind, packets, gaps));
+  ASSERT_EQ(broken.violations().size(), 1u);
+  EXPECT_NE(broken.violations()[0].find("spans capture gap"),
+            std::string::npos);
+}
+
+TEST(InvariantChecker, RibAgreesWithLinearScanPositiveAndNegative) {
+  bgp::Rib rib;
+  const auto p29 = net::Prefix::mustParse("3fff:e00::/29");
+  const auto p48 = net::Prefix::mustParse("3fff:e03:3::/48");
+  const auto p32 = net::Prefix::mustParse("3fff:100::/32");
+  rib.announce(p29, net::Asn{65020}, sim::kEpoch);
+  rib.announce(p48, net::Asn{65010}, sim::kEpoch + sim::hours(1));
+  rib.announce(p32, net::Asn{65010}, sim::kEpoch + sim::hours(2));
+  rib.withdraw(p32, sim::kEpoch + sim::hours(3));
+
+  const std::vector<std::pair<net::Prefix, net::Asn>> routes{
+      {p29, net::Asn{65020}}, {p48, net::Asn{65010}}};
+  const std::vector<net::Ipv6Address> probes{
+      net::Ipv6Address::mustParse("3fff:e03:3::1"), // /48 wins over /29
+      net::Ipv6Address::mustParse("3fff:e00::1"), // /29 only
+      net::Ipv6Address::mustParse("3fff:100::1"), // withdrawn → no route
+      net::Ipv6Address::mustParse("2001:db8::1"), // never routed
+  };
+  fault::InvariantChecker checker;
+  EXPECT_TRUE(checker.checkRibAgainstLinearScan(rib, routes, probes));
+  EXPECT_TRUE(checker.ok());
+
+  // Doctored ground truth: claims the withdrawn /32 is still up.
+  const std::vector<std::pair<net::Prefix, net::Asn>> doctored{
+      {p29, net::Asn{65020}}, {p48, net::Asn{65010}}, {p32, net::Asn{65010}}};
+  fault::InvariantChecker broken;
+  EXPECT_FALSE(broken.checkRibAgainstLinearScan(rib, doctored, probes));
+  EXPECT_FALSE(broken.ok());
+  EXPECT_NE(broken.violations()[0].find("disagrees"), std::string::npos);
+}
+
+TEST(InvariantChecker, CanonicalOrderPositiveAndNegative) {
+  telescope::CaptureStore good;
+  good.append(packetAt(sim::kEpoch + sim::seconds(1), 2, 0));
+  good.append(packetAt(sim::kEpoch + sim::seconds(1), 2, 1));
+  good.append(packetAt(sim::kEpoch + sim::seconds(2), 1, 7));
+  // An exact duplicate (packet-duplication fault) is legal.
+  good.append(packetAt(sim::kEpoch + sim::seconds(2), 1, 7));
+  fault::InvariantChecker checker;
+  EXPECT_TRUE(checker.checkCanonicalOrder(good));
+  EXPECT_TRUE(checker.ok());
+
+  // Equal timestamps but descending originId: time-ordered (append's
+  // precondition holds) yet NOT canonical.
+  telescope::CaptureStore bad;
+  bad.append(packetAt(sim::kEpoch + sim::seconds(1), 9, 0));
+  bad.append(packetAt(sim::kEpoch + sim::seconds(1), 3, 0));
+  fault::InvariantChecker broken;
+  EXPECT_FALSE(broken.checkCanonicalOrder(bad));
+  ASSERT_EQ(broken.violations().size(), 1u);
+  EXPECT_NE(broken.violations()[0].find("canonical"), std::string::npos);
+}
+
+TEST(InvariantChecker, MetricFoldPositiveAndNegative) {
+  obs::Registry shardA;
+  obs::Registry shardB;
+  shardA.counter("x.total").inc(3);
+  shardB.counter("x.total").inc(4);
+  shardA.gauge("hwm", obs::GaugeMode::Max).set(2.0);
+  shardB.gauge("hwm", obs::GaugeMode::Max).set(5.0);
+  shardA.histogram("lat", fault::gapDurationBoundsSeconds()).observe(10.0);
+  shardB.histogram("lat", fault::gapDurationBoundsSeconds()).observe(7000.0);
+
+  obs::Registry folded;
+  folded.aggregateFrom(shardA);
+  folded.aggregateFrom(shardB);
+  const obs::Registry* shards[] = {&shardA, &shardB};
+  fault::InvariantChecker checker;
+  EXPECT_TRUE(checker.checkMetricFold(folded, shards));
+  EXPECT_TRUE(checker.ok());
+
+  // Double-counting at the fold level must trip the rule.
+  folded.counter("x.total").inc(1);
+  fault::InvariantChecker broken;
+  EXPECT_FALSE(broken.checkMetricFold(folded, shards));
+  EXPECT_FALSE(broken.ok());
+  EXPECT_NE(broken.violations()[0].find("x.total"), std::string::npos);
+}
+
+// --- gap-aware sessionizer plumbing ---------------------------------------
+
+TEST(GapAwareSessionizer, EmptyGapsAreBitIdenticalToLegacy) {
+  std::vector<net::Packet> packets;
+  for (int i = 0; i < 20; ++i) {
+    packets.push_back(packetAt(sim::kEpoch + sim::minutes(37) * i,
+                               1, static_cast<std::uint64_t>(i)));
+  }
+  telescope::Sessionizer::Stats legacyStats;
+  telescope::Sessionizer::Stats gapStats;
+  const auto legacy =
+      telescope::sessionize(packets, telescope::SourceAgg::Addr128,
+                            telescope::kSessionTimeout, &legacyStats);
+  const auto withEmpty =
+      telescope::sessionize(packets, telescope::SourceAgg::Addr128,
+                            telescope::kSessionTimeout, &gapStats, {});
+  ASSERT_EQ(withEmpty.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(withEmpty[i].packetIdx, legacy[i].packetIdx);
+  }
+  EXPECT_EQ(gapStats.closedByGap, 0u);
+  EXPECT_EQ(gapStats.closedByTimeout, legacyStats.closedByTimeout);
+}
+
+} // namespace
+} // namespace v6t

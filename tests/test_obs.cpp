@@ -245,6 +245,31 @@ TEST(ObsLog, EveryNAllowsFirstAndEveryNth) {
   EXPECT_EQ(limiter.seen(), 4u);
 }
 
+TEST(ObsLog, EveryNEmitsExactlyOncePerWindowUnderContention) {
+  // The emit decision is a single fetch_add: each caller owns a unique
+  // occurrence index, so hammering one limiter from many threads yields
+  // EXACTLY calls/N allows — never a double or missed emission the way a
+  // load-then-increment split would. 8 threads x 10k calls, N = 1000.
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kCallsPerThread = 10000;
+  constexpr std::uint64_t kEvery = 1000;
+  obs::EveryN limiter{kEvery};
+  std::vector<std::uint64_t> allowed(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kCallsPerThread; ++i) {
+        if (limiter.allow()) ++allowed[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::uint64_t total = 0;
+  for (const std::uint64_t a : allowed) total += a;
+  EXPECT_EQ(total, kThreads * kCallsPerThread / kEvery);
+  EXPECT_EQ(limiter.seen(), kThreads * kCallsPerThread);
+}
+
 // --- formatting helpers --------------------------------------------------
 
 TEST(ObsFormat, Helpers) {

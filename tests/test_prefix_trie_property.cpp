@@ -8,6 +8,8 @@
 #include <optional>
 #include <vector>
 
+#include "bgp/rib.hpp"
+#include "fault/invariants.hpp"
 #include "net/prefix.hpp"
 #include "net/prefix_trie.hpp"
 #include "sim/rng.hpp"
@@ -197,6 +199,89 @@ TEST(PrefixTriePropertyTest, CoveringSlash29VsShadowingSlash48) {
       trie.longestMatch(Ipv6Address::mustParse("3fff:e03:3::1"));
   ASSERT_TRUE(afterErase.has_value());
   EXPECT_EQ(afterErase->first.length(), 29u);
+}
+
+// ------------------------------------------------- RIB churn vs oracle
+
+/// Fuzz the full bgp::Rib (trie + route metadata) through heavy churn —
+/// random interleavings of announces, origin changes, withdraws, and
+/// rapid flap bursts — checking LPM against the brute-force oracle after
+/// every mutation, and letting fault::InvariantChecker's RIB rule audit
+/// each round end (the checker's ground truth IS the oracle's entry list,
+/// so this doubles as its integration test under churn).
+TEST(RibChurnProperty, LpmMatchesOracleThroughAnnounceWithdrawFlapStorms) {
+  sim::Rng rng{20260805};
+  for (int round = 0; round < 8; ++round) {
+    // A fixed pool of overlapping prefixes so announce/withdraw hits both
+    // fresh and already-routed entries, and shadowing is common.
+    std::vector<Prefix> pool;
+    for (int i = 0; i < 24; ++i) pool.push_back(randomPrefix(rng));
+
+    bgp::Rib rib;
+    OracleLpm oracle;
+    sim::SimTime now = sim::kEpoch;
+
+    auto check = [&](const Ipv6Address& addr) {
+      const auto got = rib.lookup(addr);
+      const auto want = oracle.longestMatch(addr);
+      ASSERT_EQ(got.has_value(), want.has_value()) << addr.toString();
+      if (!got) return;
+      EXPECT_EQ(got->first, want->first) << addr.toString();
+      // Origins may differ between equal-length distinct prefixes only if
+      // the trie picked a different same-length match — impossible; assert
+      // the stored origin survived the churn too.
+      EXPECT_EQ(got->second.origin.value(),
+                static_cast<std::uint32_t>(want->second))
+          << addr.toString();
+    };
+
+    for (int step = 0; step < 400; ++step) {
+      now += sim::minutes(1 + static_cast<std::int64_t>(rng.below(120)));
+      const Prefix& p = pool[rng.below(pool.size())];
+      const std::uint32_t asn =
+          65000 + static_cast<std::uint32_t>(rng.below(8));
+      switch (rng.below(4)) {
+      case 0: // announce (fresh or origin change)
+      case 1:
+        rib.announce(p, Asn{asn}, now);
+        oracle.insert(p, static_cast<int>(asn));
+        break;
+      case 2: // withdraw (possibly of an unrouted prefix — must be a no-op)
+        rib.withdraw(p, now);
+        oracle.erase(p);
+        break;
+      case 3: { // flap burst: down/up several times in quick succession
+        const int cycles = 1 + static_cast<int>(rng.below(3));
+        for (int c = 0; c < cycles; ++c) {
+          rib.withdraw(p, now);
+          oracle.erase(p);
+          check(insideOf(p, rng));
+          now += sim::minutes(5);
+          rib.announce(p, Asn{asn}, now);
+          oracle.insert(p, static_cast<int>(asn));
+        }
+        break;
+      }
+      }
+      check(insideOf(p, rng));
+      check(p.address());
+      check(randomAddress(rng));
+    }
+
+    // Round-end audit through the invariant rule, with probes aimed both
+    // inside every live route and at random space.
+    std::vector<std::pair<Prefix, Asn>> routes;
+    std::vector<Ipv6Address> probes;
+    for (const auto& [p, v] : oracle.entries()) {
+      routes.emplace_back(p, Asn{static_cast<std::uint32_t>(v)});
+      probes.push_back(insideOf(p, rng));
+      probes.push_back(p.address());
+    }
+    for (int i = 0; i < 32; ++i) probes.push_back(randomAddress(rng));
+    v6t::fault::InvariantChecker checker;
+    EXPECT_TRUE(checker.checkRibAgainstLinearScan(rib, routes, probes))
+        << checker.violations().front();
+  }
 }
 
 } // namespace

@@ -234,5 +234,125 @@ TEST(SummaryProperty, DisjointWindowsSumToWhole) {
   }
 }
 
+// --------------------------------------- sessionizer timeout boundaries
+
+namespace {
+
+net::Packet probePacket(sim::SimTime ts, std::uint64_t seq) {
+  net::Packet p;
+  p.ts = ts;
+  p.src = net::Ipv6Address::mustParse("3fff:abcd::1");
+  p.dst = net::Ipv6Address::mustParse("3fff:100::1");
+  p.originId = 1;
+  p.originSeq = seq;
+  return p;
+}
+
+std::vector<telescope::Session> twoPacketsApart(
+    sim::Duration gap, telescope::Sessionizer::Stats* stats = nullptr,
+    std::vector<std::pair<sim::SimTime, sim::SimTime>> captureGaps = {}) {
+  const std::vector<net::Packet> packets{
+      probePacket(sim::kEpoch + sim::hours(1), 0),
+      probePacket(sim::kEpoch + sim::hours(1) + gap, 1),
+  };
+  return telescope::sessionize(packets, telescope::SourceAgg::Addr128,
+                               telescope::kSessionTimeout, stats,
+                               std::move(captureGaps));
+}
+
+} // namespace
+
+TEST(SessionBoundary, SilenceExactlyAtTimeoutStillJoins) {
+  // The session rule is a *strict* gap: packets t and t + 1h apart belong
+  // to one session (inter-arrival <= timeout), per the paper's one-hour
+  // convention.
+  telescope::Sessionizer::Stats stats;
+  const auto sessions = twoPacketsApart(telescope::kSessionTimeout, &stats);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].packetCount(), 2u);
+  EXPECT_EQ(stats.closedByTimeout, 0u);
+}
+
+TEST(SessionBoundary, OneTickUnderTimeoutJoins) {
+  const auto sessions =
+      twoPacketsApart(telescope::kSessionTimeout - sim::millis(1));
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].packetCount(), 2u);
+}
+
+TEST(SessionBoundary, OneTickOverTimeoutSplits) {
+  telescope::Sessionizer::Stats stats;
+  const auto sessions =
+      twoPacketsApart(telescope::kSessionTimeout + sim::millis(1), &stats);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(stats.closedByTimeout, 1u);
+  EXPECT_EQ(stats.closedByGap, 0u);
+}
+
+TEST(SessionBoundary, CaptureGapEdgesAreHalfOpen) {
+  // A 10-minute declared outage [start, end) well inside the timeout. The
+  // second packet lands at exact boundary instants; only silences that
+  // actually overlap the half-open window may split.
+  const sim::SimTime first = sim::kEpoch + sim::hours(1);
+  const sim::SimTime gapStart = first + sim::minutes(20);
+  const sim::SimTime gapEnd = gapStart + sim::minutes(10);
+  const std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps{
+      {gapStart, gapEnd}};
+
+  struct Case {
+    sim::Duration second; // offset of the second packet from `first`
+    std::size_t wantSessions;
+    std::uint64_t wantClosedByGap;
+  };
+  const Case cases[] = {
+      // One tick before the outage begins: silence ends in clean air.
+      {sim::minutes(20) - sim::millis(1), 1, 0},
+      // Exactly at the outage start: that instant is dark ([start, end)),
+      // so continuity across it cannot be attested.
+      {sim::minutes(20), 2, 1},
+      // One tick before the outage ends: still inside the window.
+      {sim::minutes(30) - sim::millis(1), 2, 1},
+      // Exactly at the end: `end` itself is lit again, but the silence
+      // covered the whole window — split.
+      {sim::minutes(30), 2, 1},
+  };
+  for (const Case& c : cases) {
+    telescope::Sessionizer::Stats stats;
+    const auto sessions = twoPacketsApart(c.second, &stats, gaps);
+    EXPECT_EQ(sessions.size(), c.wantSessions)
+        << "second packet at +" << c.second.millis() << "ms";
+    EXPECT_EQ(stats.closedByGap, c.wantClosedByGap)
+        << "second packet at +" << c.second.millis() << "ms";
+    EXPECT_EQ(stats.closedByTimeout, 0u);
+  }
+
+  // Both packets after the outage: the gap list is present but inert.
+  telescope::Sessionizer::Stats stats;
+  const std::vector<net::Packet> after{
+      probePacket(gapEnd, 0),
+      probePacket(gapEnd + sim::minutes(40), 1),
+  };
+  const auto sessions =
+      telescope::sessionize(after, telescope::SourceAgg::Addr128,
+                            telescope::kSessionTimeout, &stats, gaps);
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(stats.closedByGap, 0u);
+}
+
+TEST(SessionBoundary, TimeoutSilenceAcrossGapCountsAsGapClose) {
+  // Silence that is BOTH over the timeout and across an outage: the gap
+  // takes precedence in the close accounting (the telescope being dark is
+  // the stronger statement about why continuity broke).
+  const sim::SimTime first = sim::kEpoch + sim::hours(1);
+  const std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps{
+      {first + sim::minutes(30), first + sim::minutes(40)}};
+  telescope::Sessionizer::Stats stats;
+  const auto sessions =
+      twoPacketsApart(sim::hours(2), &stats, gaps);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(stats.closedByGap, 1u);
+  EXPECT_EQ(stats.closedByTimeout, 0u);
+}
+
 } // namespace
 } // namespace v6t

@@ -1,7 +1,8 @@
 // v6t_run — run a telescope experiment from a configuration file.
 //
 //   v6t_run [config-file] [--out DIR] [--dump-captures] [--print-config]
-//           [--threads N] [--metrics-out FILE] [--metrics-prom FILE]
+//           [--threads N] [--faults SPEC] [--fault-seed N]
+//           [--metrics-out FILE] [--metrics-prom FILE]
 //           [--metrics-interval SEC] [--log-level LEVEL]
 //
 // Without a config file the paper's default configuration runs. The tool
@@ -13,6 +14,12 @@
 // merges captures into canonical order; results are bitwise-identical for
 // every N. Without either, the classic serial Experiment runs, which also
 // produces the §8 operator guidance.
+//
+// --faults takes a comma-separated fault spec (see fault/spec.hpp), e.g.
+//   --faults "packet_loss=0.01,bgp_drop=0.1,gap=T1@2w+3d"
+// and forces the runner path (the fault layer lives in the sharded
+// runner); --fault-seed replays the same spec under different draws.
+// Faulty runs remain bitwise-reproducible for any --threads value.
 //
 // --metrics-out streams one JSONL metrics snapshot per --metrics-interval
 // seconds of wall time (plus a final post-analysis snapshot) and prints a
@@ -36,6 +43,7 @@
 #include "core/metrics.hpp"
 #include "core/runner.hpp"
 #include "core/summary.hpp"
+#include "fault/spec.hpp"
 #include "obs/exporter.hpp"
 #include "obs/format.hpp"
 #include "obs/log.hpp"
@@ -46,8 +54,9 @@ namespace {
 int usage() {
   std::cerr << "usage: v6t_run [config-file] [--out DIR] [--dump-captures]"
                " [--print-config] [--threads N]\n"
-               "               [--metrics-out FILE] [--metrics-prom FILE]"
-               " [--metrics-interval SEC] [--log-level LEVEL]\n";
+               "               [--faults SPEC] [--fault-seed N]"
+               " [--metrics-out FILE] [--metrics-prom FILE]\n"
+               "               [--metrics-interval SEC] [--log-level LEVEL]\n";
   return 2;
 }
 
@@ -64,11 +73,19 @@ int main(int argc, char** argv) {
   bool dumpCaptures = false;
   bool printConfig = false;
   unsigned threadsOverride = 0; // 0 = not given on the command line
+  std::string faultsSpec;
+  std::optional<std::uint64_t> faultSeedOverride;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out") {
       if (++i >= argc) return usage();
       outDir = argv[i];
+    } else if (arg == "--faults") {
+      if (++i >= argc) return usage();
+      faultsSpec = argv[i];
+    } else if (arg == "--fault-seed") {
+      if (++i >= argc) return usage();
+      faultSeedOverride = std::strtoull(argv[i], nullptr, 10);
     } else if (arg == "--threads") {
       if (++i >= argc) return usage();
       const long v = std::strtol(argv[i], nullptr, 10);
@@ -130,12 +147,24 @@ int main(int argc, char** argv) {
     config = parsed.config;
   }
   if (threadsOverride != 0) config.threads = threadsOverride;
+  if (!faultsSpec.empty()) {
+    const auto parsed = fault::FaultSpec::parse(faultsSpec);
+    if (!parsed.ok()) {
+      for (const auto& e : parsed.errors) std::cerr << "--faults: " << e << "\n";
+      return 1;
+    }
+    config.faults = parsed.spec;
+  }
+  if (faultSeedOverride) config.faultSeed = *faultSeedOverride;
   if (printConfig) {
     std::cout << core::formatExperimentConfig(config);
     return 0;
   }
 
-  const bool useRunner = threadsOverride != 0 || config.threads > 1;
+  // Faults force the runner: the fault layer wraps the runner's script
+  // broadcast and per-shard fabrics, not the serial reference Experiment.
+  const bool useRunner =
+      threadsOverride != 0 || config.threads > 1 || !config.faults.empty();
 
   // Both paths produce the same capture/summary data (the runner merges
   // shards into canonical order); only the guidance report is serial-only.
@@ -236,8 +265,12 @@ int main(int argc, char** argv) {
     const auto taxonomy = analysis::classifyCapture(
         captures[t]->packets(), sessions,
         t == core::T1 ? schedule : nullptr);
+    // A telescope whose observation window overlaps a declared capture
+    // outage is flagged: its numbers are lower bounds, not measurements.
+    const bool inGap = !config.faults.gapWindowsFor(t).empty();
     table.addRow(
-        {names[t], analysis::withThousands(captures[t]->packetCount()),
+        {analysis::gapFlagged(names[t], inGap),
+         analysis::withThousands(captures[t]->packetCount()),
          analysis::withThousands(captures[t]->distinctSources128()),
          analysis::withThousands(sessions.size()),
          analysis::withThousands(
