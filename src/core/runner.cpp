@@ -364,7 +364,7 @@ void ExperimentRunner::run() {
   stats_.runWallSeconds = secondsSince(runStart);
   if (firstError) std::rethrow_exception(firstError);
 
-  // Deterministic merge: concatenate per-shard buffers and sort into the
+  // Deterministic merge: k-way merge the per-shard buffers into the
   // canonical (ts, originId, originSeq) order — also for one shard, whose
   // buffer arrives in engine-sequence order.
   const auto mergeStart = Clock::now();

@@ -9,10 +9,11 @@
 
 #include <cstdint>
 #include <string_view>
-#include <vector>
+#include <type_traits>
 
 #include "net/asn.hpp"
 #include "net/ipv6.hpp"
+#include "net/payload_buf.hpp"
 #include "sim/time.hpp"
 
 namespace v6t::net {
@@ -71,9 +72,15 @@ struct Packet {
   /// canonical capture order the sharded runner merges by.
   std::uint32_t originId = 0;
   std::uint64_t originSeq = 0;
-  std::vector<std::uint8_t> payload;
+  /// Inline, fixed-capacity payload (16 bytes max — a format invariant,
+  /// see payload_buf.hpp). Keeps the whole Packet trivially copyable so
+  /// the per-packet path never touches the heap.
+  PayloadBuf payload;
 
   [[nodiscard]] bool hasPayload() const { return !payload.empty(); }
 };
+
+static_assert(std::is_trivially_copyable_v<Packet>,
+              "the capture hot path relies on memcpy-able packets");
 
 } // namespace v6t::net

@@ -1,0 +1,118 @@
+// v6t::net — inline probe payload storage.
+//
+// Every payload this model ever produces is tiny: tool signatures are at
+// most 8 magic bytes plus a 4-byte trailer, and random/unattributable
+// payloads are 12 bytes (scanner.cpp). Storing them in a heap-backed
+// std::vector cost one malloc/free per packet on the hottest path in the
+// system — once at emission, and again on every fabric->telescope copy.
+// PayloadBuf keeps the bytes inline in the Packet itself: a fixed 16-byte
+// buffer plus a length, trivially copyable, no allocation anywhere.
+//
+// The 16-byte capacity is a hard format invariant (docs/FORMATS.md): the
+// v6tcap writer never emits more, the reader rejects longer records as
+// malformed, and appends beyond capacity saturate (excess bytes are
+// dropped) so the type is total — no UB, no throwing on the hot path.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <type_traits>
+
+namespace v6t::net {
+
+class PayloadBuf {
+public:
+  /// Hard capacity; also the v6tcap on-disk maximum payload length.
+  static constexpr std::size_t kCapacity = 16;
+
+  using value_type = std::uint8_t;
+  using iterator = std::uint8_t*;
+  using const_iterator = const std::uint8_t*;
+
+  constexpr PayloadBuf() = default;
+  constexpr PayloadBuf(std::initializer_list<std::uint8_t> init) {
+    assign(init.begin(), init.end());
+  }
+
+  [[nodiscard]] constexpr std::size_t size() const { return len_; }
+  [[nodiscard]] constexpr bool empty() const { return len_ == 0; }
+  [[nodiscard]] static constexpr std::size_t capacity() { return kCapacity; }
+
+  [[nodiscard]] constexpr std::uint8_t* data() { return bytes_.data(); }
+  [[nodiscard]] constexpr const std::uint8_t* data() const {
+    return bytes_.data();
+  }
+  [[nodiscard]] constexpr iterator begin() { return bytes_.data(); }
+  [[nodiscard]] constexpr iterator end() { return bytes_.data() + len_; }
+  [[nodiscard]] constexpr const_iterator begin() const {
+    return bytes_.data();
+  }
+  [[nodiscard]] constexpr const_iterator end() const {
+    return bytes_.data() + len_;
+  }
+
+  [[nodiscard]] constexpr std::uint8_t& operator[](std::size_t i) {
+    return bytes_[i];
+  }
+  [[nodiscard]] constexpr std::uint8_t operator[](std::size_t i) const {
+    return bytes_[i];
+  }
+
+  /// Append one byte; saturates (the byte is dropped) at capacity.
+  constexpr void push_back(std::uint8_t b) {
+    if (len_ < kCapacity) bytes_[len_++] = b;
+  }
+
+  /// Shrink or grow (zero-filling) to `n`, clamped to capacity.
+  constexpr void resize(std::size_t n) { resize(n, 0); }
+  constexpr void resize(std::size_t n, std::uint8_t fill) {
+    if (n > kCapacity) n = kCapacity;
+    for (std::size_t i = len_; i < n; ++i) bytes_[i] = fill;
+    len_ = static_cast<std::uint8_t>(n);
+  }
+
+  constexpr void clear() { len_ = 0; }
+
+  /// Replace contents with [first, last); saturates at capacity.
+  template <typename It>
+    requires(!std::is_integral_v<It>) // (n, value) overload handles ints
+  constexpr void assign(It first, It last) {
+    len_ = 0;
+    for (; first != last && len_ < kCapacity; ++first) {
+      bytes_[len_++] = static_cast<std::uint8_t>(*first);
+    }
+  }
+  constexpr void assign(std::size_t n, std::uint8_t b) {
+    if (n > kCapacity) n = kCapacity;
+    std::fill_n(bytes_.data(), n, b);
+    len_ = static_cast<std::uint8_t>(n);
+  }
+
+  /// View over the live bytes — the shape the tool-signature matcher and
+  /// the fingerprint feature extractor consume.
+  [[nodiscard]] constexpr std::span<const std::uint8_t> bytes() const {
+    return {bytes_.data(), len_};
+  }
+  constexpr operator std::span<const std::uint8_t>() const { return bytes(); }
+
+  /// Equality over the live bytes only; stale bytes past size() never
+  /// influence comparisons, digests, or serialization.
+  [[nodiscard]] friend constexpr bool operator==(const PayloadBuf& a,
+                                                 const PayloadBuf& b) {
+    return a.len_ == b.len_ &&
+           std::equal(a.bytes_.data(), a.bytes_.data() + a.len_,
+                      b.bytes_.data());
+  }
+
+private:
+  std::array<std::uint8_t, kCapacity> bytes_{};
+  std::uint8_t len_ = 0;
+};
+
+static_assert(sizeof(PayloadBuf) == 17, "payload stays inline and compact");
+
+} // namespace v6t::net

@@ -47,7 +47,7 @@ void CaptureWriter::write(const Packet& p) {
   putLe<std::uint8_t>(out_, p.icmpCode);
   putLe<std::uint8_t>(out_, p.hopLimit);
   putLe<std::uint32_t>(out_, p.srcAsn.value());
-  const std::size_t len = p.payload.size() > 0xffff ? 0xffff : p.payload.size();
+  const std::size_t len = p.payload.size(); // <= PayloadBuf::kCapacity
   putLe<std::uint16_t>(out_, static_cast<std::uint16_t>(len));
   if (len > 0) {
     out_.write(reinterpret_cast<const char*>(p.payload.data()),
@@ -92,6 +92,12 @@ std::optional<Packet> CaptureReader::next() {
   }
   p.proto = static_cast<Protocol>(proto);
   p.srcAsn = Asn{asn};
+  if (payloadLen > PayloadBuf::kCapacity) {
+    // Longer than any payload this model can emit: a foreign or corrupt
+    // record, rejected like an unknown protocol.
+    ok_ = false;
+    return std::nullopt;
+  }
   if (payloadLen > 0) {
     p.payload.resize(payloadLen);
     in_.read(reinterpret_cast<char*>(p.payload.data()), payloadLen);

@@ -9,6 +9,10 @@
 //   record := ts:i64 src:16 dst:16 proto:u8 sport:u16 dport:u16
 //             icmpType:u8 icmpCode:u8 hopLimit:u8 srcAsn:u32
 //             payloadLen:u16 payload:bytes
+//
+// payloadLen never exceeds PayloadBuf::kCapacity (16): probes carry tiny
+// payloads and the in-memory representation is a fixed inline buffer. The
+// reader treats longer lengths as a malformed record.
 #pragma once
 
 #include <cstdint>
@@ -29,8 +33,7 @@ public:
   /// Writes the file header immediately. The stream must outlive the writer.
   explicit CaptureWriter(std::ostream& out);
 
-  /// Append one record. Payloads longer than 65535 bytes are truncated
-  /// (they cannot occur in this model; probes carry tiny payloads).
+  /// Append one record. Payload length is bounded by PayloadBuf::kCapacity.
   void write(const Packet& p);
 
   [[nodiscard]] std::uint64_t recordsWritten() const { return records_; }

@@ -432,7 +432,6 @@ net::Packet Scanner::makePacket(const net::Ipv6Address& dst) {
 
   if (config_.payloadProbability > 0.0 &&
       rng_.chance(config_.payloadProbability)) {
-    p.payload.reserve(16);
     if (config_.tool != net::ScanTool::Unknown) {
       for (const net::ToolSignature& sig : net::kToolSignatures) {
         if (sig.tool != config_.tool) continue;

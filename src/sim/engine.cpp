@@ -7,31 +7,61 @@
 
 namespace v6t::sim {
 
+namespace {
+constexpr std::size_t kArity = 4;
+} // namespace
+
+void Engine::siftUp(std::size_t i) {
+  Entry e = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!later(heap_[parent], e)) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(e);
+}
+
+void Engine::siftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Entry e = std::move(heap_[i]);
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (later(heap_[best], heap_[c])) best = c;
+    }
+    if (!later(e, heap_[best])) break;
+    heap_[i] = std::move(heap_[best]);
+    i = best;
+  }
+  heap_[i] = std::move(e);
+}
+
 void Engine::push(Entry e) {
   heap_.push_back(std::move(e));
-  std::push_heap(heap_.begin(), heap_.end(), later);
+  siftUp(heap_.size() - 1);
   if (heap_.size() > queueHighWater_) queueHighWater_ = heap_.size();
 }
 
-Engine::Entry Engine::pop() {
-  std::pop_heap(heap_.begin(), heap_.end(), later);
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
-  return e;
+void Engine::dropTop() {
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    siftDown(0);
+  } else {
+    heap_.pop_back();
+  }
 }
 
-bool Engine::popLive(Entry& out) {
-  while (!heap_.empty()) {
-    Entry e = pop();
-    auto it = cancelled_.find(e.seq);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
-    out = std::move(e);
-    return true;
-  }
-  return false;
+void Engine::releaseSlot(EventId id) {
+  const auto slot = static_cast<std::uint32_t>(id);
+  Slot& s = slots_[slot];
+  s.live = false;
+  ++s.generation; // outstanding handles to this slot go stale here
+  freeSlots_.push_back(slot);
 }
 
 EventId Engine::schedule(SimTime when, Action action) {
@@ -48,35 +78,52 @@ EventId Engine::schedule(SimTime when, Action action) {
     }
     when = now_;
   }
-  const EventId id = nextSeq_++;
-  push(Entry{when, id, std::move(action)});
+  std::uint32_t slot;
+  if (!freeSlots_.empty()) {
+    slot = freeSlots_.back();
+    freeSlots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.live = true;
+  const EventId id = (static_cast<EventId>(s.generation) << 32) | slot;
+  push(Entry{when, nextSeq_++, id, std::move(action)});
   return id;
 }
 
 bool Engine::cancel(EventId id) {
-  if (id >= nextSeq_) return false;
-  // Only mark ids that are actually pending; scanning the heap is O(n) but
-  // cancellation is rare (prefix withdrawals, scanner retirement).
-  const bool pending = std::any_of(
-      heap_.begin(), heap_.end(),
-      [id](const Entry& e) { return e.seq == id; });
-  if (!pending || cancelled_.contains(id)) return false;
-  cancelled_.insert(id);
+  const auto slot = static_cast<std::uint32_t>(id);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.live || s.generation != static_cast<std::uint32_t>(id >> 32)) {
+    return false; // already ran, already cancelled, or never existed
+  }
+  s.live = false;
+  ++cancelledPending_;
   return true;
 }
 
 std::uint64_t Engine::run(SimTime until) {
   std::uint64_t n = 0;
-  Entry e;
-  while (!heap_.empty() && heap_.front().when <= until) {
-    if (!popLive(e)) break;
-    if (e.when > until) {
-      // Lost the race against cancellations; put it back.
-      push(std::move(e));
-      break;
+  while (!heap_.empty()) {
+    Entry& top = heap_.front();
+    if (!isLive(top.id)) {
+      // Cancelled: discard lazily as it surfaces.
+      releaseSlot(top.id);
+      --cancelledPending_;
+      dropTop();
+      continue;
     }
-    now_ = e.when;
-    e.action();
+    // Peek-before-pop: an entry past the horizon is simply left at the
+    // root — no pop, no re-push through the heap.
+    if (top.when > until) break;
+    now_ = top.when;
+    Action action = std::move(top.action);
+    releaseSlot(top.id);
+    dropTop();
+    action(); // may schedule; the entry is already out of the heap
     ++n;
     ++executed_;
   }
@@ -100,10 +147,19 @@ std::uint64_t Engine::runEpochs(
 
 std::uint64_t Engine::runAll() {
   std::uint64_t n = 0;
-  Entry e;
-  while (popLive(e)) {
-    now_ = e.when;
-    e.action();
+  while (!heap_.empty()) {
+    Entry& top = heap_.front();
+    if (!isLive(top.id)) {
+      releaseSlot(top.id);
+      --cancelledPending_;
+      dropTop();
+      continue;
+    }
+    now_ = top.when;
+    Action action = std::move(top.action);
+    releaseSlot(top.id);
+    dropTop();
+    action();
     ++n;
     ++executed_;
   }
@@ -111,8 +167,11 @@ std::uint64_t Engine::runAll() {
 }
 
 void Engine::clear() {
+  // Each heap entry owns its slot until popped, so releasing per entry
+  // releases each exactly once and stales every outstanding handle.
+  for (const Entry& e : heap_) releaseSlot(e.id);
   heap_.clear();
-  cancelled_.clear();
+  cancelledPending_ = 0;
 }
 
 } // namespace v6t::sim

@@ -6,23 +6,33 @@
 // internals. Actions may schedule further events. Memory is proportional to
 // the number of *pending* events, not to the total executed — a full
 // 44-week experiment executes millions of events.
+//
+// Hot-path layout (DESIGN.md §11): actions are SmallFunc (inline captures,
+// slab fallback — no per-event malloc), the priority queue is a 4-ary
+// implicit heap (shallower than binary, sift steps stay in one cache
+// line's worth of children), and cancellation is a generation-stamped
+// live-slot table: cancel() is an O(1) stamp check and a flag flip, with
+// dead entries discarded lazily when they surface at the top of the heap.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/small_func.hpp"
 #include "sim/time.hpp"
 
 namespace v6t::sim {
 
-/// Handle for a scheduled event; can be used to cancel it.
+/// Handle for a scheduled event; can be used to cancel it. Encodes a slot
+/// index in the low 32 bits and that slot's generation stamp in the high
+/// 32, so a handle goes stale the moment its event runs or is cancelled —
+/// a recycled slot can never be cancelled through an old handle.
 using EventId = std::uint64_t;
 
 class Engine {
 public:
-  using Action = std::function<void()>;
+  using Action = SmallFunc;
 
   /// Current simulated time. Starts at kEpoch; monotonically non-decreasing.
   [[nodiscard]] SimTime now() const { return now_; }
@@ -38,7 +48,8 @@ public:
   }
 
   /// Cancel a pending event. Returns false if it already ran, was already
-  /// cancelled, or never existed.
+  /// cancelled, or never existed. O(1): a generation check on the slot
+  /// table; the heap entry is discarded lazily.
   bool cancel(EventId id);
 
   /// Run events until the queue is empty or simulated time would exceed
@@ -64,7 +75,7 @@ public:
   void clear();
 
   [[nodiscard]] std::size_t pendingEvents() const {
-    return heap_.size() - cancelled_.size();
+    return heap_.size() - cancelledPending_;
   }
   [[nodiscard]] std::uint64_t executedEvents() const { return executed_; }
   /// Largest pending-queue size ever reached — the engine's memory
@@ -76,8 +87,16 @@ public:
 private:
   struct Entry {
     SimTime when;
-    std::uint64_t seq; // doubles as the EventId
+    std::uint64_t seq; // monotonic scheduling order; FIFO tie-break
+    EventId id;
     Action action;
+  };
+
+  /// One row per live-or-cancelled pending event. `generation` advances
+  /// every time the slot is released, invalidating outstanding EventIds.
+  struct Slot {
+    std::uint32_t generation = 0;
+    bool live = false;
   };
 
   // Min-heap ordering on (when, seq).
@@ -86,17 +105,26 @@ private:
     return a.seq > b.seq;
   }
 
+  [[nodiscard]] bool isLive(EventId id) const {
+    const Slot& s = slots_[static_cast<std::uint32_t>(id)];
+    return s.live && s.generation == static_cast<std::uint32_t>(id >> 32);
+  }
+  void releaseSlot(EventId id);
+
   void push(Entry e);
-  Entry pop();
-  // Pops until a non-cancelled entry surfaces; returns false if drained.
-  bool popLive(Entry& out);
+  /// Remove the root entry (heap must be non-empty).
+  void dropTop();
+  void siftUp(std::size_t i);
+  void siftDown(std::size_t i);
 
   SimTime now_ = kEpoch;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t queueHighWater_ = 0;
-  std::vector<Entry> heap_;
-  std::unordered_set<EventId> cancelled_;
+  std::size_t cancelledPending_ = 0;
+  std::vector<Entry> heap_; // 4-ary implicit heap
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> freeSlots_;
 };
 
 } // namespace v6t::sim

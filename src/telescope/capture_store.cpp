@@ -21,19 +21,88 @@ void fnv1a(std::uint64_t& h, std::uint64_t v) {
 } // namespace
 
 void CaptureStore::mergeFrom(std::span<const CaptureStore* const> shards) {
-  std::vector<net::Packet> merged;
+  // Each shard is already time-ordered (append precondition), but packets
+  // at one instant sit in that shard's event-scheduling order. Sorting
+  // each equal-ts run by (originId, originSeq) makes every shard
+  // canonical-key-sorted — a near-no-op pass over mostly length-1 runs —
+  // after which a k-way merge produces the canonical order directly,
+  // instead of the old concatenate-and-O(N log N)-re-sort.
   std::size_t total = 0;
-  for (const CaptureStore* s : shards) total += s->packets().size();
-  merged.reserve(total);
+  std::size_t distinct128 = 0;
+  std::size_t distinct64 = 0;
+  std::size_t distinctDst = 0;
+  std::size_t distinctAsn = 0;
   for (const CaptureStore* s : shards) {
-    merged.insert(merged.end(), s->packets().begin(), s->packets().end());
+    total += s->packets().size();
+    distinct128 += s->distinctSources128();
+    distinct64 += s->distinctSources64();
+    distinctDst += s->distinctDestinations();
+    distinctAsn += s->distinctAsns();
   }
-  std::sort(merged.begin(), merged.end(),
-            [](const net::Packet& a, const net::Packet& b) {
-              return canonicalKey(a) < canonicalKey(b);
-            });
+
+  std::vector<std::vector<std::uint32_t>> order(shards.size());
+  for (std::size_t si = 0; si < shards.size(); ++si) {
+    const auto& packets = shards[si]->packets();
+    std::vector<std::uint32_t>& idx = order[si];
+    idx.resize(packets.size());
+    for (std::uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::size_t runStart = 0;
+    for (std::size_t i = 1; i <= packets.size(); ++i) {
+      if (i == packets.size() || packets[i].ts != packets[runStart].ts) {
+        if (i - runStart > 1) {
+          std::sort(idx.begin() + static_cast<std::ptrdiff_t>(runStart),
+                    idx.begin() + static_cast<std::ptrdiff_t>(i),
+                    [&packets](std::uint32_t a, std::uint32_t b) {
+                      return canonicalKey(packets[a]) <
+                             canonicalKey(packets[b]);
+                    });
+        }
+        runStart = i;
+      }
+    }
+  }
+
+  // k-way merge over the per-shard canonical orders via a small binary
+  // heap of shard cursors (k = shard count, single digits in practice).
+  std::vector<net::Packet> merged;
+  merged.reserve(total);
+  struct Cursor {
+    std::size_t shard;
+    std::size_t pos;
+  };
+  std::vector<Cursor> heads;
+  heads.reserve(shards.size());
+  const auto headKey = [&](const Cursor& c) {
+    return canonicalKey(shards[c.shard]->packets()[order[c.shard][c.pos]]);
+  };
+  const auto laterHead = [&](const Cursor& a, const Cursor& b) {
+    return headKey(a) > headKey(b);
+  };
+  for (std::size_t si = 0; si < shards.size(); ++si) {
+    if (!order[si].empty()) heads.push_back(Cursor{si, 0});
+  }
+  std::make_heap(heads.begin(), heads.end(), laterHead);
+  while (!heads.empty()) {
+    std::pop_heap(heads.begin(), heads.end(), laterHead);
+    Cursor& c = heads.back();
+    merged.push_back(shards[c.shard]->packets()[order[c.shard][c.pos]]);
+    if (++c.pos < order[c.shard].size()) {
+      std::push_heap(heads.begin(), heads.end(), laterHead);
+    } else {
+      heads.pop_back();
+    }
+  }
+
+  // Stats rebuild in one pass over the merged capture. Reserving the
+  // summed per-shard distinct counts (an upper bound on the union) keeps
+  // the hash sets from rehashing their way up from empty.
   clear();
-  for (net::Packet& p : merged) append(std::move(p));
+  packets_ = std::move(merged);
+  sources128_.reserve(distinct128);
+  sources64_.reserve(distinct64);
+  destinations_.reserve(distinctDst);
+  asns_.reserve(distinctAsn);
+  for (const net::Packet& p : packets_) account(p);
 }
 
 std::uint64_t CaptureStore::digest() const {
@@ -56,9 +125,25 @@ std::uint64_t CaptureStore::digest() const {
   return h;
 }
 
+void CaptureStore::reserve(std::size_t expectedPackets) {
+  packets_.reserve(expectedPackets);
+  // Distinct sources are a small fraction of packets (every scanner sends
+  // many probes); an eighth is a generous upper-bound heuristic that
+  // avoids both rehash churn and gross over-allocation.
+  const std::size_t distinct = expectedPackets / 8 + 64;
+  sources128_.reserve(distinct);
+  sources64_.reserve(distinct);
+  destinations_.reserve(distinct);
+  asns_.reserve(distinct / 4 + 16);
+}
+
 void CaptureStore::append(net::Packet p) {
+  // First contact: jump straight to a working-set-sized footprint instead
+  // of doubling up from 1 (and rehashing the sets from 13 buckets) while
+  // the capture is hot.
+  if (packets_.empty() && packets_.capacity() == 0) reserve(kAppendChunk);
   account(p);
-  packets_.push_back(std::move(p));
+  packets_.push_back(p); // trivially copyable; no move advantage
 }
 
 void CaptureStore::account(const net::Packet& p) {
@@ -66,9 +151,24 @@ void CaptureStore::account(const net::Packet& p) {
   sources64_.insert(p.src.maskedTo(64));
   destinations_.insert(p.dst);
   if (!p.srcAsn.unattributed()) asns_.insert(p.srcAsn);
-  ++hourly_[p.ts.hourIndex()];
-  ++daily_[p.ts.dayIndex()];
-  ++weekly_[p.ts.weekIndex()];
+  const std::int64_t hour = p.ts.hourIndex();
+  if (hour != memo_.hour) {
+    memo_.hour = hour;
+    memo_.hourCount = &hourly_[hour];
+    const std::int64_t day = p.ts.dayIndex();
+    if (day != memo_.day) {
+      memo_.day = day;
+      memo_.dayCount = &daily_[day];
+      const std::int64_t week = p.ts.weekIndex();
+      if (week != memo_.week) {
+        memo_.week = week;
+        memo_.weekCount = &weekly_[week];
+      }
+    }
+  }
+  ++*memo_.hourCount;
+  ++*memo_.dayCount;
+  ++*memo_.weekCount;
   ++perProtocol_[static_cast<std::size_t>(p.proto)];
 }
 
@@ -93,6 +193,7 @@ void CaptureStore::clear() {
   hourly_.clear();
   daily_.clear();
   weekly_.clear();
+  memo_ = BucketMemo{};
   perProtocol_[0] = perProtocol_[1] = perProtocol_[2] = 0;
 }
 

@@ -10,20 +10,26 @@
 #include <map>
 #include <ostream>
 #include <span>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "net/packet.hpp"
 #include "net/pcap.hpp"
+#include "telescope/flat_hash_set.hpp"
 
 namespace v6t::telescope {
 
 class CaptureStore {
 public:
+  /// First-append reservation size (packets); see append().
+  static constexpr std::size_t kAppendChunk = 1024;
+
   /// Append a packet. Precondition: p.ts >= ts of the previous append (the
   /// simulation delivers in time order).
   void append(net::Packet p);
+
+  /// Pre-size the packet buffer and the distinct-source/destination hash
+  /// sets for an expected capture volume; purely a performance hint.
+  void reserve(std::size_t expectedPackets);
 
   [[nodiscard]] const std::vector<net::Packet>& packets() const {
     return packets_;
@@ -69,6 +75,13 @@ public:
   /// packets sit in event-scheduling order, which depends on how scanners
   /// interleave, so canonicalization is what makes the merged capture
   /// identical for every shard count. Stats are rebuilt.
+  ///
+  /// Implementation: shards are time-ordered already, so each shard only
+  /// needs its equal-timestamp runs sorted by (originId, originSeq) before
+  /// an O(N log k) k-way merge — not the O(N log N) full re-sort. The
+  /// unique key makes the merged order identical to what sorting the
+  /// concatenation would produce (the reference the equivalence tests
+  /// check against).
   void mergeFrom(std::span<const CaptureStore* const> shards);
 
   /// Order-sensitive FNV-1a hash over every stored field of every packet.
@@ -88,14 +101,29 @@ public:
 private:
   void account(const net::Packet& p);
 
+  /// One time-series bucket memo: appends arrive in time order, so nearly
+  /// every packet lands in the same (hour, day, week) buckets as its
+  /// predecessor — three cached node pointers turn three map descents per
+  /// packet into three integer compares. std::map nodes are pointer-stable,
+  /// so the memo survives unrelated inserts.
+  struct BucketMemo {
+    std::int64_t hour = -1;
+    std::int64_t day = -1;
+    std::int64_t week = -1;
+    std::uint64_t* hourCount = nullptr;
+    std::uint64_t* dayCount = nullptr;
+    std::uint64_t* weekCount = nullptr;
+  };
+
   std::vector<net::Packet> packets_;
-  std::unordered_set<net::Ipv6Address> sources128_;
-  std::unordered_set<net::Ipv6Address> sources64_; // masked to /64
-  std::unordered_set<net::Ipv6Address> destinations_;
-  std::unordered_set<net::Asn> asns_;
+  FlatHashSet<net::Ipv6Address> sources128_;
+  FlatHashSet<net::Ipv6Address> sources64_; // masked to /64
+  FlatHashSet<net::Ipv6Address> destinations_;
+  FlatHashSet<net::Asn> asns_;
   std::map<std::int64_t, std::uint64_t> hourly_;
   std::map<std::int64_t, std::uint64_t> daily_;
   std::map<std::int64_t, std::uint64_t> weekly_;
+  BucketMemo memo_;
   std::uint64_t perProtocol_[3] = {0, 0, 0};
 };
 

@@ -10,11 +10,11 @@ namespace {
 using net::Ipv6Address;
 using net::ScanTool;
 
-std::vector<std::uint8_t> toolPayload(ScanTool tool, std::uint8_t salt) {
+net::PayloadBuf toolPayload(ScanTool tool, std::uint8_t salt) {
   for (const net::ToolSignature& sig : net::kToolSignatures) {
     if (sig.tool != tool) continue;
-    std::vector<std::uint8_t> payload(sig.magic.begin(),
-                                      sig.magic.begin() + sig.magicLen);
+    net::PayloadBuf payload;
+    payload.assign(sig.magic.begin(), sig.magic.begin() + sig.magicLen);
     payload.push_back(0x00);
     payload.push_back(salt);
     payload.resize(12, 0x00);

@@ -1,0 +1,373 @@
+// Tests for the zero-allocation capture hot path: inline PayloadBuf
+// semantics and serialization, the generation-stamped slab-backed event
+// queue, the flat accounting sets, and the k-way canonical shard merge
+// (asserted digest-equal to the sort-based reference).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <tuple>
+#include <unordered_set>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "net/packet.hpp"
+#include "net/payload_buf.hpp"
+#include "net/pcap.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/small_func.hpp"
+#include "telescope/capture_store.hpp"
+#include "telescope/flat_hash_set.hpp"
+
+namespace v6t {
+namespace {
+
+// The payload lengths the model actually produces plus both edges of the
+// inline buffer: empty, minimal, the standard probe payload, and capacity.
+constexpr std::size_t kLengths[] = {0, 1, 12, 16};
+
+net::Packet packetWithPayload(std::size_t len, std::uint8_t seed = 7) {
+  net::Packet p;
+  p.ts = sim::SimTime{static_cast<std::int64_t>(len) * 1000};
+  p.src = net::Ipv6Address{0x2001'0db8'0000'0001ULL, seed};
+  p.dst = net::Ipv6Address{0x2001'0db8'ffff'0000ULL, len};
+  p.originId = seed;
+  p.originSeq = len;
+  for (std::size_t i = 0; i < len; ++i) {
+    p.payload.push_back(static_cast<std::uint8_t>(seed + i));
+  }
+  return p;
+}
+
+// ------------------------------------------------------------- PayloadBuf
+
+TEST(PayloadBuf, SizeAndContentAcrossModelLengths) {
+  for (const std::size_t len : kLengths) {
+    net::PayloadBuf buf;
+    for (std::size_t i = 0; i < len; ++i) {
+      buf.push_back(static_cast<std::uint8_t>(i + 1));
+    }
+    EXPECT_EQ(buf.size(), len);
+    EXPECT_EQ(buf.empty(), len == 0);
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_EQ(buf[i], static_cast<std::uint8_t>(i + 1));
+    }
+  }
+}
+
+TEST(PayloadBuf, SaturatesAtCapacity) {
+  net::PayloadBuf buf;
+  for (int i = 0; i < 40; ++i) buf.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(buf.size(), net::PayloadBuf::kCapacity);
+  EXPECT_EQ(buf[15], 15);
+  buf.resize(40); // clamped, zero-fills nothing beyond capacity
+  EXPECT_EQ(buf.size(), net::PayloadBuf::kCapacity);
+}
+
+TEST(PayloadBuf, EqualityIgnoresStaleBytesPastSize) {
+  net::PayloadBuf a;
+  a.assign(16, 0xee);
+  a.resize(4); // bytes 4..15 still hold 0xee internally
+  net::PayloadBuf b;
+  b.assign(4, 0xee);
+  EXPECT_EQ(a, b);
+  b.push_back(0x01);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(PayloadBuf, ResizeGrowsZeroFilled) {
+  net::PayloadBuf buf;
+  buf.push_back(0x7f);
+  buf.resize(12);
+  EXPECT_EQ(buf.size(), 12u);
+  EXPECT_EQ(buf[0], 0x7f);
+  for (std::size_t i = 1; i < 12; ++i) EXPECT_EQ(buf[i], 0);
+}
+
+// ------------------------------------------------------ v6tcap round trip
+
+TEST(PayloadBufPcap, RoundTripsEveryModelLength) {
+  std::stringstream stream;
+  {
+    net::CaptureWriter writer{stream};
+    for (const std::size_t len : kLengths) writer.write(packetWithPayload(len));
+  }
+  net::CaptureReader reader{stream};
+  ASSERT_TRUE(reader.ok());
+  for (const std::size_t len : kLengths) {
+    auto p = reader.next();
+    ASSERT_TRUE(p.has_value());
+    const net::Packet expected = packetWithPayload(len);
+    EXPECT_EQ(p->payload, expected.payload);
+    EXPECT_EQ(p->src, expected.src);
+    EXPECT_EQ(p->ts, expected.ts);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.ok()); // clean EOF
+}
+
+TEST(PayloadBufPcap, DigestSurvivesSerializationRoundTrip) {
+  telescope::CaptureStore original;
+  std::uint8_t seed = 1;
+  for (const std::size_t len : kLengths) {
+    net::Packet p = packetWithPayload(len, seed++);
+    // v6tcap deliberately does not serialize the (originId, originSeq)
+    // merge metadata, so zero it for a digest-faithful round trip.
+    p.originId = 0;
+    p.originSeq = 0;
+    original.append(p);
+  }
+  std::stringstream stream;
+  original.writeTo(stream);
+  telescope::CaptureStore restored;
+  EXPECT_EQ(restored.readFrom(stream), original.packetCount());
+  EXPECT_EQ(restored.digest(), original.digest());
+}
+
+TEST(PayloadBufPcap, ReaderRejectsOverlongPayloadLength) {
+  std::stringstream stream;
+  {
+    net::CaptureWriter writer{stream};
+    writer.write(packetWithPayload(16));
+  }
+  std::string data = stream.str();
+  // payloadLen sits 52 bytes into the record, after the 8-byte magic.
+  const std::size_t lenOffset = 8 + 52;
+  ASSERT_EQ(static_cast<std::uint8_t>(data[lenOffset]), 16);
+  data[lenOffset] = 17;
+  data.push_back('\0'); // byte 17 exists, so only the cap can reject
+  std::stringstream torn{data};
+  net::CaptureReader reader{torn};
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.ok());
+}
+
+// ------------------------------------------------------- fault truncation
+
+TEST(PayloadBufFault, TruncationHalvesInlinePayloads) {
+  fault::FaultSpec spec;
+  spec.truncateProb = 1.0;
+  fault::PacketFaultPlane plane{spec, 99};
+  for (const std::size_t len : kLengths) {
+    net::Packet p = packetWithPayload(len);
+    const net::Packet pristine = p;
+    plane.onSend(p);
+    if (len == 0) {
+      EXPECT_TRUE(p.payload.empty()); // nothing to truncate
+    } else {
+      ASSERT_EQ(p.payload.size(), len / 2);
+      for (std::size_t i = 0; i < p.payload.size(); ++i) {
+        EXPECT_EQ(p.payload[i], pristine.payload[i]);
+      }
+    }
+  }
+}
+
+TEST(PayloadBufFault, TruncationChangesDigestExactlyWhenPayloadShrinks) {
+  fault::FaultSpec spec;
+  spec.truncateProb = 1.0;
+  fault::PacketFaultPlane plane{spec, 99};
+  telescope::CaptureStore pristine;
+  telescope::CaptureStore truncated;
+  for (const std::size_t len : kLengths) {
+    net::Packet p = packetWithPayload(len, static_cast<std::uint8_t>(len));
+    pristine.append(p);
+    plane.onSend(p);
+    truncated.append(p);
+  }
+  EXPECT_NE(pristine.digest(), truncated.digest());
+}
+
+// ------------------------------------------------------ k-way shard merge
+
+std::uint64_t referenceMergeDigest(
+    const std::vector<telescope::CaptureStore>& shards) {
+  std::vector<net::Packet> all;
+  for (const auto& s : shards) {
+    all.insert(all.end(), s.packets().begin(), s.packets().end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const net::Packet& a, const net::Packet& b) {
+              return std::make_tuple(a.ts, a.originId, a.originSeq) <
+                     std::make_tuple(b.ts, b.originId, b.originSeq);
+            });
+  telescope::CaptureStore reference;
+  for (const net::Packet& p : all) reference.append(p);
+  return reference.digest();
+}
+
+TEST(KWayMerge, DigestMatchesSortReferenceForEveryShardCount) {
+  for (const unsigned shardCount : {1u, 2u, 8u}) {
+    sim::Rng rng{900 + shardCount};
+    std::vector<telescope::CaptureStore> shards(shardCount);
+    for (unsigned s = 0; s < shardCount; ++s) {
+      std::int64_t ts = 0;
+      for (int i = 0; i < 500; ++i) {
+        net::Packet p = packetWithPayload(i % 17 > 12 ? 12 : i % 17,
+                                          static_cast<std::uint8_t>(s));
+        // Time-ordered per shard, with equal-timestamp runs whose
+        // (originId, originSeq) deliberately arrive OUT of canonical
+        // order — the event-scheduling interleave mergeFrom must fix.
+        if (rng.chance(0.6)) ts += static_cast<std::int64_t>(rng.below(3));
+        p.ts = sim::SimTime{ts};
+        p.originId = s + shardCount * rng.below(8);
+        p.originSeq = static_cast<std::uint64_t>(1000 - i);
+        shards[s].append(p);
+      }
+    }
+    std::vector<const telescope::CaptureStore*> ptrs;
+    for (const auto& s : shards) ptrs.push_back(&s);
+    telescope::CaptureStore merged;
+    merged.mergeFrom(ptrs);
+    EXPECT_EQ(merged.digest(), referenceMergeDigest(shards))
+        << "shardCount=" << shardCount;
+    std::size_t total = 0;
+    for (const auto& s : shards) total += s.packetCount();
+    EXPECT_EQ(merged.packetCount(), total);
+  }
+}
+
+TEST(KWayMerge, RebuildsStatsIdenticallyToAppendOrder) {
+  std::vector<telescope::CaptureStore> shards(2);
+  for (unsigned s = 0; s < 2; ++s) {
+    for (int i = 0; i < 200; ++i) {
+      net::Packet p = packetWithPayload(12, static_cast<std::uint8_t>(s));
+      p.ts = sim::SimTime{i * sim::hours(1).millis() / 4};
+      p.src = net::Ipv6Address{0x2001'0db8'0000'0000ULL + s, i % 16u};
+      p.originId = s;
+      p.originSeq = static_cast<std::uint64_t>(i);
+      shards[s].append(p);
+    }
+  }
+  std::vector<const telescope::CaptureStore*> ptrs{&shards[0], &shards[1]};
+  telescope::CaptureStore merged;
+  merged.mergeFrom(ptrs);
+  telescope::CaptureStore reference;
+  for (const net::Packet& p : merged.packets()) reference.append(p);
+  EXPECT_EQ(merged.distinctSources128(), reference.distinctSources128());
+  EXPECT_EQ(merged.distinctSources64(), reference.distinctSources64());
+  EXPECT_EQ(merged.distinctDestinations(), reference.distinctDestinations());
+  EXPECT_EQ(merged.hourlyCounts(), reference.hourlyCounts());
+  EXPECT_EQ(merged.dailyCounts(), reference.dailyCounts());
+  EXPECT_EQ(merged.weeklyCounts(), reference.weeklyCounts());
+}
+
+TEST(CaptureStore, ReserveIsObservablyInert) {
+  telescope::CaptureStore plain;
+  telescope::CaptureStore reserved;
+  reserved.reserve(4096);
+  for (int i = 0; i < 300; ++i) {
+    net::Packet p = packetWithPayload(static_cast<std::size_t>(i) % 17);
+    p.ts = sim::SimTime{i * 500};
+    p.originSeq = static_cast<std::uint64_t>(i);
+    p.src = net::Ipv6Address{0x2001'0db8'0ULL, i % 32u};
+    plain.append(p);
+    reserved.append(p);
+  }
+  EXPECT_EQ(plain.digest(), reserved.digest());
+  EXPECT_EQ(plain.distinctSources128(), reserved.distinctSources128());
+  EXPECT_EQ(plain.hourlyCounts(), reserved.hourlyCounts());
+}
+
+// ------------------------------------------------------------ flat set
+
+TEST(FlatHashSet, MatchesUnorderedSetReference) {
+  sim::Rng rng{77};
+  telescope::FlatHashSet<net::Ipv6Address> set;
+  std::unordered_set<net::Ipv6Address> reference;
+  for (int i = 0; i < 20000; ++i) {
+    const net::Ipv6Address a{rng.below(64), rng.below(128)};
+    EXPECT_EQ(set.insert(a), reference.insert(a).second);
+    ASSERT_EQ(set.size(), reference.size());
+  }
+  set.clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_TRUE(set.insert(net::Ipv6Address{1, 1}));
+}
+
+// ----------------------------------------------------- slab event queue
+
+TEST(SmallFunc, InlineForEngineSizedCapturesSlabBeyond) {
+  int hits = 0;
+  std::uint64_t a = 1, b = 2, c = 3, d = 4, e = 5;
+  sim::SmallFunc small{[&hits, a, b, c, d, e] {
+    hits += static_cast<int>(a + b + c + d + e);
+  }};
+  EXPECT_TRUE(small.usesInline());
+  std::array<std::uint64_t, 16> big{};
+  big[15] = 21;
+  sim::SmallFunc large{[&hits, big] { hits += static_cast<int>(big[15]); }};
+  EXPECT_FALSE(large.usesInline());
+  small();
+  large();
+  EXPECT_EQ(hits, 15 + 21);
+}
+
+TEST(SmallFunc, CarriesMoveOnlyCaptures) {
+  auto value = std::make_unique<int>(31);
+  int seen = 0;
+  sim::SmallFunc f{[v = std::move(value), &seen] { seen = *v; }};
+  sim::SmallFunc moved{std::move(f)};
+  moved();
+  EXPECT_EQ(seen, 31);
+}
+
+TEST(Engine, CancelIsGenerationStamped) {
+  sim::Engine engine;
+  int fired = 0;
+  const sim::EventId first = engine.schedule(sim::SimTime{10}, [&] { ++fired; });
+  engine.runAll();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(engine.cancel(first)); // already ran
+  // The slot is recycled for the next event, but the stale handle must
+  // keep failing — it cannot reach through to the new occupant.
+  const sim::EventId second =
+      engine.schedule(sim::SimTime{20}, [&] { fired += 10; });
+  EXPECT_FALSE(engine.cancel(first));
+  EXPECT_TRUE(engine.cancel(second));
+  EXPECT_FALSE(engine.cancel(second));
+  engine.runAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, HorizonEntryStaysQueuedWithoutReinsertion) {
+  // The old implementation popped the minimum, noticed it was past the
+  // horizon, and re-pushed it through the heap. The rewrite peeks first;
+  // this pins the observable contract: nothing fires, nothing is lost,
+  // FIFO order survives, even with cancelled events screening the top.
+  sim::Engine engine;
+  std::vector<int> order;
+  const sim::EventId a = engine.schedule(sim::SimTime{40}, [&] { order.push_back(0); });
+  const sim::EventId b = engine.schedule(sim::SimTime{50}, [&] { order.push_back(1); });
+  engine.schedule(sim::SimTime{100}, [&] { order.push_back(2); });
+  engine.schedule(sim::SimTime{100}, [&] { order.push_back(3); });
+  engine.cancel(a);
+  engine.cancel(b);
+  EXPECT_EQ(engine.run(sim::SimTime{60}), 0u); // drains cancelled, fires none
+  EXPECT_EQ(engine.pendingEvents(), 2u);
+  EXPECT_EQ(engine.now(), sim::SimTime{60});
+  engine.runAll();
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+}
+
+TEST(Engine, PendingCountUnderChurn) {
+  sim::Engine engine;
+  std::vector<sim::EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(engine.schedule(sim::SimTime{i}, [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) engine.cancel(ids[i]);
+  EXPECT_EQ(engine.pendingEvents(), 50u);
+  engine.run(sim::SimTime{49});
+  EXPECT_EQ(engine.pendingEvents(), 25u);
+  engine.clear();
+  EXPECT_EQ(engine.pendingEvents(), 0u);
+  // Post-clear handles are stale even though slots were recycled.
+  for (const sim::EventId id : ids) EXPECT_FALSE(engine.cancel(id));
+}
+
+} // namespace
+} // namespace v6t
