@@ -1,0 +1,190 @@
+// bench/analysis_speedup — the tracked perf baseline for the parallel
+// analysis pipeline: shared-index build cost, taxonomy classification
+// throughput serial vs. parallel, and the end-to-end pipeline (taxonomy +
+// heavy hitters + fingerprint) wall-clock at both thread counts. The
+// parallel results must be bitwise-identical to the serial reference
+// (DESIGN.md §12); the bench enforces that with the PipelineResult digest
+// and fails hard on a mismatch.
+//
+// Workload: the calibrated experiment's T1 capture over the whole
+// measurement period (V6T_SEED / V6T_SOURCE_SCALE / V6T_VOLUME_SCALE
+// scale it; CI uses a small fraction). Worker count for the parallel legs
+// comes from V6T_ANALYSIS_THREADS (default: all cores).
+//
+// Output: one JSONL metrics snapshot written to
+// BENCH_analysis_speedup.json (override with V6T_BENCH_OUT or argv[1]).
+//
+//   bench.analysis_speedup.index_seconds            best-of-3 index build
+//   bench.analysis_speedup.classify_serial_seconds  threads=1 taxonomy
+//   bench.analysis_speedup.classify_parallel_seconds
+//   bench.analysis_speedup.classify_speedup         serial / parallel
+//   bench.analysis_speedup.classify_sources_per_sec parallel throughput
+//   bench.analysis_speedup.pipeline_serial_seconds  full stage set
+//   bench.analysis_speedup.pipeline_parallel_seconds
+//   bench.analysis_speedup.pipeline_speedup
+//   bench.analysis_speedup.legacy_seconds           pre-index entry points
+//   bench.analysis_speedup.index_reuse_speedup      legacy / parallel
+//   bench.analysis_speedup.digest_match             1 = bitwise-identical
+//
+// The snapshot also carries the pipeline's own analysis.* metrics
+// (stage spans, worker counters, and the index hit counters
+// analysis.index.rescans_avoided_total / target_spans_served_total) from
+// the parallel leg, so the re-scan reduction is visible in the artifact.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/capture_index.hpp"
+#include "analysis/pipeline.hpp"
+#include "analysis/taxonomy.hpp"
+#include "bench/harness.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+volatile std::uint64_t g_sink = 0;
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace v6t;
+  std::string outPath = "BENCH_analysis_speedup.json";
+  if (const char* s = std::getenv("V6T_BENCH_OUT")) outPath = s;
+  if (argc > 1) outPath = argv[1];
+
+  bench::RunContext ctx =
+      bench::runStandard("analysis_speedup: parallel pipeline vs serial");
+  const unsigned threads = bench::analysisThreads();
+
+  const auto& capture = ctx.experiment->telescope(core::T1).capture();
+  const auto& sessions = ctx.summary.telescope(core::T1).sessions128;
+  std::cout << "workload: T1 whole period, " << capture.packetCount()
+            << " packets, " << sessions.size() << " sessions, threads="
+            << threads << "\n";
+
+  // --- shared index build (best of 3; one pass over the session lists) ---
+  double indexSeconds = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = Clock::now();
+    const analysis::CaptureIndex index{capture.packets(), sessions};
+    indexSeconds = std::min(indexSeconds, secondsSince(t0));
+    g_sink = g_sink + index.sourceCount();
+  }
+  std::cout << "index build: " << indexSeconds << "s ("
+            << sessions.size() << " sessions)\n";
+
+  const analysis::CaptureIndex index{capture.packets(), sessions};
+  const auto* schedule = &ctx.experiment->schedule();
+
+  // --- classify stage, serial reference vs parallel ---
+  const auto c0 = Clock::now();
+  const auto serialTaxonomy = analysis::classifyIndexed(index, schedule, 1);
+  const double classifySerial = secondsSince(c0);
+  const auto c1 = Clock::now();
+  const auto parallelTaxonomy =
+      analysis::classifyIndexed(index, schedule, threads);
+  const double classifyParallel = secondsSince(c1);
+  const double classifySpeedup =
+      classifyParallel > 0 ? classifySerial / classifyParallel : 0;
+  const double sourcesPerSec =
+      classifyParallel > 0
+          ? static_cast<double>(index.sourceCount()) / classifyParallel
+          : 0;
+  std::cout << "classify: serial " << classifySerial << "s, " << threads
+            << " threads " << classifyParallel << "s -> " << classifySpeedup
+            << "x (" << sourcesPerSec << " sources/s)\n";
+
+  // --- end-to-end pipeline (taxonomy + heavy hitters + fingerprint) ---
+  obs::Registry registry;
+  analysis::PipelineOptions serialOpts;
+  serialOpts.threads = 1;
+  analysis::PipelineOptions parallelOpts;
+  parallelOpts.threads = threads;
+
+  const auto p0 = Clock::now();
+  const auto serialResult = analysis::Pipeline::analyze(
+      capture.packets(), sessions, schedule, serialOpts);
+  const double pipelineSerial = secondsSince(p0);
+  const auto p1 = Clock::now();
+  const auto parallelResult = analysis::Pipeline::analyze(
+      capture.packets(), sessions, schedule, parallelOpts, &registry);
+  const double pipelineParallel = secondsSince(p1);
+  const double pipelineSpeedup =
+      pipelineParallel > 0 ? pipelineSerial / pipelineParallel : 0;
+  std::cout << "pipeline: serial " << pipelineSerial << "s, " << threads
+            << " threads " << pipelineParallel << "s -> " << pipelineSpeedup
+            << "x\n";
+
+  // --- legacy entry points: what callers paid before the shared index,
+  // each stage rebuilding its own view of the capture (findHeavyHitters
+  // even re-sessionizes the full packet vector) ---
+  const auto l0 = Clock::now();
+  const auto legacyTaxonomy =
+      analysis::classifyCapture(capture.packets(), sessions, schedule);
+  const auto legacyHitters =
+      analysis::findHeavyHitters(capture.packets(), 10.0);
+  const auto legacyImpact = analysis::heavyHitterImpact(
+      capture.packets(), sessions, legacyHitters);
+  const auto legacyFingerprint =
+      analysis::fingerprintSessions(capture.packets(), sessions);
+  const double legacySeconds = secondsSince(l0);
+  const double indexReuseSpeedup =
+      pipelineParallel > 0 ? legacySeconds / pipelineParallel : 0;
+  g_sink = g_sink + legacyTaxonomy.profiles.size() + legacyHitters.size() +
+           legacyImpact.sessions + legacyFingerprint.clusterCount;
+  std::cout << "legacy entry points: " << legacySeconds << "s -> "
+            << indexReuseSpeedup << "x vs shared-index pipeline\n";
+
+  // Determinism gate: the parallel run must reproduce the serial report
+  // bit for bit (and both taxonomy legs must agree with the pipeline's).
+  const bool digestMatch =
+      serialResult.digest() == parallelResult.digest() &&
+      serialTaxonomy.profiles.size() == parallelTaxonomy.profiles.size() &&
+      serialResult.taxonomy.profiles.size() == serialTaxonomy.profiles.size();
+  std::cout << "digest: serial " << serialResult.digest() << ", parallel "
+            << parallelResult.digest()
+            << (digestMatch ? " (match)" : " (MISMATCH)") << "\n";
+
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  const double peakRssBytes =
+      static_cast<double>(usage.ru_maxrss) * 1024.0; // Linux: KiB
+
+  auto gauge = [&](const char* name, double v) {
+    registry.gauge(std::string{"bench.analysis_speedup."} + name).set(v);
+  };
+  gauge("threads", threads);
+  gauge("packets", static_cast<double>(capture.packetCount()));
+  gauge("sessions", static_cast<double>(sessions.size()));
+  gauge("sources", static_cast<double>(index.sourceCount()));
+  gauge("index_seconds", indexSeconds);
+  gauge("classify_serial_seconds", classifySerial);
+  gauge("classify_parallel_seconds", classifyParallel);
+  gauge("classify_speedup", classifySpeedup);
+  gauge("classify_sources_per_sec", sourcesPerSec);
+  gauge("pipeline_serial_seconds", pipelineSerial);
+  gauge("pipeline_parallel_seconds", pipelineParallel);
+  gauge("pipeline_speedup", pipelineSpeedup);
+  gauge("legacy_seconds", legacySeconds);
+  gauge("index_reuse_speedup", indexReuseSpeedup);
+  gauge("digest_match", digestMatch ? 1.0 : 0.0);
+  gauge("peak_rss_bytes", peakRssBytes);
+
+  std::ofstream out{outPath};
+  if (!out) {
+    std::cerr << "cannot open " << outPath << " for writing\n";
+    return 1;
+  }
+  registry.writeJsonLine(out, {{"bench", "analysis_speedup"}});
+  std::cout << "wrote " << outPath << "\n";
+  return digestMatch ? 0 : 1;
+}

@@ -16,7 +16,13 @@ int main() {
   int total = 0;
   for (std::size_t t = 0; t < 4; ++t) {
     const auto& capture = ctx.experiment->telescope(t).capture();
-    const auto hitters = analysis::findHeavyHitters(capture.packets(), 10.0);
+    analysis::PipelineOptions opts;
+    opts.taxonomy = false;
+    opts.fingerprint = false;
+    const auto report = bench::analyzeWindow(
+        capture.packets(), ctx.summary.telescope(t).sessions128, nullptr,
+        opts);
+    const auto& hitters = report.heavyHitters;
     for (const auto& h : hitters) {
       ++total;
       const auto name = rdns.lookup(h.source);
@@ -29,8 +35,7 @@ int main() {
                     std::to_string(h.lastDay - h.firstDay + 1),
                     name ? std::string{*name} : "-"});
     }
-    const auto impact = analysis::heavyHitterImpact(
-        capture.packets(), ctx.summary.telescope(t).sessions128, hitters);
+    const auto& impact = report.heavyHitterImpact;
     table.addRow({"  (impact)", "", "",
                   analysis::fixed(impact.packetShare, 1) + "% of packets",
                   "",

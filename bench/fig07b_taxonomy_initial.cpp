@@ -17,8 +17,12 @@ int main() {
     const auto& capture = ctx.experiment->telescope(t).capture();
     const auto sessions =
         core::sessionsIn(ctx.summary.telescope(t).sessions128, initial);
+    analysis::PipelineOptions opts;
+    opts.heavyHitters = false;
+    opts.fingerprint = false;
     const auto taxonomy =
-        analysis::classifyCapture(capture.packets(), sessions, nullptr);
+        bench::analyzeWindow(capture.packets(), sessions, nullptr, opts)
+            .taxonomy;
 
     for (const auto cls :
          {analysis::TemporalClass::OneOff,

@@ -16,16 +16,21 @@ int main() {
   const auto& capture = ctx.experiment->telescope(core::T1).capture();
   const auto sessions =
       core::sessionsIn(ctx.summary.telescope(core::T1).sessions128, split);
-  const auto taxonomy = analysis::classifyCapture(
-      capture.packets(), sessions, &ctx.experiment->schedule());
+  analysis::Pipeline pipeline{capture.packets(), sessions};
+  analysis::PipelineOptions opts;
+  opts.threads = bench::analysisThreads();
+  opts.heavyHitters = false;
+  opts.fingerprint = false;
+  const auto taxonomy = pipeline.run(&ctx.experiment->schedule(), opts).taxonomy;
 
-  // subnet key: the /48 index within the /32 (16 bits).
+  // subnet key: the /48 index within the /32 (16 bits). The per-session
+  // target lists come straight from the shared index — no second walk
+  // over the packet vector.
   std::unordered_map<std::uint16_t, std::uint64_t> perClass[3];
   for (const auto& profile : taxonomy.profiles) {
     const auto cls = static_cast<std::size_t>(profile.temporal.cls);
     for (std::uint32_t si : profile.sessionIdx) {
-      for (std::uint32_t pi : sessions[si].packetIdx) {
-        const net::Ipv6Address dst = capture.packets()[pi].dst;
+      for (const net::Ipv6Address& dst : pipeline.index().targetsOf(si)) {
         const auto subnet =
             static_cast<std::uint16_t>((dst.hi64() >> 16) & 0xffff);
         ++perClass[cls][subnet];

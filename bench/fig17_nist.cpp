@@ -17,35 +17,37 @@ int main() {
   const auto& capture = ctx.experiment->telescope(core::T1).capture();
   const auto sessions =
       core::sessionsIn(ctx.summary.telescope(core::T1).sessions128, split);
-  const auto taxonomy = analysis::classifyCapture(
-      capture.packets(), sessions, &ctx.experiment->schedule());
+  analysis::PipelineOptions opts;
+  opts.heavyHitters = false;
+  opts.fingerprint = false;
+  opts.nistBattery = true;
+  opts.nistMinPackets = 100;
+  const auto report = bench::analyzeWindow(
+      capture.packets(), sessions, &ctx.experiment->schedule(), opts);
+  const auto& taxonomy = report.taxonomy;
+
+  // Session -> owning scanner's temporal class (every session belongs to
+  // exactly one profile).
+  std::vector<std::size_t> classOf(sessions.size(), 0);
+  for (const auto& profile : taxonomy.profiles) {
+    const auto cls = static_cast<std::size_t>(profile.temporal.cls);
+    for (std::uint32_t si : profile.sessionIdx) classOf[si] = cls;
+  }
 
   // temporal class x {iid, subnet} x {freq, runs, fft, cusum0, cusum1}
   std::uint64_t pass[3][2][5] = {};
   std::uint64_t totalTested[3] = {};
 
-  for (const auto& profile : taxonomy.profiles) {
-    const auto cls = static_cast<std::size_t>(profile.temporal.cls);
-    for (std::uint32_t si : profile.sessionIdx) {
-      const auto& s = sessions[si];
-      if (s.packetCount() < 100) continue;
-      ++totalTested[cls];
-      std::vector<net::Ipv6Address> targets;
-      targets.reserve(s.packetCount());
-      for (std::uint32_t pi : s.packetIdx) {
-        targets.push_back(capture.packets()[pi].dst);
-      }
-      for (int part = 0; part < 2; ++part) {
-        const auto bits = part == 0
-                              ? analysis::bitsFromAddresses(targets, 64, 64)
-                              : analysis::bitsFromAddresses(targets, 32, 32);
-        const auto summary = analysis::runAllNistTests(bits);
-        const analysis::NistResult results[5] = {
-            summary.frequency, summary.runs, summary.spectral,
-            summary.cusumForward, summary.cusumBackward};
-        for (int test = 0; test < 5; ++test) {
-          if (results[test].pass()) ++pass[cls][part][test];
-        }
+  for (const auto& sn : report.nist) {
+    const std::size_t cls = classOf[sn.sessionIdx];
+    ++totalTested[cls];
+    const analysis::NistSummary* parts[2] = {&sn.iid, &sn.subnet};
+    for (int part = 0; part < 2; ++part) {
+      const analysis::NistResult results[5] = {
+          parts[part]->frequency, parts[part]->runs, parts[part]->spectral,
+          parts[part]->cusumForward, parts[part]->cusumBackward};
+      for (int test = 0; test < 5; ++test) {
+        if (results[test].pass()) ++pass[cls][part][test];
       }
     }
   }

@@ -4,14 +4,18 @@
 // simulation so numbers are consistent across tables.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <span>
 #include <string>
+#include <thread>
 
 #include "core/experiment.hpp"
 #include "core/runner.hpp"
 #include "core/summary.hpp"
+#include "analysis/pipeline.hpp"
 #include "analysis/report.hpp"
 #include "obs/metrics.hpp"
 
@@ -26,6 +30,29 @@ inline core::ExperimentConfig standardConfig() {
   if (const char* s = std::getenv("V6T_SOURCE_SCALE")) config.sourceScale = std::strtod(s, nullptr);
   if (const char* s = std::getenv("V6T_VOLUME_SCALE")) config.volumeScale = std::strtod(s, nullptr);
   return config;
+}
+
+/// Worker count for the shared analysis pipeline. Results are
+/// bitwise-identical at every value (DESIGN.md §12), so benches default
+/// to every core the host offers; V6T_ANALYSIS_THREADS overrides.
+inline unsigned analysisThreads() {
+  if (const char* s = std::getenv("V6T_ANALYSIS_THREADS")) {
+    const unsigned long v = std::strtoul(s, nullptr, 10);
+    return v == 0 ? 1u : static_cast<unsigned>(std::min<unsigned long>(v, 64));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// One pipeline pass over a capture window: build the shared CaptureIndex
+/// once and run the requested stages over analysisThreads() workers.
+inline analysis::PipelineResult analyzeWindow(
+    std::span<const net::Packet> packets,
+    std::span<const telescope::Session> sessions,
+    const bgp::SplitSchedule* schedule,
+    analysis::PipelineOptions opts = {}) {
+  opts.threads = analysisThreads();
+  return analysis::Pipeline::analyze(packets, sessions, schedule, opts);
 }
 
 struct RunContext {

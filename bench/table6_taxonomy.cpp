@@ -14,8 +14,13 @@ int main() {
   const auto& capture = ctx.experiment->telescope(core::T1).capture();
   const auto sessions =
       core::sessionsIn(ctx.summary.telescope(core::T1).sessions128, split);
-  const auto taxonomy = analysis::classifyCapture(
-      capture.packets(), sessions, &ctx.experiment->schedule());
+  analysis::PipelineOptions opts;
+  opts.heavyHitters = false;
+  opts.fingerprint = false;
+  const auto taxonomy =
+      bench::analyzeWindow(capture.packets(), sessions,
+                           &ctx.experiment->schedule(), opts)
+          .taxonomy;
 
   const auto scanners = taxonomy.profiles.size();
   std::uint64_t totalSessions = sessions.size();

@@ -18,8 +18,14 @@ int main() {
   const auto& registry = ctx.experiment->population().asRegistry;
   const auto sessions =
       core::sessionsIn(ctx.summary.telescope(core::T1).sessions128, split);
+  analysis::PipelineOptions hitterOpts;
+  hitterOpts.taxonomy = false;
+  hitterOpts.fingerprint = false;
   const auto hitters =
-      analysis::findHeavyHitters(capture.packets(), 10.0);
+      bench::analyzeWindow(capture.packets(),
+                           ctx.summary.telescope(core::T1).sessions128,
+                           nullptr, hitterOpts)
+          .heavyHitters;
   std::unordered_set<net::Ipv6Address> hitterSet;
   for (const auto& h : hitters) hitterSet.insert(h.source);
 

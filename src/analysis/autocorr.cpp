@@ -16,12 +16,16 @@ std::vector<double> autocorrelation(std::span<const double> xs,
   double variance = 0.0;
   for (double x : xs) variance += (x - mean) * (x - mean);
   if (variance <= 0.0) return {};
+  // Center once; each lag's sum runs over the same products in the same
+  // order as the naive double loop, so results are bit-identical.
+  std::vector<double> centered(n);
+  for (std::size_t i = 0; i < n; ++i) centered[i] = xs[i] - mean;
   std::vector<double> acf;
   acf.reserve(maxLag);
   for (std::size_t lag = 1; lag <= maxLag && lag < n; ++lag) {
     double sum = 0.0;
     for (std::size_t i = 0; i + lag < n; ++i) {
-      sum += (xs[i] - mean) * (xs[i + lag] - mean);
+      sum += centered[i] * centered[i + lag];
     }
     acf.push_back(sum / variance);
   }
@@ -59,7 +63,14 @@ std::optional<sim::Duration> detectPeriod(std::span<const sim::SimTime> events,
     }
   }
 
-  // General path: binned series + autocorrelation peak.
+  // General path: binned series + autocorrelation peak. The ACF is
+  // evaluated lazily, lag by lag, over a series centered once — the same
+  // products summed in the same order as autocorrelation(), so the
+  // detected lag is bit-identical to the eager scan — but the search
+  // stops at the first qualifying local maximum. Periodic scanners peak
+  // at small lags (a daily period is lag 24 at hourly bins), which drops
+  // their cost from O(bins^2) to O(bins * peakLag); only sources with no
+  // peak still pay for the full sweep.
   const std::int64_t width = params.binWidth.millis();
   const std::int64_t start = sorted.front().millis();
   const std::int64_t span = sorted.back().millis() - start;
@@ -70,16 +81,39 @@ std::optional<sim::Duration> detectPeriod(std::span<const sim::SimTime> events,
     series[static_cast<std::size_t>((t.millis() - start) / width)] += 1.0;
   }
   const std::size_t maxLag = bins / static_cast<std::size_t>(params.minRepeats);
-  const std::vector<double> acf = autocorrelation(series, maxLag);
-  if (acf.empty()) return std::nullopt;
 
-  // The candidate lag is the first local maximum above threshold.
-  for (std::size_t lag = 1; lag + 1 < acf.size(); ++lag) {
-    const double here = acf[lag];
-    if (here >= params.threshold && here >= acf[lag - 1] &&
-        here >= acf[lag + 1]) {
-      return sim::Duration{static_cast<std::int64_t>(lag + 1) * width};
+  const std::size_t n = bins;
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(n);
+  double variance = 0.0;
+  for (double x : series) variance += (x - mean) * (x - mean);
+  if (variance <= 0.0) return std::nullopt;
+  std::vector<double> centered(n);
+  for (std::size_t i = 0; i < n; ++i) centered[i] = series[i] - mean;
+
+  // Lags 1..lagCount, exactly the range the eager ACF would cover.
+  const std::size_t lagCount = maxLag < n ? maxLag : n - 1;
+  if (lagCount < 3) return std::nullopt;
+  const auto acfAt = [&](std::size_t lag) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      sum += centered[i] * centered[i + lag];
     }
+    return sum / variance;
+  };
+
+  // The candidate lag is the first local maximum above threshold; the
+  // interior lags 2..lagCount-1 are the ones with both neighbors.
+  double prev = acfAt(1);
+  double here = acfAt(2);
+  for (std::size_t lag = 2; lag < lagCount; ++lag) {
+    const double next = acfAt(lag + 1);
+    if (here >= params.threshold && here >= prev && here >= next) {
+      return sim::Duration{static_cast<std::int64_t>(lag) * width};
+    }
+    prev = here;
+    here = next;
   }
   return std::nullopt;
 }

@@ -1,0 +1,142 @@
+// v6t::analysis — the shared capture index.
+//
+// Every downstream analysis (taxonomy, fingerprinting, the NIST battery,
+// heavy hitters) used to walk the full merged packet vector on its own:
+// targets were re-extracted per axis, the capture re-sessionized for the
+// heavy-hitter session counts, payloads re-scanned for fingerprints. The
+// CaptureIndex is built in ONE pass over (packets, sessions) and memoizes
+// everything those consumers need, CSR-style:
+//
+//   sources          canonical source order (first appearance in the
+//                    session vector — identical to groupBySource)
+//   source→sessions  per-source session-index runs (CSR offsets)
+//   session→targets  per-session destination addresses, extracted once
+//   session starts   per-source start-time runs for the period detector
+//   payload memo     per-session first-payload packet + payload counts
+//   per-source aggregates  packets, first/last day, origin ASN
+//
+// The index is immutable after build and shared read-only by all pipeline
+// workers; the only mutable state is a pair of relaxed atomic hit counters
+// that measure how many full-capture re-scans the memoization replaced
+// (exported as `analysis.index.*` in the obs snapshot).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "telescope/session.hpp"
+
+namespace v6t::analysis {
+
+class CaptureIndex {
+public:
+  /// Build from a capture and its session table (which indexes into
+  /// `packets`). Both spans must outlive the index — it stores views, not
+  /// copies, of the packet/session data.
+  CaptureIndex(std::span<const net::Packet> packets,
+               std::span<const telescope::Session> sessions);
+
+  [[nodiscard]] std::span<const net::Packet> packets() const {
+    return packets_;
+  }
+  [[nodiscard]] std::span<const telescope::Session> sessions() const {
+    return sessions_;
+  }
+
+  // --- canonical source order -------------------------------------------
+
+  [[nodiscard]] std::size_t sourceCount() const { return sources_.size(); }
+  [[nodiscard]] const telescope::SourceKey& source(std::size_t i) const {
+    return sources_[i];
+  }
+  /// Session indices of source `i`, in session-vector order.
+  [[nodiscard]] std::span<const std::uint32_t> sessionsOf(
+      std::size_t i) const {
+    return {sessionIdx_.data() + sourceOffsets_[i],
+            sourceOffsets_[i + 1] - sourceOffsets_[i]};
+  }
+  /// Session start times of source `i`, parallel to sessionsOf(i) — the
+  /// period detector's input, gathered once at build time.
+  [[nodiscard]] std::span<const sim::SimTime> sessionStartsOf(
+      std::size_t i) const {
+    return {sessionStarts_.data() + sourceOffsets_[i],
+            sourceOffsets_[i + 1] - sourceOffsets_[i]};
+  }
+
+  // --- per-session memos -------------------------------------------------
+
+  /// Destination addresses of session `s`, in arrival order — extracted
+  /// once at build time instead of once per analysis axis. Serving a span
+  /// counts as one avoided packet-vector walk (hit counter).
+  [[nodiscard]] std::span<const net::Ipv6Address> targetsOf(
+      std::uint32_t s) const {
+    targetSpansServed_.fetch_add(1, std::memory_order_relaxed);
+    return {targets_.data() + targetOffsets_[s],
+            targetOffsets_[s + 1] - targetOffsets_[s]};
+  }
+  /// Packet index of session `s`'s first payload-carrying packet, or
+  /// kNoPayload if the session carries none.
+  static constexpr std::uint32_t kNoPayload = 0xffffffffu;
+  [[nodiscard]] std::uint32_t firstPayloadOf(std::uint32_t s) const {
+    return sessionFirstPayload_[s];
+  }
+  [[nodiscard]] std::uint32_t payloadPacketsOf(std::uint32_t s) const {
+    return sessionPayloadPackets_[s];
+  }
+
+  // --- per-source aggregates (heavy hitters) ----------------------------
+
+  struct SourceAggregates {
+    std::uint64_t packets = 0;
+    std::int64_t firstDay = 0;
+    std::int64_t lastDay = 0;
+    net::Asn asn;
+  };
+  [[nodiscard]] const SourceAggregates& aggregatesOf(std::size_t i) const {
+    return aggregates_[i];
+  }
+  /// Total packets covered by the session table (== packets().size() when
+  /// the sessions partition the capture, as Addr128 sessions do).
+  [[nodiscard]] std::uint64_t sessionizedPackets() const {
+    return targets_.size();
+  }
+
+  // --- instrumentation ---------------------------------------------------
+
+  /// A consumer that would previously have walked the whole packet vector
+  /// (or re-sessionized it) calls this once instead; the counter lands in
+  /// the obs snapshot as `analysis.index.rescans_avoided_total`.
+  void noteRescanAvoided() const {
+    rescansAvoided_.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t rescansAvoided() const {
+    return rescansAvoided_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t targetSpansServed() const {
+    return targetSpansServed_.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::span<const net::Packet> packets_;
+  std::span<const telescope::Session> sessions_;
+
+  std::vector<telescope::SourceKey> sources_;
+  std::vector<std::size_t> sourceOffsets_; // size sourceCount()+1
+  std::vector<std::uint32_t> sessionIdx_; // grouped by source
+  std::vector<sim::SimTime> sessionStarts_; // parallel to sessionIdx_
+
+  std::vector<std::size_t> targetOffsets_; // size sessions.size()+1
+  std::vector<net::Ipv6Address> targets_; // session-major, arrival order
+  std::vector<std::uint32_t> sessionFirstPayload_;
+  std::vector<std::uint32_t> sessionPayloadPackets_;
+
+  std::vector<SourceAggregates> aggregates_;
+
+  mutable std::atomic<std::uint64_t> targetSpansServed_{0};
+  mutable std::atomic<std::uint64_t> rescansAvoided_{0};
+};
+
+} // namespace v6t::analysis

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/capture_index.hpp"
 #include "analysis/dbscan.hpp"
 #include "analysis/hoplimit.hpp"
 
@@ -27,39 +28,40 @@ net::ScanTool toolFromRdns(std::string_view name) {
 
 } // namespace
 
-FingerprintResult fingerprintSessions(
-    std::span<const net::Packet> packets,
-    std::span<const telescope::Session> sessions,
-    const net::RdnsRegistry* rdns, const FingerprintParams& params) {
+FingerprintResult fingerprintSessions(const CaptureIndex& index,
+                                      const net::RdnsRegistry* rdns,
+                                      const FingerprintParams& params) {
+  const std::span<const net::Packet> packets = index.packets();
+  const std::span<const telescope::Session> sessions = index.sessions();
   FingerprintResult result;
   result.sessionTool.assign(sessions.size(), net::ScanTool::Unknown);
 
-  // --- Step 1: collect distinct payload features across sessions. ---
+  // --- Step 1: collect distinct payload features across sessions. The
+  // payload memo replaces the per-packet scan: the feature comes from the
+  // session's memoized first payload packet, the packet tally from the
+  // memoized count. Session order (and thus feature insertion order, and
+  // thus DBSCAN input order) is unchanged.
+  index.noteRescanAvoided();
   std::unordered_map<std::string, std::size_t> featureIndex; // key -> point
   std::vector<Feature> points;
   std::vector<std::vector<std::uint32_t>> featureSessions; // point -> sessions
 
   for (std::uint32_t si = 0; si < sessions.size(); ++si) {
-    const telescope::Session& s = sessions[si];
-    bool sessionHasPayload = false;
-    for (std::uint32_t idx : s.packetIdx) {
-      const net::Packet& p = packets[idx];
-      if (!p.hasPayload()) continue;
-      ++result.payloadPackets;
-      if (sessionHasPayload) continue; // one feature per session suffices
-      sessionHasPayload = true;
-      Feature f(params.featureBytes, 0);
-      const std::size_t n = std::min(params.featureBytes, p.payload.size());
-      std::copy_n(p.payload.begin(), n, f.begin());
-      std::string key(f.begin(), f.end());
-      auto [it, fresh] = featureIndex.try_emplace(key, points.size());
-      if (fresh) {
-        points.push_back(std::move(f));
-        featureSessions.emplace_back();
-      }
-      featureSessions[it->second].push_back(si);
+    result.payloadPackets += index.payloadPacketsOf(si);
+    const std::uint32_t firstIdx = index.firstPayloadOf(si);
+    if (firstIdx == CaptureIndex::kNoPayload) continue;
+    ++result.payloadSessions;
+    const net::Packet& p = packets[firstIdx];
+    Feature f(params.featureBytes, 0);
+    const std::size_t n = std::min(params.featureBytes, p.payload.size());
+    std::copy_n(p.payload.begin(), n, f.begin());
+    std::string key(f.begin(), f.end());
+    auto [it, fresh] = featureIndex.try_emplace(key, points.size());
+    if (fresh) {
+      points.push_back(std::move(f));
+      featureSessions.emplace_back();
     }
-    if (sessionHasPayload) ++result.payloadSessions;
+    featureSessions[it->second].push_back(si);
   }
 
   // --- Step 2: DBSCAN over the (capped) feature set. ---
@@ -131,7 +133,9 @@ FingerprintResult fingerprintSessions(
     }
   }
 
-  // --- Aggregate Table 7. ---
+  // --- Aggregate Table 7. The payload memo answers "does this session
+  // carry any payload" without a second packet walk. ---
+  index.noteRescanAvoided();
   std::map<net::ScanTool, std::unordered_set<net::Ipv6Address>> toolSources;
   std::unordered_set<net::Ipv6Address> payloadSources;
   for (std::uint32_t si = 0; si < sessions.size(); ++si) {
@@ -139,18 +143,21 @@ FingerprintResult fingerprintSessions(
     const net::ScanTool tool = result.sessionTool[si];
     result.byTool[tool].sessions += 1;
     toolSources[tool].insert(s.source.addr);
-    for (std::uint32_t idx : s.packetIdx) {
-      if (packets[idx].hasPayload()) {
-        payloadSources.insert(s.source.addr);
-        break;
-      }
-    }
+    if (index.payloadPacketsOf(si) > 0) payloadSources.insert(s.source.addr);
   }
   for (auto& [tool, count] : result.byTool) {
     count.scanners = toolSources[tool].size();
   }
   result.payloadSources = payloadSources.size();
   return result;
+}
+
+FingerprintResult fingerprintSessions(
+    std::span<const net::Packet> packets,
+    std::span<const telescope::Session> sessions,
+    const net::RdnsRegistry* rdns, const FingerprintParams& params) {
+  const CaptureIndex index{packets, sessions};
+  return fingerprintSessions(index, rdns, params);
 }
 
 } // namespace v6t::analysis

@@ -48,6 +48,18 @@ struct FingerprintResult {
   std::uint64_t payloadSources = 0;
 };
 
+class CaptureIndex;
+
+/// Fingerprint over a pre-built shared index: the payload memo (first
+/// payload packet + payload packet count per session) replaces the two
+/// payload scans the packet-span overload used to make. Results are
+/// bitwise-identical to the packet-span overload.
+[[nodiscard]] FingerprintResult fingerprintSessions(
+    const CaptureIndex& index, const net::RdnsRegistry* rdns = nullptr,
+    const FingerprintParams& params = {});
+
+/// Thin wrapper: builds a CaptureIndex over (packets, sessions) and
+/// delegates to the index overload.
 [[nodiscard]] FingerprintResult fingerprintSessions(
     std::span<const net::Packet> packets,
     std::span<const telescope::Session> sessions,

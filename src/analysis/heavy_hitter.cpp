@@ -1,68 +1,52 @@
 #include "analysis/heavy_hitter.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/capture_index.hpp"
 #include "analysis/stats.hpp"
 
 namespace v6t::analysis {
 
 std::vector<HeavyHitter> findHeavyHitters(std::span<const net::Packet> packets,
                                           double thresholdPercent) {
-  struct Acc {
-    std::uint64_t packets = 0;
-    net::Asn asn;
-    std::int64_t firstDay = 0;
-    std::int64_t lastDay = 0;
-  };
-  std::unordered_map<net::Ipv6Address, Acc> perSource;
-  for (const net::Packet& p : packets) {
-    auto [it, fresh] = perSource.try_emplace(p.src);
-    Acc& acc = it->second;
-    if (fresh) {
-      acc.asn = p.srcAsn;
-      acc.firstDay = p.ts.dayIndex();
-    }
-    ++acc.packets;
-    acc.lastDay = p.ts.dayIndex();
-  }
+  // One sessionization pass feeds both the hitter aggregates and their
+  // session counts; the pipeline path skips even this by passing its
+  // already-shared index to the overload below.
+  const std::vector<telescope::Session> sessions =
+      telescope::sessionize(packets, telescope::SourceAgg::Addr128);
+  const CaptureIndex index{packets, sessions};
+  return findHeavyHitters(index, thresholdPercent);
+}
 
-  const auto total = static_cast<double>(packets.size());
+std::vector<HeavyHitter> findHeavyHitters(const CaptureIndex& index,
+                                          double thresholdPercent) {
+  // Per-source packets, day bounds, ASN and session counts were all
+  // aggregated at index build time — this is pure selection.
+  index.noteRescanAvoided();
+  const auto total = static_cast<double>(index.packets().size());
   std::vector<HeavyHitter> hitters;
-  for (const auto& [src, acc] : perSource) {
-    const double share = total == 0.0
-                             ? 0.0
-                             : 100.0 * static_cast<double>(acc.packets) / total;
+  for (std::size_t i = 0; i < index.sourceCount(); ++i) {
+    const CaptureIndex::SourceAggregates& agg = index.aggregatesOf(i);
+    const double share =
+        total == 0.0 ? 0.0 : 100.0 * static_cast<double>(agg.packets) / total;
     if (share <= thresholdPercent) continue;
     HeavyHitter h;
-    h.source = src;
-    h.asn = acc.asn;
-    h.packets = acc.packets;
+    h.source = index.source(i).addr;
+    h.asn = agg.asn;
+    h.packets = agg.packets;
     h.shareOfTelescope = share;
-    h.firstDay = acc.firstDay;
-    h.lastDay = acc.lastDay;
+    h.sessions = index.sessionsOf(i).size();
+    h.firstDay = agg.firstDay;
+    h.lastDay = agg.lastDay;
     hitters.push_back(h);
   }
-  std::sort(hitters.begin(), hitters.end(),
-            [](const HeavyHitter& a, const HeavyHitter& b) {
-              return a.packets > b.packets;
-            });
-
-  // Session counts for the found hitters (one sessionization pass, only if
-  // needed).
-  if (!hitters.empty()) {
-    const std::vector<telescope::Session> sessions = telescope::sessionize(
-        packets, telescope::SourceAgg::Addr128);
-    std::unordered_map<net::Ipv6Address, std::uint64_t> perSourceSessions;
-    for (const telescope::Session& s : sessions) {
-      ++perSourceSessions[s.source.addr];
-    }
-    for (HeavyHitter& h : hitters) {
-      const auto it = perSourceSessions.find(h.source);
-      h.sessions = it == perSourceSessions.end() ? 0 : it->second;
-    }
-  }
+  // stable_sort over canonical source order makes ties deterministic (the
+  // unordered_map walk it replaces was not).
+  std::stable_sort(hitters.begin(), hitters.end(),
+                   [](const HeavyHitter& a, const HeavyHitter& b) {
+                     return a.packets > b.packets;
+                   });
   return hitters;
 }
 
@@ -90,6 +74,26 @@ HeavyHitterImpact heavyHitterImpact(
   }
   impact.packetShare = percent(impact.packets, packets.size());
   impact.sessionShare = percent(impact.sessions, sessions.size());
+  return impact;
+}
+
+HeavyHitterImpact heavyHitterImpact(const CaptureIndex& index,
+                                    std::span<const HeavyHitter> hitters) {
+  index.noteRescanAvoided();
+  HeavyHitterImpact impact;
+  for (std::size_t i = 0; i < index.sourceCount(); ++i) {
+    const telescope::SourceKey& key = index.source(i);
+    const unsigned maskBits = telescope::bits(key.agg);
+    for (const HeavyHitter& h : hitters) {
+      if (h.source.maskedTo(maskBits) == key.addr) {
+        impact.packets += index.aggregatesOf(i).packets;
+        impact.sessions += index.sessionsOf(i).size();
+        break;
+      }
+    }
+  }
+  impact.packetShare = percent(impact.packets, index.packets().size());
+  impact.sessionShare = percent(impact.sessions, index.sessions().size());
   return impact;
 }
 

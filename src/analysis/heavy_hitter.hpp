@@ -16,6 +16,8 @@
 
 namespace v6t::analysis {
 
+class CaptureIndex;
+
 struct HeavyHitter {
   net::Ipv6Address source;
   net::Asn asn;
@@ -26,9 +28,19 @@ struct HeavyHitter {
   std::int64_t lastDay = 0;
 };
 
-/// Identify heavy hitters in one telescope's capture.
+/// Identify heavy hitters in one telescope's capture. Sessionizes the
+/// capture once (at /128, the granularity heavy hitters are defined on),
+/// builds a CaptureIndex over it, and delegates to the index overload.
 [[nodiscard]] std::vector<HeavyHitter> findHeavyHitters(
     std::span<const net::Packet> packets, double thresholdPercent = 10.0);
+
+/// Identify heavy hitters from a shared index whose sessions were built at
+/// Addr128 aggregation: packet counts, day bounds, origin ASN and session
+/// counts all come from the index's per-source aggregates — no packet walk,
+/// no internal re-sessionization. Hitters are ordered by packet count
+/// descending, ties broken by canonical (first-appearance) source order.
+[[nodiscard]] std::vector<HeavyHitter> findHeavyHitters(
+    const CaptureIndex& index, double thresholdPercent = 10.0);
 
 /// Packets/sessions contributed by a set of heavy hitters across a capture,
 /// for "w/o heavy hitter" table rows.
@@ -43,5 +55,12 @@ struct HeavyHitterImpact {
     std::span<const net::Packet> packets,
     std::span<const telescope::Session> sessions,
     std::span<const HeavyHitter> hitters);
+
+/// Impact from the shared index's per-source aggregates. Exact when the
+/// index sessions are Addr128 (a source IS a /128, so its aggregate packet
+/// count equals the per-packet tally); at coarser aggregation the count
+/// covers the whole aggregated source.
+[[nodiscard]] HeavyHitterImpact heavyHitterImpact(
+    const CaptureIndex& index, std::span<const HeavyHitter> hitters);
 
 } // namespace v6t::analysis

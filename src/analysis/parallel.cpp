@@ -1,0 +1,65 @@
+#include "analysis/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace v6t::analysis {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+ParallelForStats parallelFor(
+    std::size_t n, unsigned threads,
+    const std::function<void(unsigned worker, std::size_t index)>& fn) {
+  ParallelForStats stats;
+  if (threads <= 1 || n <= 1) {
+    stats.items.assign(1, 0);
+    stats.busySeconds.assign(1, 0.0);
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < n; ++i) fn(0, i);
+    stats.items[0] = n;
+    stats.busySeconds[0] = secondsSince(t0);
+    return stats;
+  }
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, n));
+  stats.items.assign(workers, 0);
+  stats.busySeconds.assign(workers, 0.0);
+  // Chunked grabbing keeps cursor contention negligible while still
+  // letting fast workers absorb a slow worker's tail.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, n / (static_cast<std::size_t>(workers) * 8));
+  std::atomic<std::size_t> cursor{0};
+
+  auto work = [&](unsigned worker) {
+    const auto t0 = Clock::now();
+    for (;;) {
+      const std::size_t begin =
+          cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::size_t end = std::min(begin + chunk, n);
+      for (std::size_t i = begin; i < end; ++i) fn(worker, i);
+      stats.items[worker] += end - begin;
+    }
+    stats.busySeconds[worker] = secondsSince(t0);
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(work, w);
+  work(0);
+  for (std::thread& t : pool) t.join();
+  return stats;
+}
+
+} // namespace v6t::analysis

@@ -1,0 +1,36 @@
+// v6t::analysis — deterministic work-queue parallel-for.
+//
+// The analysis pipeline's concurrency primitive: run fn(worker, i) for
+// every i in [0, n) on up to `threads` workers pulling chunks from one
+// atomic cursor. Scheduling is dynamic (workers steal the next chunk when
+// free), so the ASSIGNMENT of items to workers varies run to run — the
+// determinism contract therefore rests entirely on the caller: fn must be
+// a pure function of i writing only to pre-sized output slot(s) owned by
+// item i. Under that discipline the merged output is bitwise-identical
+// for every thread count, the same argument DESIGN.md §8 makes for the
+// sharded runner.
+//
+// threads <= 1 (or n <= 1) executes inline on the calling thread with no
+// thread spawned — the serial reference the equivalence tests compare
+// against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace v6t::analysis {
+
+/// What each worker did — items processed and wall seconds spent inside
+/// the loop — for the pipeline's worker-imbalance histogram. Entry w
+/// belongs to worker w; inline execution reports one worker.
+struct ParallelForStats {
+  std::vector<std::uint64_t> items;
+  std::vector<double> busySeconds;
+};
+
+ParallelForStats parallelFor(
+    std::size_t n, unsigned threads,
+    const std::function<void(unsigned worker, std::size_t index)>& fn);
+
+} // namespace v6t::analysis

@@ -6,8 +6,10 @@
 #include <map>
 #include <unordered_map>
 
+#include "analysis/capture_index.hpp"
 #include "analysis/dbscan.hpp"
 #include "analysis/nist.hpp"
+#include "analysis/parallel.hpp"
 
 namespace v6t::analysis {
 
@@ -291,86 +293,115 @@ std::uint64_t TaxonomyResult::sessionsOf(NetworkSelection s) const {
   return n;
 }
 
+namespace {
+
+/// Classify source `srcIdx` into its pre-sized slots of `out`. Pure
+/// function of the index memos — the unit of work the pipeline dispatches
+/// to its workers, and the reason any thread count yields identical
+/// results.
+void classifyOneSource(const CaptureIndex& index, std::size_t srcIdx,
+                       const bgp::SplitSchedule* schedule,
+                       const PeriodDetectorParams& temporalParams,
+                       const AddressSelectionParams& addrParams,
+                       const NetworkSelectionParams& netParams,
+                       TaxonomyResult& out) {
+  const std::span<const telescope::Session> sessions = index.sessions();
+  const std::span<const std::uint32_t> sessionIdx = index.sessionsOf(srcIdx);
+
+  ScannerProfile& profile = out.profiles[srcIdx];
+  profile.source = index.source(srcIdx);
+  profile.sessionIdx.assign(sessionIdx.begin(), sessionIdx.end());
+
+  // Per-session address selection over the memoized target spans.
+  for (std::uint32_t si : sessionIdx) {
+    const AddressSelection sel =
+        classifyAddressSelection(index.targetsOf(si), addrParams);
+    out.sessionAddrSel[si] = sel;
+    profile.sessionsByAddrSel[static_cast<std::size_t>(sel)]++;
+  }
+
+  profile.temporal =
+      classifyTemporal(index.sessionStartsOf(srcIdx), temporalParams);
+
+  if (schedule != nullptr) {
+    // Build per-cycle activity from the sessions' timing and targets.
+    std::map<int, CycleActivity> perCycle;
+    for (std::uint32_t i : sessionIdx) {
+      const telescope::Session& s = sessions[i];
+      const bgp::AnnouncementCycle* cycle = schedule->cycleAt(s.start);
+      if (cycle == nullptr) continue;
+      CycleActivity& activity = perCycle[cycle->index];
+      if (activity.sessionsPerPrefix.empty()) {
+        activity.cycleIndex = cycle->index;
+        activity.sessionsPerPrefix.resize(cycle->announced.size());
+        activity.prefixLengths.reserve(cycle->announced.size());
+        for (const net::Prefix& p : cycle->announced) {
+          activity.prefixLengths.push_back(p.length());
+        }
+      }
+      // Attribute the session to the most specific announced prefix its
+      // first target falls into.
+      const net::Ipv6Address target = index.targetsOf(i).front();
+      std::size_t bestIdx = cycle->announced.size();
+      unsigned bestLen = 0;
+      for (std::size_t k = 0; k < cycle->announced.size(); ++k) {
+        const net::Prefix& p = cycle->announced[k];
+        if (p.contains(target) && p.length() >= bestLen) {
+          bestLen = p.length();
+          bestIdx = k;
+        }
+      }
+      if (bestIdx < activity.sessionsPerPrefix.size()) {
+        ++activity.sessionsPerPrefix[bestIdx];
+      }
+    }
+    std::vector<CycleActivity> cycles;
+    cycles.reserve(perCycle.size());
+    for (auto& [cycleIdx, activity] : perCycle) {
+      cycles.push_back(std::move(activity));
+    }
+    profile.network = classifyNetworkSelection(cycles, netParams);
+  } else {
+    profile.network = NetworkSelection::SinglePrefix;
+  }
+}
+
+} // namespace
+
+TaxonomyResult classifyIndexed(const CaptureIndex& index,
+                               const bgp::SplitSchedule* schedule,
+                               unsigned threads,
+                               const PeriodDetectorParams& temporalParams,
+                               const AddressSelectionParams& addrParams,
+                               const NetworkSelectionParams& netParams,
+                               ParallelForStats* statsOut) {
+  TaxonomyResult result;
+  result.sessionAddrSel.assign(index.sessions().size(),
+                               AddressSelection::Unknown);
+  result.profiles.resize(index.sourceCount());
+  // The address and temporal axes both used to walk the packet vector to
+  // re-extract targets / gather starts; the index serves them from memos.
+  index.noteRescanAvoided();
+  index.noteRescanAvoided();
+  ParallelForStats stats =
+      parallelFor(index.sourceCount(), threads,
+                  [&](unsigned, std::size_t srcIdx) {
+                    classifyOneSource(index, srcIdx, schedule, temporalParams,
+                                      addrParams, netParams, result);
+                  });
+  if (statsOut != nullptr) *statsOut = std::move(stats);
+  return result;
+}
+
 TaxonomyResult classifyCapture(std::span<const net::Packet> packets,
                                std::span<const telescope::Session> sessions,
                                const bgp::SplitSchedule* schedule,
                                const PeriodDetectorParams& temporalParams,
                                const AddressSelectionParams& addrParams,
                                const NetworkSelectionParams& netParams) {
-  TaxonomyResult result;
-
-  // Per-session address selection.
-  result.sessionAddrSel.reserve(sessions.size());
-  for (const telescope::Session& s : sessions) {
-    std::vector<net::Ipv6Address> targets;
-    targets.reserve(s.packetIdx.size());
-    for (std::uint32_t idx : s.packetIdx) targets.push_back(packets[idx].dst);
-    result.sessionAddrSel.push_back(
-        classifyAddressSelection(targets, addrParams));
-  }
-
-  // Group sessions by source and classify each source.
-  const std::vector<telescope::SourceSessions> bySource =
-      telescope::groupBySource(sessions);
-  result.profiles.reserve(bySource.size());
-  for (const telescope::SourceSessions& src : bySource) {
-    ScannerProfile profile;
-    profile.source = src.source;
-    profile.sessionIdx = src.sessionIdx;
-
-    std::vector<sim::SimTime> starts;
-    starts.reserve(src.sessionIdx.size());
-    for (std::uint32_t i : src.sessionIdx) {
-      starts.push_back(sessions[i].start);
-      profile.sessionsByAddrSel[static_cast<std::size_t>(
-          result.sessionAddrSel[i])]++;
-    }
-    profile.temporal = classifyTemporal(starts, temporalParams);
-
-    if (schedule != nullptr) {
-      // Build per-cycle activity from the sessions' timing and targets.
-      std::map<int, CycleActivity> perCycle;
-      for (std::uint32_t i : src.sessionIdx) {
-        const telescope::Session& s = sessions[i];
-        const bgp::AnnouncementCycle* cycle = schedule->cycleAt(s.start);
-        if (cycle == nullptr) continue;
-        CycleActivity& activity = perCycle[cycle->index];
-        if (activity.sessionsPerPrefix.empty()) {
-          activity.cycleIndex = cycle->index;
-          activity.sessionsPerPrefix.resize(cycle->announced.size());
-          activity.prefixLengths.reserve(cycle->announced.size());
-          for (const net::Prefix& p : cycle->announced) {
-            activity.prefixLengths.push_back(p.length());
-          }
-        }
-        // Attribute the session to the most specific announced prefix its
-        // first target falls into.
-        const net::Ipv6Address target = packets[s.packetIdx.front()].dst;
-        std::size_t bestIdx = cycle->announced.size();
-        unsigned bestLen = 0;
-        for (std::size_t k = 0; k < cycle->announced.size(); ++k) {
-          const net::Prefix& p = cycle->announced[k];
-          if (p.contains(target) && p.length() >= bestLen) {
-            bestLen = p.length();
-            bestIdx = k;
-          }
-        }
-        if (bestIdx < activity.sessionsPerPrefix.size()) {
-          ++activity.sessionsPerPrefix[bestIdx];
-        }
-      }
-      std::vector<CycleActivity> cycles;
-      cycles.reserve(perCycle.size());
-      for (auto& [index, activity] : perCycle) {
-        cycles.push_back(std::move(activity));
-      }
-      profile.network = classifyNetworkSelection(cycles, netParams);
-    } else {
-      profile.network = NetworkSelection::SinglePrefix;
-    }
-    result.profiles.push_back(std::move(profile));
-  }
-  return result;
+  const CaptureIndex index{packets, sessions};
+  return classifyIndexed(index, schedule, 1, temporalParams, addrParams,
+                         netParams);
 }
 
 } // namespace v6t::analysis

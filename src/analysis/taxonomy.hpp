@@ -20,6 +20,7 @@
 #include "analysis/addr_class.hpp"
 #include "analysis/autocorr.hpp"
 #include "analysis/nist.hpp"
+#include "analysis/parallel.hpp"
 #include "bgp/splitter.hpp"
 #include "net/packet.hpp"
 #include "telescope/session.hpp"
@@ -141,7 +142,8 @@ struct TaxonomyResult {
 /// Run the full taxonomy over one telescope's capture. `schedule` provides
 /// the announcement-cycle context for network selection; pass nullptr for
 /// telescopes without a BGP experiment (every source is then single-prefix,
-/// as in §5.2's "for T2–T4" note).
+/// as in §5.2's "for T2–T4" note). Thin wrapper: builds a CaptureIndex and
+/// delegates to classifyIndexed with one thread.
 [[nodiscard]] TaxonomyResult classifyCapture(
     std::span<const net::Packet> packets,
     std::span<const telescope::Session> sessions,
@@ -149,5 +151,22 @@ struct TaxonomyResult {
     const PeriodDetectorParams& temporalParams = {},
     const AddressSelectionParams& addrParams = {},
     const NetworkSelectionParams& netParams = {});
+
+class CaptureIndex;
+
+/// Taxonomy over a pre-built shared index: targets and session-start runs
+/// come from the index memos instead of fresh packet-vector walks, and the
+/// per-source classification fans out over `threads` workers. Each source
+/// is a pure function of its own sessions writing to a pre-sized result
+/// slot in canonical source order, so the result is bitwise-identical for
+/// every thread count (including 1, the serial reference).
+/// `statsOut`, when non-null, receives the worker fan-out statistics for
+/// the pipeline's imbalance instrumentation.
+[[nodiscard]] TaxonomyResult classifyIndexed(
+    const CaptureIndex& index, const bgp::SplitSchedule* schedule,
+    unsigned threads = 1, const PeriodDetectorParams& temporalParams = {},
+    const AddressSelectionParams& addrParams = {},
+    const NetworkSelectionParams& netParams = {},
+    ParallelForStats* statsOut = nullptr);
 
 } // namespace v6t::analysis

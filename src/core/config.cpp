@@ -142,6 +142,14 @@ ConfigParseResult parseExperimentConfig(std::istream& in) {
       } else {
         c.threads = static_cast<unsigned>(v);
       }
+    } else if (key == "analysis.threads") {
+      std::uint64_t v = 0;
+      if (!parseU64(value, v) || v > 64) {
+        error("analysis.threads must be 0..64 (0 = inherit threads): '" +
+              value + "'");
+      } else {
+        c.analysisThreads = static_cast<unsigned>(v);
+      }
     } else if (key == "our_asn") {
       std::uint64_t v = 0;
       if (!parseU64(value, v) || v == 0 || v > 0xffffffffULL) {
@@ -213,6 +221,12 @@ std::string formatExperimentConfig(const ExperimentConfig& c) {
       << "t4_prefix = " << c.t4Prefix.toString() << "\n"
       << "our_asn = " << c.ourAsn.value() << "\n"
       << "threads = " << c.threads << "\n";
+  // Printed only when set: 0 (inherit `threads`) formats exactly as
+  // configs did before the analysis pipeline existed (golden round-trip
+  // test).
+  if (c.analysisThreads != 0) {
+    out << "analysis.threads = " << c.analysisThreads << "\n";
+  }
   // Fault keys only when configured: fault-free configs format exactly as
   // they did before the fault layer existed (golden round-trip test).
   if (c.faultSeed != ExperimentConfig{}.faultSeed || !c.faults.empty()) {

@@ -66,6 +66,14 @@ struct ExperimentConfig {
   /// — see DESIGN.md's determinism contract.
   unsigned threads = 1;
 
+  /// Worker threads for the post-run analysis pipeline (taxonomy, NIST
+  /// battery, summary sessionization) — same bitwise-identical contract,
+  /// see DESIGN.md §12. 0 = inherit `threads`.
+  unsigned analysisThreads = 0;
+  [[nodiscard]] unsigned effectiveAnalysisThreads() const {
+    return analysisThreads != 0 ? analysisThreads : threads;
+  }
+
   /// Fault-injection spec, honored by the parallel ExperimentRunner (the
   /// serial Experiment is kept fault-free as the pristine reference). An
   /// empty spec leaves every output bitwise-identical to a build without

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "analysis/parallel.hpp"
+
 namespace v6t::core {
 
 ExperimentSummary ExperimentSummary::compute(
@@ -14,17 +16,30 @@ ExperimentSummary ExperimentSummary::compute(
     const std::array<const telescope::CaptureStore*, 4>& captures,
     const std::array<std::string, 4>& names,
     const fault::FaultSpec& faults) {
+  return compute(captures, names, faults, 1);
+}
+
+ExperimentSummary ExperimentSummary::compute(
+    const std::array<const telescope::CaptureStore*, 4>& captures,
+    const std::array<std::string, 4>& names,
+    const fault::FaultSpec& faults, unsigned threads) {
   ExperimentSummary summary;
-  for (std::size_t i = 0; i < 4; ++i) {
+  for (std::size_t i = 0; i < 4; ++i) summary.telescopes_[i].name = names[i];
+  // Eight independent sessionization tasks (telescope x aggregation), each
+  // writing only its own slot — identical output at any thread count.
+  analysis::parallelFor(8, threads, [&](unsigned, std::size_t task) {
+    const std::size_t i = task / 2;
     TelescopeSummary& out = summary.telescopes_[i];
-    out.name = names[i];
-    out.sessions128 = telescope::sessionize(
-        captures[i]->packets(), telescope::SourceAgg::Addr128,
-        telescope::kSessionTimeout, &out.stats128, faults.gapWindowsFor(i));
-    out.sessions64 = telescope::sessionize(
-        captures[i]->packets(), telescope::SourceAgg::Net64,
-        telescope::kSessionTimeout, &out.stats64, faults.gapWindowsFor(i));
-  }
+    if (task % 2 == 0) {
+      out.sessions128 = telescope::sessionize(
+          captures[i]->packets(), telescope::SourceAgg::Addr128,
+          telescope::kSessionTimeout, &out.stats128, faults.gapWindowsFor(i));
+    } else {
+      out.sessions64 = telescope::sessionize(
+          captures[i]->packets(), telescope::SourceAgg::Net64,
+          telescope::kSessionTimeout, &out.stats64, faults.gapWindowsFor(i));
+    }
+  });
   return summary;
 }
 
@@ -40,10 +55,15 @@ ExperimentSummary ExperimentSummary::compute(const Experiment& experiment) {
 }
 
 ExperimentSummary ExperimentSummary::compute(const ExperimentRunner& runner) {
+  return compute(runner, 1);
+}
+
+ExperimentSummary ExperimentSummary::compute(const ExperimentRunner& runner,
+                                             unsigned threads) {
   return compute(runner.captures(),
                  {runner.telescopeName(0), runner.telescopeName(1),
                   runner.telescopeName(2), runner.telescopeName(3)},
-                 runner.config().experiment.faults);
+                 runner.config().experiment.faults, threads);
 }
 
 TelescopeSummary::WindowStats ExperimentSummary::windowStats(

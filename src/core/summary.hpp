@@ -58,8 +58,15 @@ public:
   /// stores with display names. The runner overload honors the config's
   /// declared capture gaps (gap-aware session closing); the spec overload
   /// lets callers pass them explicitly.
+  /// The `threads` overloads fan the eight independent sessionization
+  /// tasks (4 telescopes x 2 aggregation levels) over the analysis
+  /// work-queue; each task writes only its own summary slot, so the
+  /// result is identical for every thread count. The thread-less
+  /// overloads are the serial (threads = 1) reference.
   static ExperimentSummary compute(const Experiment& experiment);
   static ExperimentSummary compute(const ExperimentRunner& runner);
+  static ExperimentSummary compute(const ExperimentRunner& runner,
+                                   unsigned threads);
   static ExperimentSummary compute(
       const std::array<const telescope::CaptureStore*, 4>& captures,
       const std::array<std::string, 4>& names);
@@ -67,6 +74,10 @@ public:
       const std::array<const telescope::CaptureStore*, 4>& captures,
       const std::array<std::string, 4>& names,
       const fault::FaultSpec& faults);
+  static ExperimentSummary compute(
+      const std::array<const telescope::CaptureStore*, 4>& captures,
+      const std::array<std::string, 4>& names,
+      const fault::FaultSpec& faults, unsigned threads);
 
   [[nodiscard]] const TelescopeSummary& telescope(std::size_t i) const {
     return telescopes_[i];

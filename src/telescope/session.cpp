@@ -4,14 +4,35 @@
 
 namespace v6t::telescope {
 
-bool Sessionizer::spansGap(sim::SimTime lastSeen, sim::SimTime now) const {
-  for (const auto& [start, end] : gaps_) {
-    // The silent interval (lastSeen, now] overlaps the outage window: the
-    // telescope was dark for part of the silence, so continuity cannot be
-    // attested and the session must split.
-    if (lastSeen < end && now >= start && now > lastSeen) return true;
+void Sessionizer::setCaptureGaps(
+    std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps) {
+  std::sort(gaps.begin(), gaps.end());
+  gaps_.clear();
+  gaps_.reserve(gaps.size());
+  for (const auto& g : gaps) {
+    if (!gaps_.empty() && g.first <= gaps_.back().second) {
+      gaps_.back().second = std::max(gaps_.back().second, g.second);
+    } else {
+      gaps_.push_back(g);
+    }
   }
-  return false;
+}
+
+bool Sessionizer::spansGap(sim::SimTime lastSeen, sim::SimTime now) const {
+  if (now <= lastSeen || gaps_.empty()) return false;
+  // The windows are sorted and disjoint (setCaptureGaps merged overlaps),
+  // so their end times increase monotonically: binary-search the first
+  // window still open after lastSeen instead of scanning all of them.
+  const auto it = std::lower_bound(
+      gaps_.begin(), gaps_.end(), lastSeen,
+      [](const std::pair<sim::SimTime, sim::SimTime>& g, sim::SimTime t) {
+        return g.second <= t;
+      });
+  // The silent interval (lastSeen, now] overlaps the outage window: the
+  // telescope was dark for part of the silence, so continuity cannot be
+  // attested and the session must split. Later windows start even later,
+  // so only the first candidate can overlap.
+  return it != gaps_.end() && now >= it->first;
 }
 
 void Sessionizer::offer(const net::Packet& p, std::uint32_t idx) {
@@ -71,9 +92,14 @@ std::vector<Session> sessionize(
   return out;
 }
 
-std::vector<SourceSessions> groupBySource(std::span<const Session> sessions) {
+std::vector<SourceSessions> groupBySource(std::span<const Session> sessions,
+                                          std::size_t distinctSourcesHint) {
   std::vector<SourceSessions> out;
   std::unordered_map<SourceKey, std::size_t> index;
+  const std::size_t estimate =
+      distinctSourcesHint != 0 ? distinctSourcesHint : sessions.size();
+  out.reserve(estimate);
+  index.reserve(estimate);
   for (std::uint32_t i = 0; i < sessions.size(); ++i) {
     const SourceKey& key = sessions[i].source;
     auto [it, fresh] = index.emplace(key, out.size());

@@ -76,11 +76,11 @@ public:
   /// timeout — the silence is the telescope's, not the scanner's, so
   /// counting it as one session would fabricate continuity across an
   /// outage (graceful degradation under fault injection). No gaps = the
-  /// historical timeout-only behavior, bit for bit.
-  void setCaptureGaps(
-      std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps) {
-    gaps_ = std::move(gaps);
-  }
+  /// historical timeout-only behavior, bit for bit. Windows are
+  /// normalized on entry — sorted, overlapping/touching windows merged —
+  /// which preserves the overlap predicate exactly and lets spansGap
+  /// binary-search instead of scanning every window per packet.
+  void setCaptureGaps(std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps);
 
   /// Offer the packet at index `idx` of the capture.
   void offer(const net::Packet& p, std::uint32_t idx);
@@ -125,8 +125,11 @@ struct SourceSessions {
   std::vector<std::uint32_t> sessionIdx; // indices into the session vector
 };
 
+/// `distinctSourcesHint`, when nonzero, pre-sizes the output and the
+/// source map (e.g. from a previous run over the same capture); zero falls
+/// back to the session count as an upper bound.
 [[nodiscard]] std::vector<SourceSessions> groupBySource(
-    std::span<const Session> sessions);
+    std::span<const Session> sessions, std::size_t distinctSourcesHint = 0);
 
 } // namespace v6t::telescope
 

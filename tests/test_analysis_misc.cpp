@@ -293,7 +293,7 @@ TEST(HeavyHitter, NoneBelowThreshold) {
     }
   }
   EXPECT_TRUE(findHeavyHitters(packets, 10.0).empty());
-  EXPECT_TRUE(findHeavyHitters({}, 10.0).empty());
+  EXPECT_TRUE(findHeavyHitters(std::span<const net::Packet>{}, 10.0).empty());
 }
 
 } // namespace

@@ -1,8 +1,8 @@
 // v6t_run — run a telescope experiment from a configuration file.
 //
 //   v6t_run [config-file] [--out DIR] [--dump-captures] [--print-config]
-//           [--threads N] [--faults SPEC] [--fault-seed N]
-//           [--metrics-out FILE] [--metrics-prom FILE]
+//           [--threads N] [--analysis-threads N] [--faults SPEC]
+//           [--fault-seed N] [--metrics-out FILE] [--metrics-prom FILE]
 //           [--metrics-interval SEC] [--log-level LEVEL]
 //
 // Without a config file the paper's default configuration runs. The tool
@@ -14,6 +14,12 @@
 // merges captures into canonical order; results are bitwise-identical for
 // every N. Without either, the classic serial Experiment runs, which also
 // produces the §8 operator guidance.
+//
+// --analysis-threads N (or `analysis.threads = N` in the config file)
+// fans the post-run analysis pipeline — summary sessionization plus the
+// per-telescope taxonomy over the shared capture index — across N
+// workers; the report is bitwise-identical for every N (DESIGN.md §12).
+// Unset, it inherits the simulation's thread count.
 //
 // --faults takes a comma-separated fault spec (see fault/spec.hpp), e.g.
 //   --faults "packet_loss=0.01,bgp_drop=0.1,gap=T1@2w+3d"
@@ -35,6 +41,7 @@
 #include <memory>
 #include <optional>
 
+#include "analysis/pipeline.hpp"
 #include "analysis/report.hpp"
 #include "analysis/taxonomy.hpp"
 #include "core/config.hpp"
@@ -54,9 +61,10 @@ namespace {
 int usage() {
   std::cerr << "usage: v6t_run [config-file] [--out DIR] [--dump-captures]"
                " [--print-config] [--threads N]\n"
-               "               [--faults SPEC] [--fault-seed N]"
-               " [--metrics-out FILE] [--metrics-prom FILE]\n"
-               "               [--metrics-interval SEC] [--log-level LEVEL]\n";
+               "               [--analysis-threads N] [--faults SPEC]"
+               " [--fault-seed N] [--metrics-out FILE]\n"
+               "               [--metrics-prom FILE] [--metrics-interval SEC]"
+               " [--log-level LEVEL]\n";
   return 2;
 }
 
@@ -73,6 +81,7 @@ int main(int argc, char** argv) {
   bool dumpCaptures = false;
   bool printConfig = false;
   unsigned threadsOverride = 0; // 0 = not given on the command line
+  unsigned analysisThreadsOverride = 0;
   std::string faultsSpec;
   std::optional<std::uint64_t> faultSeedOverride;
   for (int i = 1; i < argc; ++i) {
@@ -94,6 +103,14 @@ int main(int argc, char** argv) {
         return usage();
       }
       threadsOverride = static_cast<unsigned>(v);
+    } else if (arg == "--analysis-threads") {
+      if (++i >= argc) return usage();
+      const long v = std::strtol(argv[i], nullptr, 10);
+      if (v < 1 || v > 64) {
+        std::cerr << "--analysis-threads must be 1..64\n";
+        return usage();
+      }
+      analysisThreadsOverride = static_cast<unsigned>(v);
     } else if (arg == "--metrics-out") {
       if (++i >= argc) return usage();
       metricsOut = argv[i];
@@ -147,6 +164,9 @@ int main(int argc, char** argv) {
     config = parsed.config;
   }
   if (threadsOverride != 0) config.threads = threadsOverride;
+  if (analysisThreadsOverride != 0) {
+    config.analysisThreads = analysisThreadsOverride;
+  }
   if (!faultsSpec.empty()) {
     const auto parsed = fault::FaultSpec::parse(faultsSpec);
     if (!parsed.ok()) {
@@ -227,13 +247,34 @@ int main(int argc, char** argv) {
   obs::Registry& metrics =
       useRunner ? runner->metrics() : experiment->metrics();
 
+  // Post-run analysis: summary sessionization plus the per-telescope
+  // pipeline (shared capture index, parallel taxonomy), all inside the
+  // runner.phase.analyze_seconds span so the final snapshot carries the
+  // full analysis cost and the analysis.* instrumentation.
+  const unsigned analysisThreads = config.effectiveAnalysisThreads();
   std::optional<core::ExperimentSummary> summary;
+  std::array<analysis::PipelineResult, 4> reports;
   {
-    obs::Span analyzeSpan(metrics, "experiment.phase.analyze_seconds");
-    summary = useRunner ? core::ExperimentSummary::compute(*runner)
-                        : core::ExperimentSummary::compute(*experiment);
+    obs::Span phaseSpan(metrics, "runner.phase.analyze_seconds");
+    {
+      obs::Span analyzeSpan(metrics, "experiment.phase.analyze_seconds");
+      summary = core::ExperimentSummary::compute(captures, names,
+                                                 config.faults,
+                                                 analysisThreads);
+    }
+    core::collectSummaryMetrics(*summary, metrics);
+
+    analysis::PipelineOptions pipelineOptions;
+    pipelineOptions.threads = analysisThreads;
+    pipelineOptions.fingerprint = false; // overview needs taxonomy + hitters
+    for (std::size_t t = 0; t < 4; ++t) {
+      const analysis::Pipeline pipeline{captures[t]->packets(),
+                                        summary->telescope(t).sessions128,
+                                        &metrics};
+      reports[t] = pipeline.run(t == core::T1 ? schedule : nullptr,
+                                pipelineOptions);
+    }
   }
-  core::collectSummaryMetrics(*summary, metrics);
 
   // The live exporter's ticks are done; the final post-analysis snapshot
   // (and the Prometheus dump) come from the fully aggregated registry.
@@ -262,9 +303,7 @@ int main(int argc, char** argv) {
                              "intermittent"}};
   for (std::size_t t = 0; t < 4; ++t) {
     const auto& sessions = summary->telescope(t).sessions128;
-    const auto taxonomy = analysis::classifyCapture(
-        captures[t]->packets(), sessions,
-        t == core::T1 ? schedule : nullptr);
+    const analysis::TaxonomyResult& taxonomy = reports[t].taxonomy;
     // A telescope whose observation window overlaps a declared capture
     // outage is flagged: its numbers are lower bounds, not measurements.
     const bool inGap = !config.faults.gapWindowsFor(t).empty();
