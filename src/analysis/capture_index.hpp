@@ -104,6 +104,31 @@ public:
     return targets_.size();
   }
 
+  // --- scheduler cost estimates (DESIGN.md §13) -------------------------
+
+  [[nodiscard]] std::size_t sessionCountOf(std::size_t i) const {
+    return sourceOffsets_[i + 1] - sourceOffsets_[i];
+  }
+  /// Packets (== targets) of session `s`, without touching the hit
+  /// counters — a cost probe, not a consumer read.
+  [[nodiscard]] std::uint64_t sessionPacketCountOf(std::uint32_t s) const {
+    return targetOffsets_[s + 1] - targetOffsets_[s];
+  }
+  /// Estimated taxonomy cost of source `i`, in scheduler cost units
+  /// (~packets touched): the per-session address classification walks
+  /// every target once, and each session adds a fixed overhead for the
+  /// temporal/network axes.
+  [[nodiscard]] std::uint64_t classifyCostOf(std::size_t i) const {
+    return aggregates_[i].packets +
+           32 * static_cast<std::uint64_t>(sessionCountOf(i));
+  }
+  /// Estimated NIST battery cost of session `s`: 64 IID bits + 32 subnet
+  /// bits extracted per packet, with the spectral FFT adding roughly as
+  /// much again.
+  [[nodiscard]] std::uint64_t nistCostOf(std::uint32_t s) const {
+    return 96 * sessionPacketCountOf(s);
+  }
+
   // --- instrumentation ---------------------------------------------------
 
   /// A consumer that would previously have walked the whole packet vector

@@ -30,27 +30,25 @@ struct DbscanResult {
   }
 };
 
-/// Cluster `n` points. `distance(i, j)` must be symmetric with
-/// distance(i, i) == 0. A point is a core point if at least `minPts` points
-/// (including itself) lie within `epsilon`.
-template <typename DistanceFn>
-[[nodiscard]] DbscanResult dbscan(std::size_t n, double epsilon,
-                                  std::size_t minPts, DistanceFn&& distance) {
+/// Cluster `n` points whose neighborhoods are already known.
+/// `neighborsOf(p)` must return the points within epsilon of `p`
+/// (including `p` itself) in ascending index order — the same list the
+/// distance-functor overload computes lazily, which is why precomputing
+/// the adjacency (possibly in parallel: each list is a pure function of
+/// one point) yields identical labels. A point is a core point if its
+/// neighborhood holds at least `minPts` points.
+template <typename NeighborsFn>
+[[nodiscard]] DbscanResult dbscanWithNeighbors(std::size_t n,
+                                               std::size_t minPts,
+                                               NeighborsFn&& neighborsOf) {
   constexpr int kUnvisited = -2;
   DbscanResult result;
   result.label.assign(n, kUnvisited);
 
-  auto neighbors = [&](std::size_t p) {
-    std::vector<std::size_t> out;
-    for (std::size_t q = 0; q < n; ++q) {
-      if (distance(p, q) <= epsilon) out.push_back(q);
-    }
-    return out;
-  };
-
   for (std::size_t p = 0; p < n; ++p) {
     if (result.label[p] != kUnvisited) continue;
-    std::vector<std::size_t> seeds = neighbors(p);
+    auto&& pNeighbors = neighborsOf(p);
+    std::vector<std::size_t> seeds(pNeighbors.begin(), pNeighbors.end());
     if (seeds.size() < minPts) {
       result.label[p] = kDbscanNoise;
       continue;
@@ -63,13 +61,29 @@ template <typename DistanceFn>
       if (result.label[q] == kDbscanNoise) result.label[q] = cluster;
       if (result.label[q] != kUnvisited) continue;
       result.label[q] = cluster;
-      std::vector<std::size_t> qNeighbors = neighbors(q);
+      auto&& qNeighbors = neighborsOf(q);
       if (qNeighbors.size() >= minPts) {
         seeds.insert(seeds.end(), qNeighbors.begin(), qNeighbors.end());
       }
     }
   }
   return result;
+}
+
+/// Cluster `n` points. `distance(i, j)` must be symmetric with
+/// distance(i, i) == 0. A point is a core point if at least `minPts` points
+/// (including itself) lie within `epsilon`.
+template <typename DistanceFn>
+[[nodiscard]] DbscanResult dbscan(std::size_t n, double epsilon,
+                                  std::size_t minPts, DistanceFn&& distance) {
+  auto neighbors = [&](std::size_t p) {
+    std::vector<std::size_t> out;
+    for (std::size_t q = 0; q < n; ++q) {
+      if (distance(p, q) <= epsilon) out.push_back(q);
+    }
+    return out;
+  };
+  return dbscanWithNeighbors(n, minPts, neighbors);
 }
 
 } // namespace v6t::analysis

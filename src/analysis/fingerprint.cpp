@@ -30,7 +30,10 @@ net::ScanTool toolFromRdns(std::string_view name) {
 
 FingerprintResult fingerprintSessions(const CaptureIndex& index,
                                       const net::RdnsRegistry* rdns,
-                                      const FingerprintParams& params) {
+                                      const FingerprintParams& params,
+                                      unsigned threads,
+                                      const ScheduleParams& sched,
+                                      ParallelForStats* statsOut) {
   const std::span<const net::Packet> packets = index.packets();
   const std::span<const telescope::Session> sessions = index.sessions();
   FingerprintResult result;
@@ -64,7 +67,12 @@ FingerprintResult fingerprintSessions(const CaptureIndex& index,
     featureSessions[it->second].push_back(si);
   }
 
-  // --- Step 2: DBSCAN over the (capped) feature set. ---
+  // --- Step 2: DBSCAN over the (capped) feature set. The O(n^2)
+  // neighborhood queries dominate this stage, and each point's neighbor
+  // list is a pure function of that point — so the adjacency is
+  // precomputed across workers (each row in ascending order, exactly what
+  // the lazy serial scan yields) and the serial cluster expansion
+  // consumes identical lists. ---
   const std::size_t n = std::min(points.size(), params.maxPoints);
   std::vector<net::ScanTool> pointTool(points.size(), net::ScanTool::Unknown);
   if (n > 0) {
@@ -77,8 +85,23 @@ FingerprintResult fingerprintSessions(const CaptureIndex& index,
       }
       return d / static_cast<double>(fa.size());
     };
-    const DbscanResult clusters =
-        dbscan(n, params.epsilon, params.minPts, distance);
+    std::vector<std::vector<std::size_t>> adjacency(n);
+    const std::vector<std::uint64_t> rowCosts(n,
+                                              static_cast<std::uint64_t>(n));
+    ParallelForStats adjStats = parallelForCosted(
+        rowCosts, threads,
+        [&](unsigned, std::size_t p) {
+          for (std::size_t q = 0; q < n; ++q) {
+            if (distance(p, q) <= params.epsilon) adjacency[p].push_back(q);
+          }
+        },
+        sched.virtualTime);
+    if (statsOut != nullptr) statsOut->absorb(adjStats);
+    const DbscanResult clusters = dbscanWithNeighbors(
+        n, params.minPts,
+        [&](std::size_t p) -> const std::vector<std::size_t>& {
+          return adjacency[p];
+        });
     result.clusterCount = clusters.clusterCount;
 
     // Label each cluster by the first member with a known signature; noise
@@ -112,11 +135,32 @@ FingerprintResult fingerprintSessions(const CaptureIndex& index,
   }
 
   // --- Step 3: hop-limit fallback — topology probing leaves a signature
-  // even without payloads (incrementing small hop limits). ---
-  for (std::uint32_t si = 0; si < sessions.size(); ++si) {
-    if (result.sessionTool[si] != net::ScanTool::Unknown) continue;
-    if (profileHopLimits(packets, sessions[si]).looksLikeTraceroute()) {
-      result.sessionTool[si] = net::ScanTool::Traceroute;
+  // even without payloads (incrementing small hop limits). Each check is
+  // a pure per-session predicate into its own flag slot; the label + tally
+  // fold runs serially in session order. ---
+  {
+    std::vector<std::uint32_t> candidates;
+    std::vector<std::uint64_t> hopCosts;
+    for (std::uint32_t si = 0; si < sessions.size(); ++si) {
+      if (result.sessionTool[si] != net::ScanTool::Unknown) continue;
+      candidates.push_back(si);
+      hopCosts.push_back(index.sessionPacketCountOf(si));
+    }
+    std::vector<std::uint8_t> isTraceroute(candidates.size(), 0);
+    ParallelForStats hopStats = parallelForCosted(
+        hopCosts, threads,
+        [&](unsigned, std::size_t i) {
+          isTraceroute[i] =
+              profileHopLimits(packets, sessions[candidates[i]])
+                      .looksLikeTraceroute()
+                  ? 1
+                  : 0;
+        },
+        sched.virtualTime);
+    if (statsOut != nullptr) statsOut->absorb(hopStats);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (isTraceroute[i] == 0) continue;
+      result.sessionTool[candidates[i]] = net::ScanTool::Traceroute;
       ++result.hopLimitAttributions;
     }
   }

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/parallel.hpp"
 #include "net/asn.hpp"
 #include "net/packet.hpp"
 #include "net/tool_signatures.hpp"
@@ -54,9 +55,17 @@ class CaptureIndex;
 /// payload packet + payload packet count per session) replaces the two
 /// payload scans the packet-span overload used to make. Results are
 /// bitwise-identical to the packet-span overload.
+///
+/// `threads > 1` parallelizes the two O(heavy) inner loops without
+/// changing any result bit: the DBSCAN neighborhood lists (each a pure
+/// function of one point, consumed by the serial cluster expansion in
+/// the same order the lazy serial scan would produce) and the hop-limit
+/// traceroute check (per-session flags folded serially in session
+/// order). `statsOut`, when non-null, accumulates the dispatch stats.
 [[nodiscard]] FingerprintResult fingerprintSessions(
     const CaptureIndex& index, const net::RdnsRegistry* rdns = nullptr,
-    const FingerprintParams& params = {});
+    const FingerprintParams& params = {}, unsigned threads = 1,
+    const ScheduleParams& sched = {}, ParallelForStats* statsOut = nullptr);
 
 /// Thin wrapper: builds a CaptureIndex over (packets, sessions) and
 /// delegates to the index overload.

@@ -283,13 +283,22 @@ BitSequence bitsFromAddresses(std::span<const net::Ipv6Address> addrs,
 }
 
 NistSummary runAllNistTests(std::span<const std::uint8_t> bits) {
-  return NistSummary{
-      frequencyTest(bits),
-      runsTest(bits),
-      spectralTest(bits),
-      cusumTest(bits, true),
-      cusumTest(bits, false),
-  };
+  return runNistTests(bits, NistBlock::All);
+}
+
+NistSummary runNistTests(std::span<const std::uint8_t> bits,
+                         NistBlock block) {
+  NistSummary summary;
+  if (block != NistBlock::Spectral) {
+    summary.frequency = frequencyTest(bits);
+    summary.runs = runsTest(bits);
+    summary.cusumForward = cusumTest(bits, true);
+    summary.cusumBackward = cusumTest(bits, false);
+  }
+  if (block != NistBlock::NonSpectral) {
+    summary.spectral = spectralTest(bits);
+  }
+  return summary;
 }
 
 } // namespace v6t::analysis

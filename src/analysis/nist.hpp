@@ -85,4 +85,15 @@ struct NistSummary {
 
 [[nodiscard]] NistSummary runAllNistTests(std::span<const std::uint8_t> bits);
 
+/// Subset of the battery to run — the scheduler's split unit for heavy
+/// sessions. The spectral (DFT) test costs about as much as the other
+/// four combined, so a heavy session splits into a Spectral and a
+/// NonSpectral subtask whose summaries write disjoint fields; merging is
+/// field-wise assignment and bitwise-equals the unsplit run.
+enum class NistBlock : std::uint8_t { All, Spectral, NonSpectral };
+
+/// Run one test block; fields outside the block stay default-initialized.
+[[nodiscard]] NistSummary runNistTests(std::span<const std::uint8_t> bits,
+                                       NistBlock block);
+
 } // namespace v6t::analysis

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
+#include <mutex>
+#include <numeric>
 #include <thread>
 
 namespace v6t::analysis {
@@ -15,24 +18,152 @@ double secondsSince(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+constexpr unsigned kMaxWorkers = 64;
+
+/// One worker's share of the LPT assignment. The owner consumes from the
+/// head (largest items first); thieves take a chunk off the tail (the
+/// owner's smallest remaining items), so a steal moves the work least
+/// likely to be reached soon. `remainingCost` is the victim-selection
+/// signal: a relaxed read outside the lock, updated under it.
+struct WorkerQueue {
+  std::vector<std::size_t> tasks; // descending estimated cost
+  std::size_t head = 0; // owner end
+  std::size_t tail = 0; // one past the last unstolen task
+  std::atomic<std::uint64_t> remainingCost{0};
+  std::mutex m;
+};
+
+std::uint64_t costOf(std::span<const std::uint64_t> costs, std::size_t i) {
+  return std::max<std::uint64_t>(costs[i], 1);
+}
+
+/// Greedy LPT assignment: walk items in canonical LPT order, giving each
+/// to the currently least-loaded worker (ties -> lowest worker id).
+std::vector<std::unique_ptr<WorkerQueue>> assignLpt(
+    std::span<const std::uint64_t> costs, unsigned workers) {
+  std::vector<std::unique_ptr<WorkerQueue>> queues(workers);
+  for (auto& q : queues) q = std::make_unique<WorkerQueue>();
+  std::vector<std::uint64_t> load(workers, 0);
+  for (std::size_t item : lptOrder(costs)) {
+    unsigned best = 0;
+    for (unsigned w = 1; w < workers; ++w) {
+      if (load[w] < load[best]) best = w;
+    }
+    queues[best]->tasks.push_back(item);
+    load[best] += costOf(costs, item);
+  }
+  for (unsigned w = 0; w < workers; ++w) {
+    queues[w]->tail = queues[w]->tasks.size();
+    queues[w]->remainingCost.store(load[w], std::memory_order_relaxed);
+  }
+  return queues;
+}
+
+/// Take the next task from the worker's own deque head. Returns false if
+/// drained (including by thieves).
+bool popOwn(WorkerQueue& q, std::span<const std::uint64_t> costs,
+            std::size_t& out) {
+  const std::lock_guard<std::mutex> lock(q.m);
+  if (q.head >= q.tail) return false;
+  out = q.tasks[q.head++];
+  q.remainingCost.fetch_sub(costOf(costs, out), std::memory_order_relaxed);
+  return true;
+}
+
+/// Steal up to half the richest victim's remaining tail into `batch`.
+/// Returns false only when no queue holds queued work any more.
+bool stealChunk(std::span<const std::unique_ptr<WorkerQueue>> queues,
+                std::span<const std::uint64_t> costs, unsigned self,
+                std::vector<std::size_t>& batch) {
+  for (;;) {
+    unsigned victim = kMaxWorkers;
+    std::uint64_t best = 0;
+    for (unsigned w = 0; w < queues.size(); ++w) {
+      if (w == self) continue;
+      const std::uint64_t r =
+          queues[w]->remainingCost.load(std::memory_order_relaxed);
+      if (r > best) {
+        best = r;
+        victim = w;
+      }
+    }
+    if (victim == kMaxWorkers) return false;
+    WorkerQueue& q = *queues[victim];
+    const std::lock_guard<std::mutex> lock(q.m);
+    const std::size_t avail = q.tail - q.head;
+    if (avail == 0) continue; // drained between scan and lock; rescan
+    const std::size_t take = (avail + 1) / 2;
+    std::uint64_t taken = 0;
+    for (std::size_t i = 0; i < take; ++i) {
+      batch.push_back(q.tasks[--q.tail]);
+      taken += costOf(costs, q.tasks[q.tail]);
+    }
+    q.remainingCost.fetch_sub(taken, std::memory_order_relaxed);
+    return true;
+  }
+}
+
+ParallelForStats inlineRun(
+    std::size_t n, const std::function<void(unsigned, std::size_t)>& fn) {
+  ParallelForStats stats;
+  stats.items.assign(1, 0);
+  stats.busySeconds.assign(1, 0.0);
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) fn(0, i);
+  stats.items[0] = n;
+  stats.busySeconds[0] = secondsSince(t0);
+  return stats;
+}
+
 } // namespace
+
+double ParallelForStats::makespanSeconds() const {
+  double m = 0.0;
+  for (double s : busySeconds) m = std::max(m, s);
+  return m;
+}
+
+double ParallelForStats::busyTotalSeconds() const {
+  double t = 0.0;
+  for (double s : busySeconds) t += s;
+  return t;
+}
+
+void ParallelForStats::absorb(const ParallelForStats& other) {
+  if (other.items.size() > items.size()) {
+    items.resize(other.items.size(), 0);
+    busySeconds.resize(other.busySeconds.size(), 0.0);
+  }
+  for (std::size_t w = 0; w < other.items.size(); ++w) {
+    items[w] += other.items[w];
+    busySeconds[w] += other.busySeconds[w];
+  }
+  steals += other.steals;
+  splits += other.splits;
+  taskCosts.insert(taskCosts.end(), other.taskCosts.begin(),
+                   other.taskCosts.end());
+}
+
+std::vector<std::size_t> lptOrder(std::span<const std::uint64_t> costs) {
+  std::vector<std::size_t> order(costs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  // stable_sort keeps equal-cost items in index order — the canonical
+  // tie-break the property tests pin.
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return costs[a] > costs[b];
+                   });
+  return order;
+}
 
 ParallelForStats parallelFor(
     std::size_t n, unsigned threads,
     const std::function<void(unsigned worker, std::size_t index)>& fn) {
-  ParallelForStats stats;
-  if (threads <= 1 || n <= 1) {
-    stats.items.assign(1, 0);
-    stats.busySeconds.assign(1, 0.0);
-    const auto t0 = Clock::now();
-    for (std::size_t i = 0; i < n; ++i) fn(0, i);
-    stats.items[0] = n;
-    stats.busySeconds[0] = secondsSince(t0);
-    return stats;
-  }
+  if (threads <= 1 || n <= 1) return inlineRun(n, fn);
 
-  const unsigned workers =
-      static_cast<unsigned>(std::min<std::size_t>(threads, n));
+  ParallelForStats stats;
+  const unsigned workers = static_cast<unsigned>(
+      std::min<std::size_t>(std::min<std::size_t>(threads, n), kMaxWorkers));
   stats.items.assign(workers, 0);
   stats.busySeconds.assign(workers, 0.0);
   // Chunked grabbing keeps cursor contention negligible while still
@@ -59,6 +190,99 @@ ParallelForStats parallelFor(
   for (unsigned w = 1; w < workers; ++w) pool.emplace_back(work, w);
   work(0);
   for (std::thread& t : pool) t.join();
+  return stats;
+}
+
+ParallelForStats parallelForCosted(
+    std::span<const std::uint64_t> costs, unsigned threads,
+    const std::function<void(unsigned worker, std::size_t index)>& fn,
+    bool virtualTime) {
+  const std::size_t n = costs.size();
+  const bool inline_ = n <= 1 || (threads <= 1 && !virtualTime);
+  if (inline_) {
+    ParallelForStats stats = inlineRun(n, fn);
+    stats.taskCosts.assign(costs.begin(), costs.end());
+    return stats;
+  }
+
+  ParallelForStats stats;
+  const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+      std::min<std::size_t>(std::max(threads, 1u), n), kMaxWorkers));
+  stats.items.assign(workers, 0);
+  stats.busySeconds.assign(workers, 0.0);
+  stats.taskCosts.assign(costs.begin(), costs.end());
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues = assignLpt(costs, workers);
+
+  if (!virtualTime) {
+    std::atomic<std::uint64_t> stealOps{0};
+    auto work = [&](unsigned self) {
+      const auto t0 = Clock::now();
+      std::vector<std::size_t> batch;
+      for (;;) {
+        batch.clear();
+        std::size_t own = 0;
+        if (popOwn(*queues[self], costs, own)) {
+          batch.push_back(own);
+        } else if (stealChunk(queues, costs, self, batch)) {
+          stealOps.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          break;
+        }
+        for (std::size_t idx : batch) fn(self, idx);
+        stats.items[self] += batch.size();
+      }
+      stats.busySeconds[self] = secondsSince(t0);
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w) pool.emplace_back(work, w);
+    work(0);
+    for (std::thread& t : pool) t.join();
+    stats.steals = stealOps.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+  // Virtual-time replay: every scheduling decision is made by the worker
+  // whose virtual clock is lowest (ties -> lowest id), exactly the worker
+  // that would next go idle on a real N-core host. Tasks execute on the
+  // calling thread; each measured duration advances only its virtual
+  // worker's clock, so busySeconds/makespan model the N-worker schedule
+  // while the results are bit-for-bit the serial reference's.
+  std::vector<double> clock(workers, 0.0);
+  std::vector<std::vector<std::size_t>> pending(workers); // stolen batches
+  std::vector<bool> active(workers, true);
+  std::size_t remaining = n;
+  std::uint64_t stealOps = 0;
+  while (remaining > 0) {
+    unsigned self = kMaxWorkers;
+    for (unsigned w = 0; w < workers; ++w) {
+      if (!active[w]) continue;
+      if (self == kMaxWorkers || clock[w] < clock[self]) self = w;
+    }
+    if (self == kMaxWorkers) break; // all exited; queued work impossible
+    std::size_t task = 0;
+    if (!pending[self].empty()) {
+      task = pending[self].back();
+      pending[self].pop_back();
+    } else if (popOwn(*queues[self], costs, task)) {
+      // own deque head
+    } else if (stealChunk(queues, costs, self, pending[self])) {
+      ++stealOps;
+      task = pending[self].back();
+      pending[self].pop_back();
+    } else {
+      active[self] = false; // a real worker would exit here
+      continue;
+    }
+    const auto t0 = Clock::now();
+    fn(self, task);
+    clock[self] += secondsSince(t0);
+    stats.items[self] += 1;
+    --remaining;
+  }
+  stats.busySeconds = std::move(clock);
+  stats.steals = stealOps;
   return stats;
 }
 

@@ -1,36 +1,102 @@
-// v6t::analysis — deterministic work-queue parallel-for.
+// v6t::analysis — deterministic parallel dispatch primitives.
 //
-// The analysis pipeline's concurrency primitive: run fn(worker, i) for
-// every i in [0, n) on up to `threads` workers pulling chunks from one
-// atomic cursor. Scheduling is dynamic (workers steal the next chunk when
-// free), so the ASSIGNMENT of items to workers varies run to run — the
-// determinism contract therefore rests entirely on the caller: fn must be
-// a pure function of i writing only to pre-sized output slot(s) owned by
-// item i. Under that discipline the merged output is bitwise-identical
-// for every thread count, the same argument DESIGN.md §8 makes for the
-// sharded runner.
+// Two primitives with one determinism contract: fn must be a pure
+// function of its item index writing only to pre-sized output slot(s)
+// owned by that item. Under that discipline the merged output is
+// bitwise-identical for every worker count — the same argument DESIGN.md
+// §8 makes for the sharded runner — because only the ASSIGNMENT of items
+// to workers varies run to run, never what an item computes.
 //
-// threads <= 1 (or n <= 1) executes inline on the calling thread with no
-// thread spawned — the serial reference the equivalence tests compare
-// against.
+//   parallelFor        uniform items over one chunked atomic cursor; the
+//                      cheap path for loops whose items cost about the
+//                      same (summary fan-out, small fixed task sets).
+//
+//   parallelForCosted  the cost-aware scheduler (DESIGN.md §13): items
+//                      carry caller-estimated costs, dispatch order is
+//                      longest-processing-time-first (LPT), workers pull
+//                      from per-worker deques seeded by greedy LPT
+//                      assignment and steal half a victim's remaining
+//                      tail when their own deque drains. Heavy-tailed
+//                      workloads (a handful of heavy-hitter sources
+//                      dominating the capture) stay balanced instead of
+//                      serializing behind whichever worker drew the big
+//                      item.
+//
+// parallelForCosted can also run on VIRTUAL worker clocks (`virtualTime`):
+// every task executes once on the calling thread, but scheduling
+// decisions replay the real policy against per-worker virtual clocks
+// advanced by each task's measured duration. The resulting busySeconds /
+// makespan model what an N-core host would see — the only way to measure
+// scheduler quality on the single-core CI containers the committed
+// baselines come from — while the task results (and thus the digest) are
+// exactly the serial reference's.
+//
+// threads <= 1 (or n <= 1) executes inline on the calling thread in item
+// order with no thread spawned — the serial reference the equivalence
+// tests compare against.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 namespace v6t::analysis {
 
-/// What each worker did — items processed and wall seconds spent inside
-/// the loop — for the pipeline's worker-imbalance histogram. Entry w
-/// belongs to worker w; inline execution reports one worker.
+/// What the dispatch did: per-worker items and busy seconds (wall in
+/// thread mode, virtual clocks in virtual-time mode) for the pipeline's
+/// worker-imbalance histogram, plus scheduler counters. Entry w belongs
+/// to worker w; inline execution reports one worker.
 struct ParallelForStats {
   std::vector<std::uint64_t> items;
   std::vector<double> busySeconds;
+  /// Successful steal operations (each may move a chunk of tasks).
+  std::uint64_t steals = 0;
+  /// Heavy items subdivided into subtasks — filled by callers that split
+  /// (classifyIndexed, the NIST stage), not by the scheduler itself.
+  std::uint64_t splits = 0;
+  /// Estimated cost of every scheduled task (the scheduler's input), for
+  /// the `analysis.sched.task_cost` histogram. Empty for parallelFor.
+  std::vector<std::uint64_t> taskCosts;
+
+  /// Longest worker busy time — the modeled parallel wall clock of the
+  /// dispatched stage.
+  [[nodiscard]] double makespanSeconds() const;
+  /// Total work executed across workers.
+  [[nodiscard]] double busyTotalSeconds() const;
+  /// Fold another dispatch's stats in (per-worker entries add pairwise;
+  /// counters and task costs accumulate) — for stages that run more than
+  /// one dispatch (fingerprint: DBSCAN adjacency + hop-limit scan).
+  void absorb(const ParallelForStats& other);
 };
+
+/// Cost threshold (in scheduler cost units — roughly packets touched)
+/// at or above which a single source/session is split into subtasks.
+/// Configurable as `analysis.min_split_cost`.
+inline constexpr std::uint64_t kDefaultMinSplitCost = 16384;
+
+/// Scheduler knobs threaded from PipelineOptions into the stages.
+struct ScheduleParams {
+  std::uint64_t minSplitCost = kDefaultMinSplitCost;
+  /// Replay the schedule on virtual worker clocks (see file comment).
+  bool virtualTime = false;
+};
+
+/// Canonical LPT dispatch order: item indices sorted by estimated cost
+/// descending, ties broken by index ascending. Exposed for the scheduler
+/// property tests.
+[[nodiscard]] std::vector<std::size_t> lptOrder(
+    std::span<const std::uint64_t> costs);
 
 ParallelForStats parallelFor(
     std::size_t n, unsigned threads,
     const std::function<void(unsigned worker, std::size_t index)>& fn);
+
+/// Cost-aware dispatch of items [0, costs.size()) — see file comment.
+/// A zero cost is treated as 1 (every task occupies a schedule slot).
+ParallelForStats parallelForCosted(
+    std::span<const std::uint64_t> costs, unsigned threads,
+    const std::function<void(unsigned worker, std::size_t index)>& fn,
+    bool virtualTime = false);
 
 } // namespace v6t::analysis

@@ -35,6 +35,16 @@ void fnv1a(std::uint64_t& h, const NistSummary& s) {
   fnvDouble(h, s.cusumBackward.pValue);
 }
 
+/// Bucket bounds for the `analysis.sched.task_cost` histogram, in
+/// scheduler cost units (~packets touched) — powers of four spanning a
+/// trivial source to a heavy hitter far above the split threshold.
+std::span<const double> costBounds() {
+  static const std::vector<double> bounds{16.0,    64.0,    256.0,
+                                          1024.0,  4096.0,  16384.0,
+                                          65536.0, 262144.0, 1048576.0};
+  return bounds;
+}
+
 /// Builds the index inside an `analysis.index_seconds` span; guaranteed
 /// copy elision constructs it straight into the Pipeline member.
 CaptureIndex makeIndex(std::span<const net::Packet> packets,
@@ -132,6 +142,18 @@ void Pipeline::recordWorkerStats(const ParallelForStats& stats) const {
     registry_->gauge("analysis.worker_imbalance_ratio", obs::GaugeMode::Max)
         .max(maxBusy / mean);
   }
+  registry_->counter("analysis.sched.steals_total").inc(stats.steals);
+  registry_->counter("analysis.sched.splits_total").inc(stats.splits);
+  // Σ makespan across dispatches: with virtualTime this is the modeled
+  // parallel wall clock of everything dispatched (the bench derives the
+  // schedule-modeled pipeline time from it, DESIGN.md §13).
+  registry_->gauge("analysis.sched.makespan_seconds", obs::GaugeMode::Sum)
+      .add(stats.makespanSeconds());
+  obs::Histogram& costHist =
+      registry_->histogram("analysis.sched.task_cost", costBounds());
+  for (std::uint64_t cost : stats.taskCosts) {
+    costHist.observe(static_cast<double>(cost));
+  }
 }
 
 PipelineResult Pipeline::run(const bgp::SplitSchedule* schedule,
@@ -139,6 +161,7 @@ PipelineResult Pipeline::run(const bgp::SplitSchedule* schedule,
   PipelineResult result;
   const std::uint64_t rescans0 = index_.rescansAvoided();
   const std::uint64_t spans0 = index_.targetSpansServed();
+  const ScheduleParams sched{opts.minSplitCost, opts.virtualTime};
 
   // Span is pinned to its histogram and non-movable; emplace per stage.
   if (opts.taxonomy) {
@@ -149,7 +172,7 @@ PipelineResult Pipeline::run(const bgp::SplitSchedule* schedule,
     ParallelForStats stats;
     result.taxonomy =
         classifyIndexed(index_, schedule, opts.threads, opts.temporalParams,
-                        opts.addrParams, opts.netParams, &stats);
+                        opts.addrParams, opts.netParams, &stats, sched);
     recordWorkerStats(stats);
   }
 
@@ -163,16 +186,62 @@ PipelineResult Pipeline::run(const bgp::SplitSchedule* schedule,
       }
     }
     result.nist.resize(eligible.size());
-    const ParallelForStats stats = parallelFor(
-        eligible.size(), opts.threads, [&](unsigned, std::size_t i) {
-          const std::uint32_t si = eligible[i];
+    // Task list: a light session is one whole-battery task per axis; a
+    // session whose estimated cost reaches minSplitCost further splits
+    // each axis into Spectral / NonSpectral test-block subtasks writing
+    // disjoint NistSummary fields of its pre-assigned slot. Slot
+    // identity is fixed here, serially, before any worker runs.
+    struct NistTask {
+      std::uint32_t slot;
+      std::uint8_t axis; // 0 = iid (bits 64..127), 1 = subnet (32..63)
+      NistBlock block;
+    };
+    std::vector<NistTask> tasks;
+    std::vector<std::uint64_t> costs;
+    std::uint64_t splits = 0;
+    for (std::uint32_t i = 0; i < eligible.size(); ++i) {
+      result.nist[i].sessionIdx = eligible[i];
+      const std::uint64_t cost = index_.nistCostOf(eligible[i]);
+      if (cost < opts.minSplitCost) {
+        tasks.push_back({i, 0, NistBlock::All});
+        tasks.push_back({i, 1, NistBlock::All});
+        costs.push_back(cost / 2);
+        costs.push_back(cost / 2);
+        continue;
+      }
+      ++splits;
+      for (std::uint8_t axis = 0; axis < 2; ++axis) {
+        tasks.push_back({i, axis, NistBlock::Spectral});
+        costs.push_back(cost / 4);
+        tasks.push_back({i, axis, NistBlock::NonSpectral});
+        costs.push_back(cost / 4);
+      }
+    }
+    ParallelForStats stats = parallelForCosted(
+        costs, opts.threads,
+        [&](unsigned, std::size_t t) {
+          const NistTask& task = tasks[t];
           const std::span<const net::Ipv6Address> targets =
-              index_.targetsOf(si);
-          SessionNist& out = result.nist[i];
-          out.sessionIdx = si;
-          out.iid = runAllNistTests(bitsFromAddresses(targets, 64, 64));
-          out.subnet = runAllNistTests(bitsFromAddresses(targets, 32, 32));
-        });
+              index_.targetsOf(result.nist[task.slot].sessionIdx);
+          const BitSequence bits =
+              task.axis == 0 ? bitsFromAddresses(targets, 64, 64)
+                             : bitsFromAddresses(targets, 32, 32);
+          const NistSummary summary = runNistTests(bits, task.block);
+          NistSummary& out = task.axis == 0 ? result.nist[task.slot].iid
+                                            : result.nist[task.slot].subnet;
+          // Field-wise merge: each block writes only its own fields.
+          if (task.block != NistBlock::Spectral) {
+            out.frequency = summary.frequency;
+            out.runs = summary.runs;
+            out.cusumForward = summary.cusumForward;
+            out.cusumBackward = summary.cusumBackward;
+          }
+          if (task.block != NistBlock::NonSpectral) {
+            out.spectral = summary.spectral;
+          }
+        },
+        opts.virtualTime);
+    stats.splits = splits;
     recordWorkerStats(stats);
   }
 
@@ -191,8 +260,11 @@ PipelineResult Pipeline::run(const bgp::SplitSchedule* schedule,
     if (registry_ != nullptr) {
       span.emplace(*registry_, "analysis.fingerprint_seconds");
     }
-    result.fingerprint =
-        fingerprintSessions(index_, opts.rdns, opts.fingerprintParams);
+    ParallelForStats stats;
+    result.fingerprint = fingerprintSessions(
+        index_, opts.rdns, opts.fingerprintParams, opts.threads, sched,
+        &stats);
+    recordWorkerStats(stats);
   }
 
   if (registry_ != nullptr) {

@@ -295,30 +295,37 @@ std::uint64_t TaxonomyResult::sessionsOf(NetworkSelection s) const {
 
 namespace {
 
-/// Classify source `srcIdx` into its pre-sized slots of `out`. Pure
-/// function of the index memos — the unit of work the pipeline dispatches
-/// to its workers, and the reason any thread count yields identical
-/// results.
-void classifyOneSource(const CaptureIndex& index, std::size_t srcIdx,
-                       const bgp::SplitSchedule* schedule,
-                       const PeriodDetectorParams& temporalParams,
+/// Address-classify a block of one source's sessions: per-session labels
+/// go to disjoint `sessionAddrSel` slots, the tallies to `counts` — the
+/// profile's own counters for an unsplit source, a private per-block slot
+/// for a split one. Pure function of the block.
+void classifyAddrBlock(const CaptureIndex& index,
+                       std::span<const std::uint32_t> sessionIdx,
                        const AddressSelectionParams& addrParams,
-                       const NetworkSelectionParams& netParams,
-                       TaxonomyResult& out) {
+                       std::vector<AddressSelection>& sessionAddrSel,
+                       std::uint64_t counts[3]) {
+  for (std::uint32_t si : sessionIdx) {
+    const AddressSelection sel =
+        classifyAddressSelection(index.targetsOf(si), addrParams);
+    sessionAddrSel[si] = sel;
+    counts[static_cast<std::size_t>(sel)]++;
+  }
+}
+
+/// The non-address axes of source `srcIdx` — profile identity, temporal
+/// class, network selection — independent of the address blocks, so a
+/// split source can run this concurrently with them.
+void classifySourceRest(const CaptureIndex& index, std::size_t srcIdx,
+                        const bgp::SplitSchedule* schedule,
+                        const PeriodDetectorParams& temporalParams,
+                        const NetworkSelectionParams& netParams,
+                        TaxonomyResult& out) {
   const std::span<const telescope::Session> sessions = index.sessions();
   const std::span<const std::uint32_t> sessionIdx = index.sessionsOf(srcIdx);
 
   ScannerProfile& profile = out.profiles[srcIdx];
   profile.source = index.source(srcIdx);
   profile.sessionIdx.assign(sessionIdx.begin(), sessionIdx.end());
-
-  // Per-session address selection over the memoized target spans.
-  for (std::uint32_t si : sessionIdx) {
-    const AddressSelection sel =
-        classifyAddressSelection(index.targetsOf(si), addrParams);
-    out.sessionAddrSel[si] = sel;
-    profile.sessionsByAddrSel[static_cast<std::size_t>(sel)]++;
-  }
 
   profile.temporal =
       classifyTemporal(index.sessionStartsOf(srcIdx), temporalParams);
@@ -374,7 +381,8 @@ TaxonomyResult classifyIndexed(const CaptureIndex& index,
                                const PeriodDetectorParams& temporalParams,
                                const AddressSelectionParams& addrParams,
                                const NetworkSelectionParams& netParams,
-                               ParallelForStats* statsOut) {
+                               ParallelForStats* statsOut,
+                               const ScheduleParams& sched) {
   TaxonomyResult result;
   result.sessionAddrSel.assign(index.sessions().size(),
                                AddressSelection::Unknown);
@@ -383,12 +391,93 @@ TaxonomyResult classifyIndexed(const CaptureIndex& index,
   // re-extract targets / gather starts; the index serves them from memos.
   index.noteRescanAvoided();
   index.noteRescanAvoided();
-  ParallelForStats stats =
-      parallelFor(index.sourceCount(), threads,
-                  [&](unsigned, std::size_t srcIdx) {
-                    classifyOneSource(index, srcIdx, schedule, temporalParams,
-                                      addrParams, netParams, result);
-                  });
+
+  // Build the task list: light sources are one task; a source whose
+  // estimated cost reaches minSplitCost splits into session-block
+  // subtasks (~minSplitCost/2 each) plus a rest subtask. Block
+  // boundaries depend only on the index and minSplitCost — never on the
+  // thread count — so the task list itself is deterministic.
+  struct Task {
+    enum Kind : std::uint8_t { Whole, Block, Rest };
+    std::uint32_t source;
+    std::uint32_t begin; // session-block range within sessionsOf(source)
+    std::uint32_t end;
+    std::uint32_t countSlot; // into blockCounts (Block tasks only)
+    Kind kind;
+  };
+  std::vector<Task> tasks;
+  std::vector<std::uint64_t> costs;
+  std::vector<std::array<std::uint64_t, 3>> blockCounts;
+  std::uint64_t splits = 0;
+  const std::uint64_t blockTarget =
+      std::max<std::uint64_t>(sched.minSplitCost / 2, 1);
+
+  for (std::size_t i = 0; i < index.sourceCount(); ++i) {
+    const auto source = static_cast<std::uint32_t>(i);
+    const std::uint64_t cost = index.classifyCostOf(i);
+    const std::span<const std::uint32_t> sess = index.sessionsOf(i);
+    const auto sessCount = static_cast<std::uint32_t>(sess.size());
+    if (cost < sched.minSplitCost || sess.size() < 2) {
+      tasks.push_back({source, 0, sessCount, 0, Task::Whole});
+      costs.push_back(cost);
+      continue;
+    }
+    ++splits;
+    std::uint32_t begin = 0;
+    std::uint64_t acc = 0;
+    for (std::uint32_t k = 0; k < sessCount; ++k) {
+      acc += index.sessionPacketCountOf(sess[k]) + 32;
+      if (acc >= blockTarget || k + 1 == sessCount) {
+        tasks.push_back({source, begin, k + 1,
+                         static_cast<std::uint32_t>(blockCounts.size()),
+                         Task::Block});
+        blockCounts.push_back({0, 0, 0});
+        costs.push_back(acc);
+        begin = k + 1;
+        acc = 0;
+      }
+    }
+    tasks.push_back({source, 0, 0, 0, Task::Rest});
+    costs.push_back(32 * static_cast<std::uint64_t>(sessCount));
+  }
+
+  ParallelForStats stats = parallelForCosted(
+      costs, threads,
+      [&](unsigned, std::size_t t) {
+        const Task& task = tasks[t];
+        const std::span<const std::uint32_t> sess =
+            index.sessionsOf(task.source);
+        switch (task.kind) {
+          case Task::Whole:
+            classifyAddrBlock(index, sess, addrParams, result.sessionAddrSel,
+                              result.profiles[task.source].sessionsByAddrSel);
+            classifySourceRest(index, task.source, schedule, temporalParams,
+                               netParams, result);
+            break;
+          case Task::Block:
+            classifyAddrBlock(index,
+                              sess.subspan(task.begin, task.end - task.begin),
+                              addrParams, result.sessionAddrSel,
+                              blockCounts[task.countSlot].data());
+            break;
+          case Task::Rest:
+            classifySourceRest(index, task.source, schedule, temporalParams,
+                               netParams, result);
+            break;
+        }
+      },
+      sched.virtualTime);
+  stats.splits = splits;
+
+  // Canonical reduction: fold the private block counters into their
+  // profiles in task-list (source, block) order — fixed regardless of
+  // which worker computed each block.
+  for (const Task& task : tasks) {
+    if (task.kind != Task::Block) continue;
+    std::uint64_t* dst = result.profiles[task.source].sessionsByAddrSel;
+    for (std::size_t c = 0; c < 3; ++c) dst[c] += blockCounts[task.countSlot][c];
+  }
+
   if (statsOut != nullptr) *statsOut = std::move(stats);
   return result;
 }

@@ -156,10 +156,17 @@ class CaptureIndex;
 
 /// Taxonomy over a pre-built shared index: targets and session-start runs
 /// come from the index memos instead of fresh packet-vector walks, and the
-/// per-source classification fans out over `threads` workers. Each source
-/// is a pure function of its own sessions writing to a pre-sized result
-/// slot in canonical source order, so the result is bitwise-identical for
-/// every thread count (including 1, the serial reference).
+/// per-source classification fans out cost-aware (LPT + work stealing,
+/// DESIGN.md §13) over `threads` workers, with per-source costs estimated
+/// from the index aggregates. Sources whose estimated cost reaches
+/// `sched.minSplitCost` are split: their per-session address
+/// classification becomes session-block subtasks writing disjoint
+/// `sessionAddrSel` slots plus private per-block counters, the
+/// temporal/network axes become a rest subtask, and the block counters
+/// fold into the profile in canonical block order after the dispatch.
+/// Every subtask is a pure function of its slice writing to pre-sized
+/// slots, so the result is bitwise-identical for every thread count
+/// (including 1, the serial reference) and for split vs unsplit.
 /// `statsOut`, when non-null, receives the worker fan-out statistics for
 /// the pipeline's imbalance instrumentation.
 [[nodiscard]] TaxonomyResult classifyIndexed(
@@ -167,6 +174,6 @@ class CaptureIndex;
     unsigned threads = 1, const PeriodDetectorParams& temporalParams = {},
     const AddressSelectionParams& addrParams = {},
     const NetworkSelectionParams& netParams = {},
-    ParallelForStats* statsOut = nullptr);
+    ParallelForStats* statsOut = nullptr, const ScheduleParams& sched = {});
 
 } // namespace v6t::analysis

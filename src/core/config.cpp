@@ -150,6 +150,13 @@ ConfigParseResult parseExperimentConfig(std::istream& in) {
       } else {
         c.analysisThreads = static_cast<unsigned>(v);
       }
+    } else if (key == "analysis.min_split_cost") {
+      std::uint64_t v = 0;
+      if (!parseU64(value, v) || v < 1) {
+        error("analysis.min_split_cost must be >= 1: '" + value + "'");
+      } else {
+        c.analysisMinSplitCost = v;
+      }
     } else if (key == "our_asn") {
       std::uint64_t v = 0;
       if (!parseU64(value, v) || v == 0 || v > 0xffffffffULL) {
@@ -226,6 +233,9 @@ std::string formatExperimentConfig(const ExperimentConfig& c) {
   // test).
   if (c.analysisThreads != 0) {
     out << "analysis.threads = " << c.analysisThreads << "\n";
+  }
+  if (c.analysisMinSplitCost != ExperimentConfig{}.analysisMinSplitCost) {
+    out << "analysis.min_split_cost = " << c.analysisMinSplitCost << "\n";
   }
   // Fault keys only when configured: fault-free configs format exactly as
   // they did before the fault layer existed (golden round-trip test).

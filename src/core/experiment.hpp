@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "analysis/parallel.hpp"
 #include "bgp/feed.hpp"
 #include "bgp/hitlist.hpp"
 #include "bgp/rib.hpp"
@@ -73,6 +74,11 @@ struct ExperimentConfig {
   [[nodiscard]] unsigned effectiveAnalysisThreads() const {
     return analysisThreads != 0 ? analysisThreads : threads;
   }
+
+  /// Cost threshold at which the analysis scheduler splits a heavy
+  /// source/session into subtasks (DESIGN.md §13). Never changes results
+  /// — only how the work is diced for the workers.
+  std::uint64_t analysisMinSplitCost = analysis::kDefaultMinSplitCost;
 
   /// Fault-injection spec, honored by the parallel ExperimentRunner (the
   /// serial Experiment is kept fault-free as the pristine reference). An

@@ -37,7 +37,7 @@ core::ExperimentConfig smallConfig() {
   return config;
 }
 
-constexpr unsigned kThreadCounts[] = {1, 2, 8};
+constexpr unsigned kThreadCounts[] = {1, 2, 3, 8, 16};
 
 class PipelineTest : public ::testing::Test {
 protected:
@@ -290,6 +290,133 @@ TEST_F(PipelineTest, ParallelForVisitsEveryIndexOnce) {
     for (std::uint64_t n : stats.items) items += n;
     EXPECT_EQ(items, visits.size());
     EXPECT_EQ(stats.items.size(), stats.busySeconds.size());
+  }
+}
+
+TEST_F(PipelineTest, CostEstimatesMonotoneInPacketCount) {
+  const CaptureIndex index{packets(), sessions()};
+  // Session cost: strictly monotone in the session's packet count.
+  for (std::uint32_t s = 0; s + 1 < sessions().size(); ++s) {
+    for (std::uint32_t t = s + 1; t < std::min<std::uint32_t>(
+                                      s + 64, static_cast<std::uint32_t>(
+                                                  sessions().size()));
+         ++t) {
+      const std::uint64_t ps = index.sessionPacketCountOf(s);
+      const std::uint64_t pt = index.sessionPacketCountOf(t);
+      if (ps < pt) {
+        EXPECT_LT(index.nistCostOf(s), index.nistCostOf(t));
+      } else if (ps == pt) {
+        EXPECT_EQ(index.nistCostOf(s), index.nistCostOf(t));
+      } else {
+        EXPECT_GT(index.nistCostOf(s), index.nistCostOf(t));
+      }
+    }
+  }
+  // Source cost: monotone in packets for equal session counts, and
+  // never below either component.
+  for (std::size_t i = 0; i < index.sourceCount(); ++i) {
+    const std::uint64_t cost = index.classifyCostOf(i);
+    EXPECT_GE(cost, index.aggregatesOf(i).packets);
+    EXPECT_GE(cost, 32 * static_cast<std::uint64_t>(index.sessionCountOf(i)));
+    for (std::size_t j = i + 1; j < std::min(i + 64, index.sourceCount());
+         ++j) {
+      if (index.sessionCountOf(i) != index.sessionCountOf(j)) continue;
+      const std::uint64_t pi = index.aggregatesOf(i).packets;
+      const std::uint64_t pj = index.aggregatesOf(j).packets;
+      if (pi < pj) {
+        EXPECT_LT(cost, index.classifyCostOf(j));
+      } else if (pi > pj) {
+        EXPECT_GT(cost, index.classifyCostOf(j));
+      }
+    }
+  }
+}
+
+TEST_F(PipelineTest, WorkerStatsFoldIntoImbalanceAndSchedCounters) {
+  obs::Registry registry;
+  const Pipeline pipeline{packets(), sessions(), &registry};
+  PipelineOptions opts;
+  opts.threads = 8;
+  opts.nistBattery = true;
+  opts.minSplitCost = 512; // force splits on this small corpus
+  (void)pipeline.run(&experiment_->schedule(), opts);
+
+  // Per-worker items fold through the shard-registry path; every
+  // dispatched stage contributes at least one task per source/session,
+  // so the total must cover the source count.
+  EXPECT_GE(registry.value("analysis.worker.items_total").value_or(0),
+            static_cast<double>(pipeline.index().sourceCount()));
+  // busy-seconds sum and the imbalance ratio derived from it: the ratio
+  // is max/mean over workers, so it is >= 1 whenever any work was done.
+  EXPECT_GT(registry.value("analysis.worker.busy_seconds").value_or(0), 0.0);
+  EXPECT_GE(registry.value("analysis.worker_imbalance_ratio").value_or(0),
+            1.0);
+  // Scheduler counters: splitting must have happened at this threshold;
+  // steal count is workload-dependent but the counter must exist.
+  EXPECT_GT(registry.value("analysis.sched.splits_total").value_or(0), 0.0);
+  EXPECT_TRUE(registry.value("analysis.sched.steals_total").has_value());
+  EXPECT_GT(registry.value("analysis.sched.makespan_seconds").value_or(0),
+            0.0);
+}
+
+// --- adversarial-skew digest sweep ---------------------------------------
+
+/// One source holding ~90% of the packets — the capture shape the
+/// cost-aware scheduler exists for — over gap-window faults that split
+/// its sessions. The digest must be invariant across thread counts, the
+/// virtual-time replay, and split thresholds.
+TEST(PipelineAdversarial, SkewedCaptureDigestInvariant) {
+  sim::Rng rng{20260807};
+  std::vector<net::Packet> packets;
+  const net::Ipv6Address heavySrc{0x2001'0db8'beef'0000ULL, 7};
+  std::int64_t now = 0;
+  while (packets.size() < 12'000) {
+    now += 1 + static_cast<std::int64_t>(rng.below(1500));
+    net::Packet p;
+    p.ts = sim::SimTime{now};
+    p.src = rng.below(10) != 0
+                ? heavySrc
+                : net::Ipv6Address{0x2001'0db8'0000'0000ULL + rng.below(32),
+                                   1};
+    p.dst = net::Ipv6Address{0x2001'0db8'ffff'0000ULL, rng.next()};
+    packets.push_back(p);
+  }
+  // Active fault-injection gap windows: a few outages inside the horizon
+  // force session closes mid-stream for the heavy source.
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps;
+  for (int g = 1; g <= 3; ++g) {
+    const std::int64_t at = now * g / 4;
+    gaps.emplace_back(sim::SimTime{at}, sim::SimTime{at + 20 * 60 * 1000});
+  }
+  const std::vector<telescope::Session> sessions = telescope::sessionize(
+      packets, telescope::SourceAgg::Addr128, sim::minutes(30), nullptr,
+      gaps);
+
+  std::uint64_t reference = 0;
+  bool first = true;
+  for (const std::uint64_t minSplitCost :
+       {std::uint64_t{256}, kDefaultMinSplitCost, ~std::uint64_t{0}}) {
+    for (const bool virtualTime : {false, true}) {
+      for (const unsigned threads : kThreadCounts) {
+        PipelineOptions opts;
+        opts.threads = threads;
+        opts.minSplitCost = minSplitCost;
+        opts.virtualTime = virtualTime;
+        opts.nistBattery = true;
+        const PipelineResult result =
+            Pipeline::analyze(packets, sessions, nullptr, opts);
+        if (first) {
+          reference = result.digest();
+          first = false;
+          EXPECT_FALSE(result.nist.empty());
+          EXPECT_GT(result.taxonomy.profiles.size(), 10u);
+        } else {
+          EXPECT_EQ(result.digest(), reference)
+              << "threads=" << threads << " minSplitCost=" << minSplitCost
+              << " virtual=" << virtualTime;
+        }
+      }
+    }
   }
 }
 

@@ -266,6 +266,7 @@ int main(int argc, char** argv) {
 
     analysis::PipelineOptions pipelineOptions;
     pipelineOptions.threads = analysisThreads;
+    pipelineOptions.minSplitCost = config.analysisMinSplitCost;
     pipelineOptions.fingerprint = false; // overview needs taxonomy + hitters
     for (std::size_t t = 0; t < 4; ++t) {
       const analysis::Pipeline pipeline{captures[t]->packets(),
