@@ -67,6 +67,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "analysis/capture_index.hpp"
 #include "analysis/pipeline.hpp"
@@ -254,6 +255,8 @@ int main(int argc, char** argv) {
     registry.gauge(std::string{"bench.analysis_speedup."} + name).set(v);
   };
   gauge("threads", threads);
+  const unsigned hw = std::thread::hardware_concurrency();
+  gauge("cores_available", static_cast<double>(hw == 0 ? 1u : hw));
   gauge("packets", static_cast<double>(capture.packetCount()));
   gauge("sessions", static_cast<double>(sessions.size()));
   gauge("sources", static_cast<double>(index.sourceCount()));

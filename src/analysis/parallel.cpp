@@ -8,6 +8,8 @@
 #include <numeric>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace v6t::analysis {
 
 namespace {
@@ -16,6 +18,32 @@ using Clock = std::chrono::steady_clock;
 
 double secondsSince(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Wall-domain trace timebase: microseconds since the first scheduler
+/// activity of the process, shared across parallelForCosted invocations so
+/// consecutive analysis stages land on one contiguous timeline.
+std::int64_t traceMicros() {
+  static const Clock::time_point t0 = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               t0)
+      .count();
+}
+
+/// Record one executed task as a wall-domain SchedSlice on `worker`'s lane.
+void traceSlice(obs::trace::Tracer* tracer, unsigned worker, std::size_t task,
+                std::int64_t startUs) {
+  tracer->recordWall({startUs, 0, task,
+                      static_cast<std::uint64_t>(traceMicros() - startUs),
+                      worker, obs::trace::EventKind::SchedSlice,
+                      obs::trace::ClockDomain::Wall});
+}
+
+void traceSteal(obs::trace::Tracer* tracer, unsigned thief,
+                std::size_t chunk) {
+  tracer->recordWall({traceMicros(), 0, chunk, 0, thief,
+                      obs::trace::EventKind::SchedSteal,
+                      obs::trace::ClockDomain::Wall});
 }
 
 constexpr unsigned kMaxWorkers = 64;
@@ -215,6 +243,7 @@ ParallelForStats parallelForCosted(
   std::vector<std::unique_ptr<WorkerQueue>> queues = assignLpt(costs, workers);
 
   if (!virtualTime) {
+    obs::trace::Tracer* tracer = obs::trace::wallTracer();
     std::atomic<std::uint64_t> stealOps{0};
     auto work = [&](unsigned self) {
       const auto t0 = Clock::now();
@@ -226,10 +255,19 @@ ParallelForStats parallelForCosted(
           batch.push_back(own);
         } else if (stealChunk(queues, costs, self, batch)) {
           stealOps.fetch_add(1, std::memory_order_relaxed);
+          if (tracer != nullptr) traceSteal(tracer, self, batch.size());
         } else {
           break;
         }
-        for (std::size_t idx : batch) fn(self, idx);
+        if (tracer != nullptr) {
+          for (std::size_t idx : batch) {
+            const std::int64_t startUs = traceMicros();
+            fn(self, idx);
+            traceSlice(tracer, self, idx, startUs);
+          }
+        } else {
+          for (std::size_t idx : batch) fn(self, idx);
+        }
         stats.items[self] += batch.size();
       }
       stats.busySeconds[self] = secondsSince(t0);
@@ -249,6 +287,7 @@ ParallelForStats parallelForCosted(
   // calling thread; each measured duration advances only its virtual
   // worker's clock, so busySeconds/makespan model the N-worker schedule
   // while the results are bit-for-bit the serial reference's.
+  obs::trace::Tracer* tracer = obs::trace::wallTracer();
   std::vector<double> clock(workers, 0.0);
   std::vector<std::vector<std::size_t>> pending(workers); // stolen batches
   std::vector<bool> active(workers, true);
@@ -269,6 +308,7 @@ ParallelForStats parallelForCosted(
       // own deque head
     } else if (stealChunk(queues, costs, self, pending[self])) {
       ++stealOps;
+      if (tracer != nullptr) traceSteal(tracer, self, pending[self].size());
       task = pending[self].back();
       pending[self].pop_back();
     } else {
@@ -276,7 +316,9 @@ ParallelForStats parallelForCosted(
       continue;
     }
     const auto t0 = Clock::now();
+    const std::int64_t startUs = tracer != nullptr ? traceMicros() : 0;
     fn(self, task);
+    if (tracer != nullptr) traceSlice(tracer, self, task, startUs);
     clock[self] += secondsSince(t0);
     stats.items[self] += 1;
     --remaining;

@@ -28,11 +28,30 @@ void BgpFeed::bindMetrics(obs::Registry& registry) {
                                      obs::delayBoundsSeconds());
 }
 
+void BgpFeed::stampTrace(BgpUpdate& update, sim::SimTime now) {
+  update.seq = updateSeq_++;
+  update.originTs = now;
+  if (tracer_ == nullptr) return;
+  update.traceId = tracer_->updateTraceId(update.seq);
+  // Every shard replays the same script and stamps the same IDs, but only
+  // the control-plane owner emits the root — one root per update, run-wide.
+  if (tracer_->controlPlaneOwner()) {
+    tracer_->record({now.millis(), update.traceId,
+                     update.prefix.address().hi64(),
+                     (static_cast<std::uint64_t>(update.prefix.length()) << 32) |
+                         (update.kind == UpdateKind::Announce ? 1u : 0u),
+                     0, obs::trace::EventKind::BgpUpdateRoot,
+                     obs::trace::ClockDomain::Sim});
+  }
+}
+
 void BgpFeed::announce(const net::Prefix& prefix, net::Asn origin) {
   const sim::SimTime now = engine_.now();
   rib_.announce(prefix, origin, now);
   if (announcesMetric_ != nullptr) announcesMetric_->inc();
-  publish(BgpUpdate{UpdateKind::Announce, prefix, origin, now});
+  BgpUpdate update{UpdateKind::Announce, prefix, origin, now, now, 0, 0};
+  stampTrace(update, now);
+  publish(update);
 }
 
 void BgpFeed::withdraw(const net::Prefix& prefix) {
@@ -41,7 +60,9 @@ void BgpFeed::withdraw(const net::Prefix& prefix) {
   const net::Asn origin = entry != nullptr ? entry->origin : net::Asn{};
   rib_.withdraw(prefix, now);
   if (withdrawsMetric_ != nullptr) withdrawsMetric_->inc();
-  publish(BgpUpdate{UpdateKind::Withdraw, prefix, origin, now});
+  BgpUpdate update{UpdateKind::Withdraw, prefix, origin, now, now, 0, 0};
+  stampTrace(update, now);
+  publish(update);
 }
 
 void BgpFeed::publish(const BgpUpdate& update) {

@@ -15,6 +15,7 @@
 #include "bgp/rib.hpp"
 #include "bgp/update.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 
@@ -73,6 +74,13 @@ public:
   /// must outlive the feed.
   void bindMetrics(obs::Registry& registry);
 
+  /// Attach the flight recorder: every update gets a deterministic trace ID
+  /// stamped (a pure function of seed and sequence number — stamping happens
+  /// whether or not recording is enabled, so traced and untraced runs follow
+  /// identical code paths), and the control-plane-owning tracer records one
+  /// BgpUpdateRoot per update. The tracer must outlive the feed.
+  void bindTrace(obs::trace::Tracer* tracer) { tracer_ = tracer; }
+
 private:
   struct Subscriber {
     PropagationModel model;
@@ -81,11 +89,15 @@ private:
   };
 
   void publish(const BgpUpdate& update);
+  /// Assign seq/originTs/traceId and record the trace root.
+  void stampTrace(BgpUpdate& update, sim::SimTime now);
 
   sim::Engine& engine_;
   Rib& rib_;
   std::uint64_t seed_;
   SubscriberId nextId_ = 1;
+  std::uint64_t updateSeq_ = 0;
+  obs::trace::Tracer* tracer_ = nullptr;
   obs::Counter* announcesMetric_ = nullptr;
   obs::Counter* withdrawsMetric_ = nullptr;
   obs::Counter* deliveriesMetric_ = nullptr;

@@ -14,7 +14,7 @@ std::string BgpUpdate::toString() const {
 
 void Rib::announce(const net::Prefix& prefix, net::Asn origin, sim::SimTime t) {
   table_.insert(prefix, RouteEntry{origin, t});
-  history_.push_back(BgpUpdate{UpdateKind::Announce, prefix, origin, t});
+  history_.push_back(BgpUpdate{UpdateKind::Announce, prefix, origin, t, t});
   ++announces_;
 }
 
@@ -23,7 +23,7 @@ void Rib::withdraw(const net::Prefix& prefix, sim::SimTime t) {
   if (entry == nullptr) return;
   const net::Asn origin = entry->origin;
   table_.erase(prefix);
-  history_.push_back(BgpUpdate{UpdateKind::Withdraw, prefix, origin, t});
+  history_.push_back(BgpUpdate{UpdateKind::Withdraw, prefix, origin, t, t});
   ++withdraws_;
 }
 

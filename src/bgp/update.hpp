@@ -17,6 +17,11 @@ struct BgpUpdate {
   net::Prefix prefix;
   net::Asn origin;
   sim::SimTime ts; // when the update became visible to the observer
+  sim::SimTime originTs; // when the update happened at the origin
+  std::uint64_t seq = 0; // feed-local update sequence number
+  /// Flight-recorder causal root (obs::trace). 0 = untraced. Derived purely
+  /// from (experiment seed, seq), so shard-invariant.
+  std::uint64_t traceId = 0;
 
   [[nodiscard]] std::string toString() const;
 };

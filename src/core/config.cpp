@@ -157,6 +157,21 @@ ConfigParseResult parseExperimentConfig(std::istream& in) {
       } else {
         c.analysisMinSplitCost = v;
       }
+    } else if (key == "trace.enabled") {
+      if (value == "true" || value == "1") {
+        c.traceEnabled = true;
+      } else if (value == "false" || value == "0") {
+        c.traceEnabled = false;
+      } else {
+        error("trace.enabled must be true/false: '" + value + "'");
+      }
+    } else if (key == "trace.ring_size") {
+      std::uint64_t v = 0;
+      if (!parseU64(value, v) || v < 1 || v > (1ULL << 28)) {
+        error("trace.ring_size must be 1..2^28: '" + value + "'");
+      } else {
+        c.traceRingSize = static_cast<std::size_t>(v);
+      }
     } else if (key == "our_asn") {
       std::uint64_t v = 0;
       if (!parseU64(value, v) || v == 0 || v > 0xffffffffULL) {
@@ -236,6 +251,11 @@ std::string formatExperimentConfig(const ExperimentConfig& c) {
   }
   if (c.analysisMinSplitCost != ExperimentConfig{}.analysisMinSplitCost) {
     out << "analysis.min_split_cost = " << c.analysisMinSplitCost << "\n";
+  }
+  // Trace keys only when non-default, same golden round-trip reasoning.
+  if (c.traceEnabled) out << "trace.enabled = true\n";
+  if (c.traceRingSize != ExperimentConfig{}.traceRingSize) {
+    out << "trace.ring_size = " << c.traceRingSize << "\n";
   }
   // Fault keys only when configured: fault-free configs format exactly as
   // they did before the fault layer existed (golden round-trip test).

@@ -35,14 +35,26 @@ std::array<std::unique_ptr<telescope::Telescope>, 4> makeTelescopes(
 }
 
 Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {
+  tracer_ = std::make_unique<obs::trace::Tracer>(
+      obs::trace::TracerOptions{config_.seed, config_.traceRingSize,
+                                config_.traceEnabled, config_.traceRetainAll,
+                                /*controlPlaneOwner=*/true},
+      &metrics_);
   feed_ = std::make_unique<bgp::BgpFeed>(engine_, rib_, config_.seed ^ 0xfeed);
   feed_->bindMetrics(metrics_);
+  feed_->bindTrace(tracer_.get());
   hitlist_ = std::make_unique<bgp::HitlistService>(
       engine_, *feed_, bgp::HitlistService::Params{}, config_.seed ^ 0x417);
   fabric_ = std::make_unique<telescope::DeliveryFabric>(engine_, rib_);
 
   telescopes_ = makeTelescopes(config_);
-  for (auto& t : telescopes_) fabric_->attach(*t);
+  for (std::size_t i = 0; i < telescopes_.size(); ++i) {
+    // Telescope trace rows start at 1000 so they never collide with
+    // scanner ids in the exported per-thread lanes.
+    telescopes_[i]->bindTrace(tracer_.get(),
+                              static_cast<std::uint32_t>(1000 + i));
+    fabric_->attach(*telescopes_[i]);
+  }
 
   // The split schedule for T1.
   bgp::SplitSchedule::Params scheduleParams;
@@ -102,7 +114,7 @@ void Experiment::run() {
   });
 
   // Agents online.
-  population_.startAll(feed_.get(), hitlist_.get());
+  population_.startAll(feed_.get(), hitlist_.get(), tracer_.get());
 
   const sim::SimTime end =
       config_.runLimit ? sim::kEpoch + *config_.runLimit : experimentEnd();

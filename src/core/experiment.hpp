@@ -88,6 +88,15 @@ struct ExperimentConfig {
   /// Seed for the keyed fault streams — independent of `seed` so the same
   /// world can be replayed under different fault draws and vice versa.
   std::uint64_t faultSeed = 0xfa017;
+
+  /// Flight-recorder event recording (obs::trace, DESIGN.md §14).
+  /// Observation-only: a traced run's captures are bitwise-identical to an
+  /// untraced run's. Reaction-delay metrics populate regardless.
+  bool traceEnabled = false;
+  /// Per-shard ring capacity (events retained for the post-mortem dump).
+  std::size_t traceRingSize = 1 << 16;
+  /// Retain every sim-domain event for --trace-out export (unbounded).
+  bool traceRetainAll = false;
 };
 
 /// Indexes into telescopes().
@@ -131,6 +140,10 @@ public:
   /// add analysis-phase metrics before exporting.
   [[nodiscard]] obs::Registry& metrics() { return metrics_; }
   [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
+  /// The experiment's flight recorder (always constructed; recording is
+  /// gated by config.traceEnabled).
+  [[nodiscard]] obs::trace::Tracer& tracer() { return *tracer_; }
+  [[nodiscard]] const obs::trace::Tracer& tracer() const { return *tracer_; }
 
   /// Boundary between the initial observation period and the BGP
   /// experiment.
@@ -142,6 +155,7 @@ public:
 private:
   ExperimentConfig config_;
   obs::Registry metrics_; // declared before the components that bind to it
+  std::unique_ptr<obs::trace::Tracer> tracer_; // likewise bound into below
   sim::Engine engine_;
   bgp::Rib rib_;
   bgp::IrrRegistry irr_;

@@ -64,15 +64,20 @@ struct ShardWorld {
 
   ShardWorld(const ExperimentConfig& config,
              const scanner::PopulationPlan& plan, unsigned shardCount,
-             unsigned shardId, obs::Registry& metrics) {
+             unsigned shardId, obs::Registry& metrics,
+             obs::trace::Tracer* tracer) {
     feed = std::make_unique<bgp::BgpFeed>(engine, rib, config.seed ^ 0xfeed);
     feed->bindMetrics(metrics);
+    feed->bindTrace(tracer);
     hitlist = std::make_unique<bgp::HitlistService>(
         engine, *feed, bgp::HitlistService::Params{}, config.seed ^ 0x417);
     fabric = std::make_unique<telescope::DeliveryFabric>(engine, rib);
     fabric->setShard(shardId, shardCount);
     telescopes = makeTelescopes(config);
-    for (auto& t : telescopes) fabric->attach(*t);
+    for (std::size_t i = 0; i < telescopes.size(); ++i) {
+      telescopes[i]->bindTrace(tracer, static_cast<std::uint32_t>(1000 + i));
+      fabric->attach(*telescopes[i]);
+    }
     if (config.faults.hasPacketFaults()) {
       // Stateless per-packet draws keyed by (originId, originSeq): every
       // shard's plane makes the same call for the same packet, so sharding
@@ -127,8 +132,19 @@ ExperimentRunner::ExperimentRunner(RunnerConfig config)
   // snapshotMetrics()/progressLine() the moment the runner is constructed.
   const unsigned shardCount = std::max(1u, config_.experiment.threads);
   shardMetrics_.reserve(shardCount);
+  shardTracers_.reserve(shardCount);
   for (unsigned s = 0; s < shardCount; ++s) {
     shardMetrics_.push_back(std::make_unique<obs::Registry>());
+    // Shard 0 is the control-plane owner: every shard replays the script
+    // and stamps identical trace IDs, but exactly one emits the
+    // BgpUpdateRoot events, so each update has exactly one root run-wide.
+    shardTracers_.push_back(std::make_unique<obs::trace::Tracer>(
+        obs::trace::TracerOptions{config_.experiment.seed,
+                                  config_.experiment.traceRingSize,
+                                  config_.experiment.traceEnabled,
+                                  config_.experiment.traceRetainAll,
+                                  /*controlPlaneOwner=*/s == 0},
+        shardMetrics_.back().get()));
   }
   epochsDone_.reset(new std::atomic<std::uint64_t>[shardCount]);
   for (unsigned s = 0; s < shardCount; ++s) epochsDone_[s] = 0;
@@ -146,6 +162,20 @@ sim::SimTime ExperimentRunner::experimentEnd() const {
 std::array<const telescope::CaptureStore*, 4> ExperimentRunner::captures()
     const {
   return {&captures_[0], &captures_[1], &captures_[2], &captures_[3]};
+}
+
+std::vector<const obs::trace::Tracer*> ExperimentRunner::tracers() const {
+  std::vector<const obs::trace::Tracer*> out;
+  out.reserve(shardTracers_.size());
+  for (const auto& t : shardTracers_) out.push_back(t.get());
+  return out;
+}
+
+std::vector<obs::trace::Tracer*> ExperimentRunner::tracersMutable() {
+  std::vector<obs::trace::Tracer*> out;
+  out.reserve(shardTracers_.size());
+  for (const auto& t : shardTracers_) out.push_back(t.get());
+  return out;
 }
 
 void ExperimentRunner::snapshotMetrics(obs::Registry& out) const {
@@ -239,8 +269,9 @@ void ExperimentRunner::run() {
     const auto t0 = Clock::now();
     try {
       obs::Span instantiateSpan(metrics, "runner.phase.instantiate_seconds");
-      auto world = std::make_unique<ShardWorld>(config_.experiment, plan_,
-                                                shardCount, shardId, metrics);
+      auto world = std::make_unique<ShardWorld>(
+          config_.experiment, plan_, shardCount, shardId, metrics,
+          shardTracers_[shardId].get());
       instantiateSpan.stop();
       shard.scanners = world->population.size();
       metrics.gauge(shardTag + ".scanners")
@@ -282,7 +313,8 @@ void ExperimentRunner::run() {
       // the t = 0 announcements must be queued ahead of the scanners'
       // bootstrap events so the RIB is populated when they first send.
       inject(std::min(sim::kEpoch + config_.epoch, end));
-      world->population.startAll(world->feed.get(), world->hitlist.get());
+      world->population.startAll(world->feed.get(), world->hitlist.get(),
+                                 shardTracers_[shardId].get());
 
       std::uint64_t eventsAtEpochStart = 0;
       auto epochStart = Clock::now();

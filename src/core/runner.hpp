@@ -42,6 +42,7 @@
 #include "bgp/splitter.hpp"
 #include "core/experiment.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scanner/population.hpp"
 #include "telescope/capture_store.hpp"
 
@@ -135,6 +136,12 @@ public:
   [[nodiscard]] obs::Registry& metrics() { return metrics_; }
   [[nodiscard]] const obs::Registry& metrics() const { return metrics_; }
 
+  /// Per-shard flight recorders (shard 0 owns the control-plane root
+  /// events). Stable addresses for the process lifetime — safe to hand to
+  /// the crash-dump registry and the trace exporter.
+  [[nodiscard]] std::vector<const obs::trace::Tracer*> tracers() const;
+  [[nodiscard]] std::vector<obs::trace::Tracer*> tracersMutable();
+
 private:
   RunnerConfig config_;
   bgp::SplitSchedule schedule_;
@@ -146,6 +153,7 @@ private:
   bool ran_ = false;
 
   std::vector<std::unique_ptr<obs::Registry>> shardMetrics_;
+  std::vector<std::unique_ptr<obs::trace::Tracer>> shardTracers_;
   obs::Registry runnerMetrics_; // coordinator-side phases and totals
   obs::Registry metrics_; // final aggregate, valid after run()
   std::uint64_t totalEpochs_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <ctime>
 
 namespace v6t::obs::fmt {
 
@@ -40,6 +41,15 @@ std::string daysClock(std::int64_t ms, bool signedValue) {
                 neg ? "-" : "", static_cast<long long>(d),
                 static_cast<long long>(h), static_cast<long long>(m),
                 static_cast<long long>(s), static_cast<long long>(ms));
+  return buf;
+}
+
+std::string isoTimestampUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
   return buf;
 }
 

@@ -19,4 +19,9 @@ namespace v6t::obs::fmt {
 /// Milliseconds -> "Nd HH:MM:SS.mmm" (sign-aware when `signedValue`).
 [[nodiscard]] std::string daysClock(std::int64_t ms, bool signedValue);
 
+/// Current wall-clock time as ISO 8601 UTC ("2026-08-08T12:34:56Z") — the
+/// timestamp stamped onto JSONL heartbeat/snapshot records so runs can be
+/// correlated with external logs.
+[[nodiscard]] std::string isoTimestampUtc();
+
 } // namespace v6t::obs::fmt

@@ -78,9 +78,13 @@ std::span<const double> durationBoundsSeconds() {
 }
 
 std::span<const double> delayBoundsSeconds() {
-  static const std::vector<double> kBounds{1.0,   5.0,   15.0,  30.0,
-                                           60.0,  120.0, 300.0, 600.0,
-                                           1800.0, 3600.0};
+  // Log-scale (×2 per bucket, with a 15 s half-step): convergence is
+  // seconds-to-minutes while reactions stretch to hours — linear bounds
+  // crushed the minute-scale tail into one bucket.
+  static const std::vector<double> kBounds{1.0,    2.0,    4.0,   8.0,
+                                           15.0,   30.0,   60.0,  120.0,
+                                           240.0,  480.0,  900.0, 1800.0,
+                                           3600.0, 7200.0};
   return kBounds;
 }
 

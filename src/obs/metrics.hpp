@@ -133,8 +133,10 @@ private:
 
 /// Default bounds for wall-clock phase/epoch durations (seconds).
 [[nodiscard]] std::span<const double> durationBoundsSeconds();
-/// Bounds for BGP convergence delays (seconds, 30 s base + up to 10 min
-/// jitter per the propagation model, coarse tail to an hour).
+/// Log-scale bounds (seconds) shared by the BGP convergence-delay and
+/// reaction-delay histograms: doubling buckets from 1 s to 2 h, so the
+/// sub-minute propagation lags and the minute-to-hour reaction tail both
+/// resolve instead of collapsing into one linear bucket.
 [[nodiscard]] std::span<const double> delayBoundsSeconds();
 
 /// Named metric store. Handles returned by counter()/gauge()/histogram()

@@ -74,9 +74,11 @@ struct Population {
   net::AsRegistry asRegistry;
   net::RdnsRegistry rdns;
 
-  /// Wire every agent to its knowledge channels. Call once.
-  void startAll(bgp::BgpFeed* feed, bgp::HitlistService* hitlist) {
-    for (auto& s : scanners) s->start(feed, hitlist);
+  /// Wire every agent to its knowledge channels (and, optionally, the
+  /// owning shard's flight recorder). Call once.
+  void startAll(bgp::BgpFeed* feed, bgp::HitlistService* hitlist,
+                obs::trace::Tracer* tracer = nullptr) {
+    for (auto& s : scanners) s->start(feed, hitlist, tracer);
   }
 
   [[nodiscard]] std::size_t size() const { return scanners.size(); }

@@ -14,6 +14,19 @@ constexpr sim::Duration kSessionGap = sim::minutes(70);
 
 } // namespace
 
+std::string_view toClassName(Knowledge k) {
+  switch (k) {
+    case Knowledge::BgpReactive: return "bgp_reactive";
+    case Knowledge::LiveBgpMonitor: return "live_monitor";
+    case Knowledge::HitlistDriven: return "hitlist";
+    case Knowledge::DnsAttractor: return "dns_attractor";
+    case Knowledge::StaticList: return "static_list";
+    case Knowledge::SubprefixSweeper: return "subprefix_sweeper";
+    case Knowledge::ResponsiveExplorer: return "responsive_explorer";
+  }
+  return "unknown";
+}
+
 Scanner::Scanner(ScannerConfig config, sim::Engine& engine,
                  telescope::DeliveryFabric& fabric)
     : config_(std::move(config)),
@@ -48,7 +61,9 @@ net::Ipv6Address Scanner::initialSourceFor(const ScannerConfig& config) {
 
 void Scanner::rotateSource() { source_ = deriveSource(config_, rng_, source_); }
 
-void Scanner::start(bgp::BgpFeed* feed, bgp::HitlistService* hitlist) {
+void Scanner::start(bgp::BgpFeed* feed, bgp::HitlistService* hitlist,
+                    obs::trace::Tracer* tracer) {
+  tracer_ = tracer;
   switch (config_.knowledge) {
     case Knowledge::BgpReactive:
     case Knowledge::LiveBgpMonitor:
@@ -71,11 +86,25 @@ void Scanner::start(bgp::BgpFeed* feed, bgp::HitlistService* hitlist) {
           // sharding (see BgpFeed::subscribe).
           feed->subscribe(config_.reaction, config_.id,
                           [this](const bgp::BgpUpdate& u) {
-                            if (u.kind == bgp::UpdateKind::Announce) {
+                            const bool isAnnounce =
+                                u.kind == bgp::UpdateKind::Announce;
+                            if (tracer_ != nullptr) {
+                              tracer_->record(
+                                  {u.ts.millis(), u.traceId, u.seq,
+                                   isAnnounce ? 1u : 0u,
+                                   static_cast<std::uint32_t>(config_.id),
+                                   obs::trace::EventKind::FeedDelivery,
+                                   obs::trace::ClockDomain::Sim});
+                            }
+                            // The cause rides along only for the duration
+                            // of the synchronous learn call.
+                            pendingCause_ = {u.traceId, u.originTs.millis()};
+                            if (isAnnounce) {
                               learnPrefix(u.prefix);
                             } else {
                               forgetPrefix(u.prefix);
                             }
+                            pendingCause_ = Cause{};
                           });
         });
       }
@@ -106,6 +135,16 @@ void Scanner::learnPrefix(const net::Prefix& prefix) {
   }
   known_.push_back(prefix);
   ++stats_.prefixesLearned;
+  if (pendingCause_.traceId != 0) {
+    causeByPrefix_[prefix] = pendingCause_;
+    if (tracer_ != nullptr) {
+      tracer_->record({engine_.now().millis(), pendingCause_.traceId,
+                       prefix.address().hi64(), prefix.length(),
+                       static_cast<std::uint32_t>(config_.id),
+                       obs::trace::EventKind::PrefixLearned,
+                       obs::trace::ClockDomain::Sim});
+    }
+  }
   // A one-off scanner that already fired stays quiet forever.
   if (config_.temporal == TemporalBehavior::OneOff && anySweepDone_) return;
   if (config_.sweepOnLearn) {
@@ -129,6 +168,7 @@ void Scanner::learnPrefix(const net::Prefix& prefix) {
 void Scanner::forgetPrefix(const net::Prefix& prefix) {
   known_.erase(std::remove(known_.begin(), known_.end(), prefix),
                known_.end());
+  causeByPrefix_.erase(prefix);
 }
 
 void Scanner::ensureScheduled() {
@@ -303,12 +343,21 @@ std::uint64_t Scanner::sessionSize() {
 }
 
 void Scanner::enqueueSession(const net::Prefix& prefix) {
+  // Consume the causal link: the first session into a freshly learned
+  // prefix is the scanner's reaction to the BGP update; later sweeps of
+  // the same prefix are routine coverage, not reactions.
+  Cause cause;
+  if (const auto it = causeByPrefix_.find(prefix);
+      it != causeByPrefix_.end()) {
+    cause = it->second;
+    causeByPrefix_.erase(it);
+  }
   if (config_.rotateSourceIid) {
     // Rotating sources appear as distinct /128s, so their sessions may
     // overlap in time — that is exactly how T2's /128 session counts pull
     // away from the /64 aggregation (Fig. 4).
     const auto spread = static_cast<std::int64_t>(rng_.uniform() * 1.08e7);
-    emitSession(prefix, engine_.now() + sim::millis(spread));
+    emitSession(prefix, engine_.now() + sim::millis(spread), cause);
     return;
   }
   // Serialize sessions of this scanner with a super-timeout gap.
@@ -316,16 +365,19 @@ void Scanner::enqueueSession(const net::Prefix& prefix) {
   // Reserve the slot pessimistically; the actual end updates nextFree_
   // again when the last packet goes out.
   nextFree_ = start + kSessionGap;
-  emitSession(prefix, start);
+  emitSession(prefix, start, cause);
 }
 
 struct Scanner::SessionState {
   TargetGenerator gen;
   std::uint64_t remaining;
   net::Ipv6Address src;
+  Cause cause;
+  bool reactionPending = false;
 };
 
-void Scanner::emitSession(const net::Prefix& prefix, sim::SimTime start) {
+void Scanner::emitSession(const net::Prefix& prefix, sim::SimTime start,
+                          const Cause& cause) {
   rotateSource();
   ++stats_.sessionsEmitted;
 
@@ -338,8 +390,16 @@ void Scanner::emitSession(const net::Prefix& prefix, sim::SimTime start) {
     size = std::max<std::uint64_t>(config_.exploreProbePackets, 1);
   }
 
-  auto state = std::make_shared<SessionState>(SessionState{
-      TargetGenerator{config_.addrsel, prefix, rng_}, size, source_});
+  auto state = std::make_shared<SessionState>(
+      SessionState{TargetGenerator{config_.addrsel, prefix, rng_}, size,
+                   source_, cause, cause.traceId != 0});
+  if (tracer_ != nullptr) {
+    tracer_->record({start.millis(), cause.traceId,
+                     prefix.address().hi64(), size,
+                     static_cast<std::uint32_t>(config_.id),
+                     obs::trace::EventKind::SessionScheduled,
+                     obs::trace::ClockDomain::Sim});
+  }
   // Emit as a chain of events: O(1) pending events per active session.
   engine_.schedule(start, [this, state]() { sessionStep(state); });
 }
@@ -351,8 +411,36 @@ void Scanner::sessionStep(const std::shared_ptr<SessionState>& state) {
                                              : state->gen.next();
   net::Packet p = makePacket(dst);
   p.src = state->src;
+  const std::uint64_t originSeq = p.originSeq;
+  const sim::SimTime now = engine_.now();
+  if (tracer_ != nullptr) {
+    tracer_->record({now.millis(), state->cause.traceId, originSeq,
+                     dst.hi64(), static_cast<std::uint32_t>(config_.id),
+                     obs::trace::EventKind::PacketSent,
+                     obs::trace::ClockDomain::Sim});
+    // Delivery is synchronous: the telescope's capture hook reads this
+    // context slot to link (originId, originSeq) back to the update.
+    tracer_->setContext({state->cause.traceId, state->cause.originTsMillis});
+  }
   const telescope::DeliveryResult result = fabric_.send(std::move(p));
+  if (tracer_ != nullptr) tracer_->clearContext();
   ++stats_.packetsEmitted;
+  if (state->reactionPending && result.captured) {
+    // First captured probe of an update-caused session: the paper's
+    // reactivity observable (announcement -> first probe at the telescope).
+    state->reactionPending = false;
+    const std::int64_t delayMillis = now.millis() - state->cause.originTsMillis;
+    if (tracer_ != nullptr) {
+      tracer_->observeReaction(static_cast<std::size_t>(config_.knowledge),
+                               toClassName(config_.knowledge),
+                               static_cast<double>(delayMillis) / 1000.0);
+      tracer_->record({now.millis(), state->cause.traceId,
+                       static_cast<std::uint64_t>(delayMillis), originSeq,
+                       static_cast<std::uint32_t>(config_.id),
+                       obs::trace::EventKind::ReactionObserved,
+                       obs::trace::ClockDomain::Sim});
+    }
+  }
   if (result.responded) {
     ++stats_.responsesSeen;
     if (config_.knowledge == Knowledge::ResponsiveExplorer) {

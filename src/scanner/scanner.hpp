@@ -15,14 +15,17 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
+#include <string_view>
 #include <vector>
 
 #include "bgp/feed.hpp"
 #include "bgp/hitlist.hpp"
 #include "net/tool_signatures.hpp"
+#include "obs/trace.hpp"
 #include "scanner/target_gen.hpp"
 #include "sim/engine.hpp"
 #include "telescope/fabric.hpp"
@@ -49,6 +52,10 @@ enum class Knowledge : std::uint8_t {
   ResponsiveExplorer, // sweeps like the above but drills into subnets that
                       // answered (dynamic-TGA behavior)
 };
+
+/// Stable metric/trace label for a knowledge class (the per-class key of
+/// bgp.reaction_delay_seconds.<class>).
+[[nodiscard]] std::string_view toClassName(Knowledge k);
 
 /// Per-packet protocol and port selection.
 struct ProtocolProfile {
@@ -150,8 +157,11 @@ public:
 
   /// Wire up knowledge channels and schedule the first activity.
   /// `feed`/`hitlist` may be nullptr when the knowledge mode doesn't need
-  /// them. Call exactly once before the engine runs.
-  void start(bgp::BgpFeed* feed, bgp::HitlistService* hitlist);
+  /// them; `tracer` (the owning shard's flight recorder, also nullable)
+  /// makes probe emission causally attributable to the BGP update that
+  /// triggered it. Call exactly once before the engine runs.
+  void start(bgp::BgpFeed* feed, bgp::HitlistService* hitlist,
+             obs::trace::Tracer* tracer = nullptr);
 
   [[nodiscard]] const ScannerConfig& config() const { return config_; }
   [[nodiscard]] const ScannerSelfStats& stats() const { return stats_; }
@@ -167,6 +177,12 @@ private:
   [[nodiscard]] static net::Ipv6Address deriveSource(
       const ScannerConfig& config, sim::Rng& rng,
       const net::Ipv6Address& current);
+  /// The BGP update a learned prefix traces back to; traceId 0 = causeless
+  /// (bootstrap table dump, hitlist, static configuration).
+  struct Cause {
+    std::uint64_t traceId = 0;
+    std::int64_t originTsMillis = 0;
+  };
   void learnPrefix(const net::Prefix& prefix);
   void forgetPrefix(const net::Prefix& prefix);
   void ensureScheduled();
@@ -175,7 +191,8 @@ private:
   void scheduleDrill(const net::Prefix& hot);
   /// Queue one session into `prefix` (or at the fixed target).
   void enqueueSession(const net::Prefix& prefix);
-  void emitSession(const net::Prefix& prefix, sim::SimTime start);
+  void emitSession(const net::Prefix& prefix, sim::SimTime start,
+                   const Cause& cause);
   struct SessionState;
   void sessionStep(const std::shared_ptr<SessionState>& state);
   net::Packet makePacket(const net::Ipv6Address& dst);
@@ -198,6 +215,12 @@ private:
   ScannerSelfStats stats_;
   /// Explorer state: subnets that responded and deserve deep scans.
   std::set<net::Prefix> responsive_;
+  /// Flight recorder (nullable). Cause bookkeeping below runs whether or
+  /// not a tracer is attached, touches no RNG stream, and only feeds
+  /// observation — so tracing cannot perturb the simulation.
+  obs::trace::Tracer* tracer_ = nullptr;
+  Cause pendingCause_; // set around the feed callback's learnPrefix
+  std::map<net::Prefix, Cause> causeByPrefix_; // consumed by first session
 };
 
 } // namespace v6t::scanner

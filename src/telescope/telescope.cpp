@@ -30,6 +30,15 @@ DeliveryResult Telescope::deliver(const net::Packet& p) {
   }
   store_.append(p);
   result.captured = true;
+  if (tracer_ != nullptr) {
+    // (a, b) = (originId, originSeq): the same key the canonical capture
+    // merge orders by, linking this record to the PacketSent that caused
+    // it; traceId links all the way back to the BGP update.
+    tracer_->record({p.ts.millis(), tracer_->context().traceId, p.originId,
+                     p.originSeq, traceEntity_,
+                     obs::trace::EventKind::PacketCaptured,
+                     obs::trace::ClockDomain::Sim});
+  }
   // An active telescope completes TCP handshakes from every address; it
   // also answers ICMPv6 echo (it is responsive, which is why the paper
   // notes T4 never appeared on the aliased-prefix list despite answering

@@ -20,6 +20,7 @@
 
 #include "net/packet.hpp"
 #include "net/prefix.hpp"
+#include "obs/trace.hpp"
 #include "telescope/capture_store.hpp"
 
 namespace v6t::telescope {
@@ -68,10 +69,21 @@ public:
   /// Packets that landed in the excluded subnet (counted, not stored).
   [[nodiscard]] std::uint64_t excludedPackets() const { return excluded_; }
 
+  /// Attach the owning shard's flight recorder; `entity` is the trace
+  /// thread id this telescope's captures render under (distinct from
+  /// scanner ids). Delivery is synchronous, so the tracer's context slot
+  /// still holds the sending session's causal link when deliver() runs.
+  void bindTrace(obs::trace::Tracer* tracer, std::uint32_t entity) {
+    tracer_ = tracer;
+    traceEntity_ = entity;
+  }
+
 private:
   TelescopeConfig config_;
   CaptureStore store_;
   std::uint64_t excluded_ = 0;
+  obs::trace::Tracer* tracer_ = nullptr;
+  std::uint32_t traceEntity_ = 0;
 };
 
 } // namespace v6t::telescope

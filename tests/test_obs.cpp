@@ -182,6 +182,46 @@ TEST(ObsMetrics, PrometheusDumpContainsSanitizedNames) {
   EXPECT_NE(text.find("runner_epoch_seconds_count 1"), std::string::npos);
 }
 
+TEST(ObsMetrics, PrometheusEscapesInvalidNameChars) {
+  // Metric names can carry arbitrary scanner-class or prefix text; every
+  // character outside [a-zA-Z0-9_:] must be replaced, never emitted raw.
+  obs::Registry registry;
+  registry.counter("bgp.reaction{class=\"a b\"}-total").inc(1);
+  registry.gauge("weird.name with spaces/slashes").set(2.0);
+  std::ostringstream out;
+  registry.writePrometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("bgp_reaction_class__a_b___total 1"), std::string::npos);
+  EXPECT_NE(text.find("weird_name_with_spaces_slashes 2"), std::string::npos);
+  EXPECT_EQ(text.find('{'), text.find("_bucket{le=")) << "no raw braces "
+      "outside histogram label syntax";
+  EXPECT_EQ(text.find('"'), std::string::npos);
+  EXPECT_EQ(text.find(' ' + std::string("a b")), std::string::npos);
+}
+
+TEST(ObsMetrics, EmptyRegistrySnapshots) {
+  const obs::Registry registry;
+  EXPECT_TRUE(registry.empty());
+
+  std::ostringstream json;
+  registry.writeJsonLine(json);
+  EXPECT_EQ(json.str(), "{}\n");
+  const auto parsed = obs::Registry::parseJsonLine("{}");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+
+  std::ostringstream prom;
+  registry.writePrometheus(prom);
+  EXPECT_TRUE(prom.str().empty());
+}
+
+TEST(ObsMetrics, JsonLineEscapesTextFields) {
+  obs::Registry registry;
+  std::ostringstream out;
+  registry.writeJsonLine(out, {{"phase", "a\"b\\c\nd\te"}});
+  EXPECT_EQ(out.str(), "{\"phase\":\"a\\\"b\\\\c\\nd\\te\"}\n");
+}
+
 // --- structured logger ---------------------------------------------------
 
 class CapturingSink {

@@ -32,6 +32,13 @@
 // live progress heartbeat to stderr; --metrics-prom writes a final
 // Prometheus text dump. Both are pure observers: a run with metrics
 // enabled produces bitwise-identical captures to one without.
+//
+// --trace-out FILE enables the flight recorder (implies trace.enabled and
+// full event retention) and writes a Chrome trace-event JSON that loads in
+// Perfetto / chrome://tracing: one "simulation" process on the simulated
+// clock (byte-identical for any --threads value) and one "analysis
+// scheduler" process on the wall clock. Tracing is observation-only —
+// captures and the report stay bitwise-identical to an untraced run.
 #include <algorithm>
 #include <array>
 #include <cstdlib>
@@ -50,11 +57,13 @@
 #include "core/metrics.hpp"
 #include "core/runner.hpp"
 #include "core/summary.hpp"
+#include "fault/invariants.hpp"
 #include "fault/spec.hpp"
 #include "obs/exporter.hpp"
 #include "obs/format.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace {
 
@@ -64,7 +73,8 @@ int usage() {
                "               [--analysis-threads N] [--faults SPEC]"
                " [--fault-seed N] [--metrics-out FILE]\n"
                "               [--metrics-prom FILE] [--metrics-interval SEC]"
-               " [--log-level LEVEL]\n";
+               " [--log-level LEVEL]\n"
+               "               [--trace-out FILE]\n";
   return 2;
 }
 
@@ -77,6 +87,7 @@ int main(int argc, char** argv) {
   std::string outDir = ".";
   std::string metricsOut;
   std::string metricsProm;
+  std::string traceOut;
   double metricsInterval = 1.0;
   bool dumpCaptures = false;
   bool printConfig = false;
@@ -117,6 +128,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--metrics-prom") {
       if (++i >= argc) return usage();
       metricsProm = argv[i];
+    } else if (arg == "--trace-out") {
+      if (++i >= argc) return usage();
+      traceOut = argv[i];
     } else if (arg == "--metrics-interval") {
       if (++i >= argc) return usage();
       metricsInterval = std::strtod(argv[i], nullptr);
@@ -176,6 +190,15 @@ int main(int argc, char** argv) {
     config.faults = parsed.spec;
   }
   if (faultSeedOverride) config.faultSeed = *faultSeedOverride;
+  if (!traceOut.empty()) {
+    // Export needs every sim-domain event, not just the bounded ring.
+    config.traceEnabled = true;
+    config.traceRetainAll = true;
+    if (!obs::trace::kCompiledIn) {
+      std::cerr << "--trace-out requires a build with V6T_TRACE=ON\n";
+      return 1;
+    }
+  }
   if (printConfig) {
     std::cout << core::formatExperimentConfig(config);
     return 0;
@@ -199,6 +222,15 @@ int main(int argc, char** argv) {
   exporterOptions.jsonlPath = metricsOut;
   exporterOptions.intervalSeconds = metricsInterval;
 
+  // Flight-recorder handles (one per shard; the serial path has one).
+  std::vector<obs::trace::Tracer*> traceHandles;
+  auto armFlightRecorder = [&] {
+    if (!config.traceEnabled) return;
+    // Fatal signals dump the retained ring windows to stderr post-mortem.
+    obs::trace::registerCrashDumpTracers(traceHandles);
+    obs::trace::installCrashHandler();
+  };
+
   if (useRunner) {
     std::cout << "running sharded experiment (seed " << config.seed << ", "
               << config.splits << " splits, " << config.threads
@@ -206,6 +238,8 @@ int main(int argc, char** argv) {
     core::RunnerConfig runnerConfig;
     runnerConfig.experiment = config;
     runner = std::make_unique<core::ExperimentRunner>(runnerConfig);
+    traceHandles = runner->tracersMutable();
+    armFlightRecorder();
     if (!metricsOut.empty()) {
       // The exporter thread only reads relaxed-atomic metric values; it
       // cannot perturb the shards (DESIGN.md §9 determinism contract).
@@ -214,7 +248,9 @@ int main(int argc, char** argv) {
           [&runner](std::ostream& out) {
             obs::Registry snapshot;
             runner->snapshotMetrics(snapshot);
-            snapshot.writeJsonLine(out, {{"phase", "live"}});
+            snapshot.writeJsonLine(
+                out, {{"phase", "live"},
+                      {"wall_time", obs::fmt::isoTimestampUtc()}});
           },
           [&runner] { return runner->progressLine(); });
     }
@@ -226,13 +262,17 @@ int main(int argc, char** argv) {
     std::cout << "running experiment (seed " << config.seed << ", "
               << config.splits << " splits) ...\n";
     experiment = std::make_unique<core::Experiment>(config);
+    traceHandles = {&experiment->tracer()};
+    armFlightRecorder();
     if (!metricsOut.empty()) {
       exporter = std::make_unique<obs::PeriodicExporter>(
           exporterOptions,
           [&experiment](std::ostream& out) {
             obs::Registry snapshot;
             snapshot.aggregateFrom(experiment->metrics());
-            snapshot.writeJsonLine(out, {{"phase", "live"}});
+            snapshot.writeJsonLine(
+                out, {{"phase", "live"},
+                      {"wall_time", obs::fmt::isoTimestampUtc()}});
           },
           [] { return std::string{}; });
     }
@@ -247,6 +287,70 @@ int main(int argc, char** argv) {
   obs::Registry& metrics =
       useRunner ? runner->metrics() : experiment->metrics();
 
+  // Flush every observability artifact — last metrics snapshot, Prometheus
+  // dump, trace file — used by both the normal-exit path and the
+  // invariant-failure abort, so a run never dies between heartbeats with
+  // its last interval lost.
+  auto flushObservability = [&](const char* phase) {
+    if (exporter) {
+      exporter->stop();
+      exporter.reset();
+    }
+    if (!metricsOut.empty()) {
+      std::ofstream out{metricsOut, std::ios::app};
+      if (!out) {
+        std::cerr << "cannot write " << metricsOut << "\n";
+        return false;
+      }
+      metrics.writeJsonLine(
+          out, {{"phase", phase}, {"wall_time", obs::fmt::isoTimestampUtc()}});
+    }
+    if (!metricsProm.empty()) {
+      std::ofstream out{metricsProm};
+      if (!out) {
+        std::cerr << "cannot write " << metricsProm << "\n";
+        return false;
+      }
+      metrics.writePrometheus(out);
+    }
+    if (!traceOut.empty()) {
+      const std::vector<const obs::trace::Tracer*> view(traceHandles.begin(),
+                                                        traceHandles.end());
+      const auto simEvents = obs::trace::collectCanonicalSimEvents(view);
+      const auto wallEvents = obs::trace::collectWallEvents(view);
+      std::ofstream out{traceOut};
+      if (!out) {
+        std::cerr << "cannot write " << traceOut << "\n";
+        return false;
+      }
+      obs::trace::writeChromeTrace(out, simEvents, wallEvents);
+      std::cout << "wrote " << traceOut << " (" << simEvents.size()
+                << " sim events, " << wallEvents.size()
+                << " scheduler events)\n";
+    }
+    return true;
+  };
+
+  // Post-merge invariant gate: canonical capture order is the anchor every
+  // downstream analysis assumes. On violation, dump the flight-recorder
+  // rings (the most recent causal history) and flush a final "abort"
+  // snapshot instead of dying between heartbeats.
+  {
+    fault::InvariantChecker checker;
+    for (std::size_t t = 0; t < 4; ++t) {
+      checker.checkCanonicalOrder(*captures[t]);
+    }
+    if (!checker.ok()) {
+      std::cerr << "FATAL: capture invariant violated\n";
+      for (const std::string& v : checker.violations()) {
+        std::cerr << "  " << v << "\n";
+      }
+      obs::trace::dumpRegisteredRings(std::cerr);
+      flushObservability("abort");
+      return 1;
+    }
+  }
+
   // Post-run analysis: summary sessionization plus the per-telescope
   // pipeline (shared capture index, parallel taxonomy), all inside the
   // runner.phase.analyze_seconds span so the final snapshot carries the
@@ -254,6 +358,10 @@ int main(int argc, char** argv) {
   const unsigned analysisThreads = config.effectiveAnalysisThreads();
   std::optional<core::ExperimentSummary> summary;
   std::array<analysis::PipelineResult, 4> reports;
+  // Analysis scheduler slices/steals land in tracer 0's wall-domain lane.
+  if (config.traceEnabled && !traceHandles.empty()) {
+    obs::trace::setWallTracer(traceHandles.front());
+  }
   {
     obs::Span phaseSpan(metrics, "runner.phase.analyze_seconds");
     {
@@ -277,26 +385,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  // The live exporter's ticks are done; the final post-analysis snapshot
-  // (and the Prometheus dump) come from the fully aggregated registry.
-  if (exporter) exporter->stop();
-  exporter.reset();
-  if (!metricsOut.empty()) {
-    std::ofstream out{metricsOut, std::ios::app};
-    if (!out) {
-      std::cerr << "cannot write " << metricsOut << "\n";
-      return 1;
-    }
-    metrics.writeJsonLine(out, {{"phase", "final"}});
-  }
-  if (!metricsProm.empty()) {
-    std::ofstream out{metricsProm};
-    if (!out) {
-      std::cerr << "cannot write " << metricsProm << "\n";
-      return 1;
-    }
-    metrics.writePrometheus(out);
-  }
+  obs::trace::setWallTracer(nullptr);
+
+  // The live exporter's ticks are done; the final post-analysis snapshot,
+  // the Prometheus dump, and the trace file come from the fully aggregated
+  // state.
+  if (!flushObservability("final")) return 1;
 
   // Per-telescope overview.
   analysis::TextTable table{{"telescope", "packets", "sources /128",
