@@ -157,6 +157,10 @@ ConfigParseResult parseExperimentConfig(std::istream& in) {
       } else {
         c.analysisMinSplitCost = v;
       }
+    } else if (key == "capture.spill_dir") {
+      c.captureSpillDir = value;
+    } else if (key == "capture.spill_bytes") {
+      setU64(c.captureSpillBytes);
     } else if (key == "trace.enabled") {
       if (value == "true" || value == "1") {
         c.traceEnabled = true;
@@ -251,6 +255,14 @@ std::string formatExperimentConfig(const ExperimentConfig& c) {
   }
   if (c.analysisMinSplitCost != ExperimentConfig{}.analysisMinSplitCost) {
     out << "analysis.min_split_cost = " << c.analysisMinSplitCost << "\n";
+  }
+  // Spill keys only when configured: in-memory configs format exactly as
+  // they did before the out-of-core store existed (golden round-trip).
+  if (!c.captureSpillDir.empty()) {
+    out << "capture.spill_dir = " << c.captureSpillDir << "\n";
+  }
+  if (c.captureSpillBytes != 0) {
+    out << "capture.spill_bytes = " << c.captureSpillBytes << "\n";
   }
   // Trace keys only when non-default, same golden round-trip reasoning.
   if (c.traceEnabled) out << "trace.enabled = true\n";

@@ -11,6 +11,7 @@
 #include <array>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "analysis/parallel.hpp"
@@ -79,6 +80,20 @@ struct ExperimentConfig {
   /// source/session into subtasks (DESIGN.md §13). Never changes results
   /// — only how the work is diced for the workers.
   std::uint64_t analysisMinSplitCost = analysis::kDefaultMinSplitCost;
+
+  /// Out-of-core capture spill (DESIGN.md §15). When non-empty, the
+  /// parallel runner streams each shard's telescope captures into v6tseg
+  /// segment stores under `<dir>/shard-<s>/<telescope>` at every epoch
+  /// boundary instead of accumulating them in memory, and analysis runs
+  /// the streaming windowed path over the merged segment cursors. Results
+  /// are bitwise-identical to the in-memory path for every budget.
+  std::string captureSpillDir;
+  /// Per-(shard, telescope) memtable byte budget before a segment is
+  /// spilled; 0 = the SegmentStore default (64 MiB).
+  std::uint64_t captureSpillBytes = 0;
+  [[nodiscard]] bool captureSpillEnabled() const {
+    return !captureSpillDir.empty();
+  }
 
   /// Fault-injection spec, honored by the parallel ExperimentRunner (the
   /// serial Experiment is kept fault-free as the pristine reference). An

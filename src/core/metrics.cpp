@@ -40,7 +40,7 @@ void ComponentSampler::sample(
       packets_[i].counter = &registry_->counter(base + ".packets_total");
       excluded_[i].counter = &registry_->counter(base + ".excluded_total");
     }
-    packets_[i].sampleTo(t.capture().packetCount());
+    packets_[i].sampleTo(t.capturedPackets());
     excluded_[i].sampleTo(t.excludedPackets());
   }
 }

@@ -4,6 +4,7 @@
 #include <barrier>
 #include <chrono>
 #include <exception>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -164,6 +165,32 @@ std::array<const telescope::CaptureStore*, 4> ExperimentRunner::captures()
   return {&captures_[0], &captures_[1], &captures_[2], &captures_[3]};
 }
 
+std::vector<const telescope::SegmentStore*> ExperimentRunner::spillStores(
+    std::size_t i) const {
+  std::vector<const telescope::SegmentStore*> out;
+  out.reserve(spillStores_.size());
+  for (const auto& shard : spillStores_) out.push_back(shard[i].get());
+  return out;
+}
+
+telescope::KWayMerge<telescope::SegmentStore::Cursor>
+ExperimentRunner::streamCapture(std::size_t i) const {
+  std::vector<telescope::SegmentStore::Cursor> cursors;
+  cursors.reserve(spillStores_.size());
+  for (const auto& shard : spillStores_) {
+    cursors.push_back(shard[i]->cursor());
+  }
+  return telescope::KWayMerge<telescope::SegmentStore::Cursor>{
+      std::move(cursors)};
+}
+
+std::uint64_t ExperimentRunner::capturePacketCount(std::size_t i) const {
+  if (!spillEnabled()) return captures_[i].packetCount();
+  std::uint64_t total = 0;
+  for (const auto& shard : spillStores_) total += shard[i]->recordCount();
+  return total;
+}
+
 std::vector<const obs::trace::Tracer*> ExperimentRunner::tracers() const {
   std::vector<const obs::trace::Tracer*> out;
   out.reserve(shardTracers_.size());
@@ -250,6 +277,7 @@ void ExperimentRunner::run() {
 
   std::vector<std::unique_ptr<ShardWorld>> worlds(shardCount);
   stats_.shards.assign(shardCount, ShardStats{});
+  if (spillEnabled()) spillStores_.resize(shardCount);
   std::barrier<> barrier(static_cast<std::ptrdiff_t>(shardCount));
   std::mutex errorMutex;
   std::exception_ptr firstError;
@@ -273,6 +301,39 @@ void ExperimentRunner::run() {
           config_.experiment, plan_, shardCount, shardId, metrics,
           shardTracers_[shardId].get());
       instantiateSpan.stop();
+
+      // Spill mode: one segment store per (shard, telescope); captures
+      // drain into it at every epoch boundary, so shard memory stays
+      // bounded by the memtable budget instead of growing with the run.
+      std::array<telescope::SegmentStore*, 4> stores{};
+      if (spillEnabled()) {
+        for (std::size_t i = 0; i < 4; ++i) {
+          telescope::SegmentStoreOptions storeOptions;
+          storeOptions.dir =
+              std::filesystem::path{config_.experiment.captureSpillDir} /
+              ("shard-" + std::to_string(shardId)) / names_[i];
+          if (config_.experiment.captureSpillBytes != 0) {
+            storeOptions.spillBytes = config_.experiment.captureSpillBytes;
+          }
+          storeOptions.metrics = &metrics;
+          spillStores_[shardId][i] = std::make_unique<telescope::SegmentStore>(
+              std::move(storeOptions));
+          stores[i] = spillStores_[shardId][i].get();
+        }
+      }
+      auto drainCaptures = [&] {
+        if (stores[0] == nullptr) return;
+        for (std::size_t i = 0; i < 4; ++i) {
+          telescope::CaptureStore& cap = world->telescopes[i]->capture();
+          if (cap.packetCount() == 0) continue;
+          // Epoch slices are time-ordered, so appending each slice in
+          // capture order preserves the store's time-ordered-append
+          // contract across the whole run.
+          for (const net::Packet& p : cap.packets()) stores[i]->append(p);
+          cap.clear();
+        }
+      };
+
       shard.scanners = world->population.size();
       metrics.gauge(shardTag + ".scanners")
           .set(static_cast<double>(shard.scanners));
@@ -327,6 +388,7 @@ void ExperimentRunner::run() {
         epochHist.observe(secondsSince(epochStart));
         sampler.sample(world->engine, world->rib, *world->fabric,
                        world->telescopes);
+        drainCaptures();
       };
 
       shard.events = world->engine.runEpochs(
@@ -363,7 +425,9 @@ void ExperimentRunner::run() {
       epochsDone_[shardId].store(totalEpochs_, std::memory_order_relaxed);
 
       for (const auto& t : world->telescopes) {
-        shard.packetsCaptured += t->capture().packetCount();
+        // capturedPackets() is the lifetime total, valid whether or not
+        // the store was drained into a segment store along the way.
+        shard.packetsCaptured += t->capturedPackets();
         shard.excludedPackets += t->excludedPackets();
       }
       shard.droppedNoRoute = world->fabric->droppedNoRoute();
@@ -402,14 +466,23 @@ void ExperimentRunner::run() {
   const auto mergeStart = Clock::now();
   {
     obs::Span mergeSpan(runnerMetrics_, "runner.phase.merge_seconds");
-    for (std::size_t i = 0; i < 4; ++i) {
-      std::vector<const telescope::CaptureStore*> shards;
-      shards.reserve(shardCount);
-      for (const auto& world : worlds) {
-        shards.push_back(&world->telescopes[i]->capture());
+    if (spillEnabled()) {
+      // The packets already sit in per-shard segment stores in canonical
+      // per-shard order; the cross-shard merge happens lazily through
+      // streamCapture()'s k-way cursor, so nothing materializes here.
+      for (std::size_t i = 0; i < 4; ++i) {
+        stats_.packetsMerged += capturePacketCount(i);
       }
-      captures_[i].mergeFrom(shards);
-      stats_.packetsMerged += captures_[i].packetCount();
+    } else {
+      for (std::size_t i = 0; i < 4; ++i) {
+        std::vector<const telescope::CaptureStore*> shards;
+        shards.reserve(shardCount);
+        for (const auto& world : worlds) {
+          shards.push_back(&world->telescopes[i]->capture());
+        }
+        captures_[i].mergeFrom(shards);
+        stats_.packetsMerged += captures_[i].packetCount();
+      }
     }
   }
   stats_.mergeWallSeconds = secondsSince(mergeStart);

@@ -45,6 +45,7 @@
 #include "obs/trace.hpp"
 #include "scanner/population.hpp"
 #include "telescope/capture_store.hpp"
+#include "telescope/segment_store.hpp"
 
 namespace v6t::core {
 
@@ -99,9 +100,27 @@ public:
     return schedule_;
   }
   /// Merged capture of telescope `i` (TelescopeIndex), in canonical order.
+  /// Empty in spill mode (`captureSpillEnabled`), where the packets live
+  /// in the per-shard segment stores instead — use streamCapture().
   [[nodiscard]] const telescope::CaptureStore& capture(std::size_t i) const {
     return captures_[i];
   }
+
+  // --- out-of-core spill mode (DESIGN.md §15) ----------------------------
+
+  [[nodiscard]] bool spillEnabled() const {
+    return config_.experiment.captureSpillEnabled();
+  }
+  /// Per-shard segment stores of telescope `i`; empty unless spill mode.
+  [[nodiscard]] std::vector<const telescope::SegmentStore*> spillStores(
+      std::size_t i) const;
+  /// Canonical-order stream over every shard's store for telescope `i` —
+  /// the same (ts, originId, originSeq) order capture(i) holds in
+  /// in-memory mode, without materializing the packet vector.
+  [[nodiscard]] telescope::KWayMerge<telescope::SegmentStore::Cursor>
+  streamCapture(std::size_t i) const;
+  /// Packets captured by telescope `i`, valid in both modes.
+  [[nodiscard]] std::uint64_t capturePacketCount(std::size_t i) const;
   [[nodiscard]] std::array<const telescope::CaptureStore*, 4> captures() const;
   [[nodiscard]] const std::string& telescopeName(std::size_t i) const {
     return names_[i];
@@ -147,6 +166,9 @@ private:
   bgp::SplitSchedule schedule_;
   scanner::PopulationPlan plan_;
   std::array<telescope::CaptureStore, 4> captures_;
+  /// Spill mode: per-shard segment stores, indexed [shard][telescope].
+  std::vector<std::array<std::unique_ptr<telescope::SegmentStore>, 4>>
+      spillStores_;
   std::array<std::string, 4> names_{"T1", "T2", "T3", "T4"};
   bgp::IrrRegistry irr_;
   RunnerStats stats_;

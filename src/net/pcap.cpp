@@ -8,13 +8,12 @@ namespace v6t::net {
 namespace {
 
 template <typename T>
-void putLe(std::ostream& out, T value) {
-  std::array<char, sizeof(T)> buf;
+std::size_t putLe(unsigned char* buf, T value) {
   for (std::size_t i = 0; i < sizeof(T); ++i) {
-    buf[i] = static_cast<char>((static_cast<std::uint64_t>(value) >> (8 * i)) &
-                               0xff);
+    buf[i] = static_cast<unsigned char>(
+        (static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff);
   }
-  out.write(buf.data(), buf.size());
+  return sizeof(T);
 }
 
 template <typename T>
@@ -32,27 +31,89 @@ bool getLe(std::istream& in, T& value) {
 
 } // namespace
 
+std::size_t encodeRecord(unsigned char* buf, const Packet& p,
+                         bool withOrigin) {
+  std::size_t n = 0;
+  n += putLe<std::int64_t>(buf + n, p.ts.millis());
+  std::memcpy(buf + n, p.src.bytes().data(), 16);
+  n += 16;
+  std::memcpy(buf + n, p.dst.bytes().data(), 16);
+  n += 16;
+  n += putLe<std::uint8_t>(buf + n, static_cast<std::uint8_t>(p.proto));
+  n += putLe<std::uint16_t>(buf + n, p.srcPort);
+  n += putLe<std::uint16_t>(buf + n, p.dstPort);
+  n += putLe<std::uint8_t>(buf + n, p.icmpType);
+  n += putLe<std::uint8_t>(buf + n, p.icmpCode);
+  n += putLe<std::uint8_t>(buf + n, p.hopLimit);
+  n += putLe<std::uint32_t>(buf + n, p.srcAsn.value());
+  if (withOrigin) {
+    n += putLe<std::uint32_t>(buf + n, p.originId);
+    n += putLe<std::uint64_t>(buf + n, p.originSeq);
+  }
+  const std::size_t len = p.payload.size(); // <= PayloadBuf::kCapacity
+  n += putLe<std::uint16_t>(buf + n, static_cast<std::uint16_t>(len));
+  if (len > 0) {
+    std::memcpy(buf + n, p.payload.data(), len);
+    n += len;
+  }
+  return n;
+}
+
+void writeRecord(std::ostream& out, const Packet& p, bool withOrigin) {
+  unsigned char buf[kMaxRecordBytes];
+  const std::size_t n = encodeRecord(buf, p, withOrigin);
+  out.write(reinterpret_cast<const char*>(buf),
+            static_cast<std::streamsize>(n));
+}
+
+RecordStatus readRecord(std::istream& in, Packet& p, bool withOrigin) {
+  std::int64_t ts = 0;
+  if (!getLe(in, ts)) return RecordStatus::Eof;
+  p = Packet{};
+  p.ts = sim::SimTime{ts};
+  std::array<std::uint8_t, 16> addr{};
+  auto readAddr = [&](Ipv6Address& out) {
+    in.read(reinterpret_cast<char*>(addr.data()), 16);
+    if (in.gcount() != 16) return false;
+    out = Ipv6Address{addr};
+    return true;
+  };
+  std::uint8_t proto = 0;
+  std::uint32_t asn = 0;
+  std::uint16_t payloadLen = 0;
+  if (!readAddr(p.src) || !readAddr(p.dst) || !getLe(in, proto) ||
+      !getLe(in, p.srcPort) || !getLe(in, p.dstPort) ||
+      !getLe(in, p.icmpType) || !getLe(in, p.icmpCode) ||
+      !getLe(in, p.hopLimit) || !getLe(in, asn)) {
+    return RecordStatus::Malformed; // torn record
+  }
+  if (withOrigin &&
+      (!getLe(in, p.originId) || !getLe(in, p.originSeq))) {
+    return RecordStatus::Malformed;
+  }
+  if (!getLe(in, payloadLen)) return RecordStatus::Malformed;
+  if (proto > 2) return RecordStatus::Malformed;
+  p.proto = static_cast<Protocol>(proto);
+  p.srcAsn = Asn{asn};
+  if (payloadLen > PayloadBuf::kCapacity) {
+    // Longer than any payload this model can emit: a foreign or corrupt
+    // record, rejected like an unknown protocol.
+    return RecordStatus::Malformed;
+  }
+  if (payloadLen > 0) {
+    p.payload.resize(payloadLen);
+    in.read(reinterpret_cast<char*>(p.payload.data()), payloadLen);
+    if (in.gcount() != payloadLen) return RecordStatus::Malformed;
+  }
+  return RecordStatus::Ok;
+}
+
 CaptureWriter::CaptureWriter(std::ostream& out) : out_(out) {
   out_.write(kCaptureMagic, sizeof(kCaptureMagic));
 }
 
 void CaptureWriter::write(const Packet& p) {
-  putLe<std::int64_t>(out_, p.ts.millis());
-  out_.write(reinterpret_cast<const char*>(p.src.bytes().data()), 16);
-  out_.write(reinterpret_cast<const char*>(p.dst.bytes().data()), 16);
-  putLe<std::uint8_t>(out_, static_cast<std::uint8_t>(p.proto));
-  putLe<std::uint16_t>(out_, p.srcPort);
-  putLe<std::uint16_t>(out_, p.dstPort);
-  putLe<std::uint8_t>(out_, p.icmpType);
-  putLe<std::uint8_t>(out_, p.icmpCode);
-  putLe<std::uint8_t>(out_, p.hopLimit);
-  putLe<std::uint32_t>(out_, p.srcAsn.value());
-  const std::size_t len = p.payload.size(); // <= PayloadBuf::kCapacity
-  putLe<std::uint16_t>(out_, static_cast<std::uint16_t>(len));
-  if (len > 0) {
-    out_.write(reinterpret_cast<const char*>(p.payload.data()),
-               static_cast<std::streamsize>(len));
-  }
+  writeRecord(out_, p, /*withOrigin=*/false);
   ++records_;
 }
 
@@ -65,48 +126,17 @@ CaptureReader::CaptureReader(std::istream& in) : in_(in) {
 
 std::optional<Packet> CaptureReader::next() {
   if (!ok_) return std::nullopt;
-  std::int64_t ts = 0;
-  if (!getLe(in_, ts)) return std::nullopt; // clean EOF
   Packet p;
-  p.ts = sim::SimTime{ts};
-  std::array<std::uint8_t, 16> addr{};
-  auto readAddr = [&](Ipv6Address& out) {
-    in_.read(reinterpret_cast<char*>(addr.data()), 16);
-    if (in_.gcount() != 16) return false;
-    out = Ipv6Address{addr};
-    return true;
-  };
-  std::uint8_t proto = 0;
-  std::uint32_t asn = 0;
-  std::uint16_t payloadLen = 0;
-  if (!readAddr(p.src) || !readAddr(p.dst) || !getLe(in_, proto) ||
-      !getLe(in_, p.srcPort) || !getLe(in_, p.dstPort) ||
-      !getLe(in_, p.icmpType) || !getLe(in_, p.icmpCode) ||
-      !getLe(in_, p.hopLimit) || !getLe(in_, asn) || !getLe(in_, payloadLen)) {
-    ok_ = false; // torn record
-    return std::nullopt;
-  }
-  if (proto > 2) {
+  switch (readRecord(in_, p, /*withOrigin=*/false)) {
+  case RecordStatus::Ok:
+    return p;
+  case RecordStatus::Eof:
+    return std::nullopt; // clean EOF
+  case RecordStatus::Malformed:
     ok_ = false;
     return std::nullopt;
   }
-  p.proto = static_cast<Protocol>(proto);
-  p.srcAsn = Asn{asn};
-  if (payloadLen > PayloadBuf::kCapacity) {
-    // Longer than any payload this model can emit: a foreign or corrupt
-    // record, rejected like an unknown protocol.
-    ok_ = false;
-    return std::nullopt;
-  }
-  if (payloadLen > 0) {
-    p.payload.resize(payloadLen);
-    in_.read(reinterpret_cast<char*>(p.payload.data()), payloadLen);
-    if (in_.gcount() != payloadLen) {
-      ok_ = false;
-      return std::nullopt;
-    }
-  }
-  return p;
+  return std::nullopt;
 }
 
 std::vector<Packet> CaptureReader::readAll() {

@@ -28,6 +28,37 @@ namespace v6t::net {
 inline constexpr char kCaptureMagic[8] = {'V', '6', 'T', 'C',
                                           'A', 'P', 1,   0};
 
+// --- record-level serialization ------------------------------------------
+//
+// Shared by the v6tcap container and the telescope's on-disk segment
+// format ("v6tseg", docs/FORMATS.md): one packet record, optionally
+// extended with the (originId, originSeq) canonical-merge key that v6tcap
+// deliberately omits. Segments need the key on disk — it is what makes the
+// spilled capture re-mergeable into the exact in-memory canonical order.
+
+/// Upper bound on one encoded record: the base v6tcap fields (70 bytes at
+/// full payload) plus originId:u32 + originSeq:u64 when extended.
+inline constexpr std::size_t kMaxRecordBytes = 82;
+
+/// Encode one record into `buf` (>= kMaxRecordBytes); returns the byte
+/// count. With `withOrigin`, originId/originSeq are inserted after srcAsn.
+std::size_t encodeRecord(unsigned char* buf, const Packet& p,
+                         bool withOrigin);
+
+/// Append one record to `out` (v6tcap layout, or the origin-extended
+/// v6tseg layout).
+void writeRecord(std::ostream& out, const Packet& p, bool withOrigin);
+
+enum class RecordStatus : std::uint8_t {
+  Ok,        ///< `p` holds the next record
+  Eof,       ///< clean end: zero bytes available at a record boundary
+  Malformed, ///< torn record, unknown protocol, or oversized payload
+};
+
+/// Read the next record from `in`. `withOrigin` must match how the stream
+/// was written — the base layout leaves originId/originSeq zero.
+RecordStatus readRecord(std::istream& in, Packet& p, bool withOrigin);
+
 class CaptureWriter {
 public:
   /// Writes the file header immediately. The stream must outlive the writer.

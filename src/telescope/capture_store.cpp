@@ -1,24 +1,11 @@
 #include "telescope/capture_store.hpp"
 
 #include <algorithm>
-#include <tuple>
+
+#include "telescope/digest.hpp"
+#include "telescope/kway_merge.hpp"
 
 namespace v6t::telescope {
-
-namespace {
-
-[[nodiscard]] auto canonicalKey(const net::Packet& p) {
-  return std::make_tuple(p.ts, p.originId, p.originSeq);
-}
-
-void fnv1a(std::uint64_t& h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xff;
-    h *= 0x100000001b3ULL;
-  }
-}
-
-} // namespace
 
 void CaptureStore::mergeFrom(std::span<const CaptureStore* const> shards) {
   // Each shard is already time-ordered (append precondition), but packets
@@ -26,7 +13,10 @@ void CaptureStore::mergeFrom(std::span<const CaptureStore* const> shards) {
   // each equal-ts run by (originId, originSeq) makes every shard
   // canonical-key-sorted — a near-no-op pass over mostly length-1 runs —
   // after which a k-way merge produces the canonical order directly,
-  // instead of the old concatenate-and-O(N log N)-re-sort.
+  // instead of the old concatenate-and-O(N log N)-re-sort. The run sort
+  // and the cursor heap are the shared kway_merge.hpp machinery, so this
+  // path is definitionally order-identical to the out-of-core
+  // SegmentStore cursor and compaction paths.
   std::size_t total = 0;
   std::size_t distinct128 = 0;
   std::size_t distinct64 = 0;
@@ -40,57 +30,28 @@ void CaptureStore::mergeFrom(std::span<const CaptureStore* const> shards) {
     distinctAsn += s->distinctAsns();
   }
 
-  std::vector<std::vector<std::uint32_t>> order(shards.size());
-  for (std::size_t si = 0; si < shards.size(); ++si) {
-    const auto& packets = shards[si]->packets();
-    std::vector<std::uint32_t>& idx = order[si];
-    idx.resize(packets.size());
-    for (std::uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
-    std::size_t runStart = 0;
-    for (std::size_t i = 1; i <= packets.size(); ++i) {
-      if (i == packets.size() || packets[i].ts != packets[runStart].ts) {
-        if (i - runStart > 1) {
-          std::sort(idx.begin() + static_cast<std::ptrdiff_t>(runStart),
-                    idx.begin() + static_cast<std::ptrdiff_t>(i),
-                    [&packets](std::uint32_t a, std::uint32_t b) {
-                      return canonicalKey(packets[a]) <
-                             canonicalKey(packets[b]);
-                    });
-        }
-        runStart = i;
-      }
+  struct ShardCursor {
+    const std::vector<net::Packet>* packets;
+    std::vector<std::uint32_t> order;
+    std::size_t pos = 0;
+    [[nodiscard]] bool empty() const { return order.empty(); }
+    [[nodiscard]] const net::Packet& head() const {
+      return (*packets)[order[pos]];
     }
+    bool advance() { return ++pos < order.size(); }
+  };
+  std::vector<ShardCursor> cursors;
+  cursors.reserve(shards.size());
+  for (const CaptureStore* s : shards) {
+    cursors.push_back(
+        ShardCursor{&s->packets(), canonicalOrderOf(s->packets())});
   }
 
-  // k-way merge over the per-shard canonical orders via a small binary
-  // heap of shard cursors (k = shard count, single digits in practice).
   std::vector<net::Packet> merged;
   merged.reserve(total);
-  struct Cursor {
-    std::size_t shard;
-    std::size_t pos;
-  };
-  std::vector<Cursor> heads;
-  heads.reserve(shards.size());
-  const auto headKey = [&](const Cursor& c) {
-    return canonicalKey(shards[c.shard]->packets()[order[c.shard][c.pos]]);
-  };
-  const auto laterHead = [&](const Cursor& a, const Cursor& b) {
-    return headKey(a) > headKey(b);
-  };
-  for (std::size_t si = 0; si < shards.size(); ++si) {
-    if (!order[si].empty()) heads.push_back(Cursor{si, 0});
-  }
-  std::make_heap(heads.begin(), heads.end(), laterHead);
-  while (!heads.empty()) {
-    std::pop_heap(heads.begin(), heads.end(), laterHead);
-    Cursor& c = heads.back();
-    merged.push_back(shards[c.shard]->packets()[order[c.shard][c.pos]]);
-    if (++c.pos < order[c.shard].size()) {
-      std::push_heap(heads.begin(), heads.end(), laterHead);
-    } else {
-      heads.pop_back();
-    }
+  for (KWayMerge<ShardCursor> merge{std::move(cursors)}; !merge.done();
+       merge.pop()) {
+    merged.push_back(merge.head());
   }
 
   // Stats rebuild in one pass over the merged capture. Reserving the
@@ -106,22 +67,8 @@ void CaptureStore::mergeFrom(std::span<const CaptureStore* const> shards) {
 }
 
 std::uint64_t CaptureStore::digest() const {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const net::Packet& p : packets_) {
-    fnv1a(h, static_cast<std::uint64_t>(p.ts.millis()));
-    fnv1a(h, p.src.hi64());
-    fnv1a(h, p.src.lo64());
-    fnv1a(h, p.dst.hi64());
-    fnv1a(h, p.dst.lo64());
-    fnv1a(h, static_cast<std::uint64_t>(p.proto));
-    fnv1a(h, (static_cast<std::uint64_t>(p.srcPort) << 32) | p.dstPort);
-    fnv1a(h, (static_cast<std::uint64_t>(p.icmpType) << 16) |
-                 (static_cast<std::uint64_t>(p.icmpCode) << 8) | p.hopLimit);
-    fnv1a(h, p.srcAsn.value());
-    fnv1a(h, (static_cast<std::uint64_t>(p.originId) << 32) ^ p.originSeq);
-    fnv1a(h, p.payload.size());
-    for (std::uint8_t b : p.payload) fnv1a(h, b);
-  }
+  std::uint64_t h = kFnvBasis;
+  for (const net::Packet& p : packets_) fnv1aPacket(h, p);
   return h;
 }
 

@@ -1,0 +1,535 @@
+#include "telescope/segment_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+
+#include "net/pcap.hpp"
+#include "telescope/digest.hpp"
+
+namespace fs = std::filesystem;
+
+namespace v6t::telescope {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = sizeof(kSegmentMagic); // 8
+constexpr std::size_t kIndexEntryBytes = 24;
+constexpr std::size_t kSourceEntryBytes = 24;
+// Footer prefix (covered by the meta checksum): minTs maxTs recordCount
+// indexCount sourceCount indexOffset dataChecksum.
+constexpr std::size_t kFooterPrefixBytes = 8 + 8 + 8 + 4 + 4 + 8 + 8;
+static_assert(kFooterPrefixBytes + 8 + sizeof(kSegmentFooterMagic) ==
+              kSegmentFooterBytes);
+
+template <typename T>
+void putLe(std::string& out, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<char>(
+        (static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff));
+  }
+}
+
+template <typename T>
+T getLe(const unsigned char* buf) {
+  std::uint64_t v = 0;
+  for (std::size_t i = sizeof(T); i-- > 0;) {
+    v = (v << 8) | buf[i];
+  }
+  return static_cast<T>(v);
+}
+
+/// Writes one segment to `<final>.tmp`, records in canonical order, then
+/// seals it: sparse index + source table + footer appended, stream closed,
+/// file renamed into place (the RdbDump shape — a reader never sees a
+/// half-written segment under its final name).
+class SegmentFileWriter {
+public:
+  SegmentFileWriter(fs::path finalPath, std::uint64_t indexStride)
+      : finalPath_(std::move(finalPath)),
+        tmpPath_(finalPath_.string() + ".tmp"),
+        stride_(indexStride == 0 ? 1 : indexStride) {
+    out_.open(tmpPath_, std::ios::binary | std::ios::trunc);
+    if (!out_) {
+      throw std::runtime_error("cannot open segment " + tmpPath_.string());
+    }
+    out_.write(kSegmentMagic, sizeof(kSegmentMagic));
+    offset_ = kHeaderBytes;
+  }
+
+  void write(const net::Packet& p) {
+    if (meta_.recordCount % stride_ == 0) {
+      meta_.sparse.push_back(
+          SegmentIndexEntry{p.ts.millis(), meta_.recordCount, offset_});
+    }
+    unsigned char buf[net::kMaxRecordBytes];
+    const std::size_t n = net::encodeRecord(buf, p, /*withOrigin=*/true);
+    fnv1aBytes(meta_.dataChecksum, buf, n);
+    out_.write(reinterpret_cast<const char*>(buf),
+               static_cast<std::streamsize>(n));
+    offset_ += n;
+    if (meta_.recordCount == 0 || p.ts < meta_.minTs) meta_.minTs = p.ts;
+    if (meta_.recordCount == 0 || meta_.maxTs < p.ts) meta_.maxTs = p.ts;
+    ++sourceCounts_[{p.src.hi64(), p.src.lo64()}];
+    ++meta_.recordCount;
+  }
+
+  /// Returns (meta, total file bytes). `beforeSeal` runs after the bytes
+  /// are fully written and the stream closed but before the rename — the
+  /// crash seam of the recovery tests.
+  std::pair<SegmentMeta, std::uint64_t> seal(
+      const std::function<void(const fs::path&)>& beforeSeal) {
+    meta_.indexOffset = offset_;
+    meta_.sources.reserve(sourceCounts_.size());
+    for (const auto& [key, count] : sourceCounts_) {
+      std::array<std::uint8_t, 16> bytes{};
+      for (int i = 0; i < 8; ++i) {
+        bytes[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(key.first >> (8 * (7 - i)));
+        bytes[static_cast<std::size_t>(8 + i)] =
+            static_cast<std::uint8_t>(key.second >> (8 * (7 - i)));
+      }
+      meta_.sources.push_back(
+          SegmentSourceCount{net::Ipv6Address{bytes}, count});
+    }
+
+    // Meta block: sparse index, source table, footer prefix — checksummed
+    // as one contiguous range so probe() can validate with a single read.
+    std::string block;
+    block.reserve(meta_.sparse.size() * kIndexEntryBytes +
+                  meta_.sources.size() * kSourceEntryBytes +
+                  kSegmentFooterBytes);
+    for (const SegmentIndexEntry& e : meta_.sparse) {
+      putLe<std::int64_t>(block, e.ts);
+      putLe<std::uint64_t>(block, e.record);
+      putLe<std::uint64_t>(block, e.offset);
+    }
+    for (const SegmentSourceCount& s : meta_.sources) {
+      putLe<std::uint64_t>(block, s.addr.hi64());
+      putLe<std::uint64_t>(block, s.addr.lo64());
+      putLe<std::uint64_t>(block, s.count);
+    }
+    putLe<std::int64_t>(block, meta_.minTs.millis());
+    putLe<std::int64_t>(block, meta_.maxTs.millis());
+    putLe<std::uint64_t>(block, meta_.recordCount);
+    putLe<std::uint32_t>(block,
+                         static_cast<std::uint32_t>(meta_.sparse.size()));
+    putLe<std::uint32_t>(block,
+                         static_cast<std::uint32_t>(meta_.sources.size()));
+    putLe<std::uint64_t>(block, meta_.indexOffset);
+    putLe<std::uint64_t>(block, meta_.dataChecksum);
+    std::uint64_t metaChecksum = kFnvBasis;
+    fnv1aBytes(metaChecksum,
+               reinterpret_cast<const unsigned char*>(block.data()),
+               block.size());
+    putLe<std::uint64_t>(block, metaChecksum);
+    block.append(kSegmentFooterMagic, sizeof(kSegmentFooterMagic));
+
+    out_.write(block.data(), static_cast<std::streamsize>(block.size()));
+    out_.flush();
+    if (!out_) {
+      throw std::runtime_error("short write sealing " + tmpPath_.string());
+    }
+    out_.close();
+    if (beforeSeal) beforeSeal(tmpPath_);
+    fs::rename(tmpPath_, finalPath_);
+    return {std::move(meta_), offset_ + block.size()};
+  }
+
+private:
+  fs::path finalPath_;
+  fs::path tmpPath_;
+  std::uint64_t stride_;
+  std::ofstream out_;
+  std::uint64_t offset_ = 0;
+  SegmentMeta meta_{sim::SimTime{0}, sim::SimTime{0}, 0, 0, kFnvBasis, {},
+                    {}};
+  // Ordered by (hi, lo) => the table comes out address-sorted.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t>
+      sourceCounts_;
+};
+
+[[nodiscard]] std::optional<std::uint64_t> parseSegmentSeq(
+    const std::string& name) {
+  // seg-NNNNNN.v6tseg
+  if (!name.starts_with("seg-") || !name.ends_with(".v6tseg")) {
+    return std::nullopt;
+  }
+  const std::string digits = name.substr(4, name.size() - 4 - 7);
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t seq = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return seq;
+}
+
+} // namespace
+
+// --- SegmentCursor --------------------------------------------------------
+
+SegmentCursor::SegmentCursor(const fs::path& path, const SegmentMeta& meta,
+                             std::uint64_t firstRecord,
+                             std::uint64_t startOffset)
+    : path_(path.string()),
+      remaining_(meta.recordCount - firstRecord),
+      expectChecksum_(meta.dataChecksum),
+      runningChecksum_(kFnvBasis),
+      verify_(firstRecord == 0) {
+  in_.open(path, std::ios::binary);
+  if (!in_) throw std::runtime_error("cannot open segment " + path_);
+  in_.seekg(static_cast<std::streamoff>(startOffset));
+  if (remaining_ > 0) {
+    readNext();
+  }
+}
+
+bool SegmentCursor::advance() {
+  if (remaining_ == 0) {
+    if (valid_ && verify_ && runningChecksum_ != expectChecksum_) {
+      valid_ = false;
+      throw std::runtime_error("segment data checksum mismatch: " + path_);
+    }
+    valid_ = false;
+    return false;
+  }
+  readNext();
+  return true;
+}
+
+void SegmentCursor::readNext() {
+  if (net::readRecord(in_, head_, /*withOrigin=*/true) !=
+      net::RecordStatus::Ok) {
+    valid_ = false;
+    throw std::runtime_error("torn record in segment " + path_);
+  }
+  if (verify_) {
+    // Re-encode and fold: canonical encoding means encode(decode(x)) is
+    // byte-identical, so a full-file cursor reproduces the writer's
+    // checksum without a second I/O pass.
+    unsigned char buf[net::kMaxRecordBytes];
+    const std::size_t n = net::encodeRecord(buf, head_, /*withOrigin=*/true);
+    fnv1aBytes(runningChecksum_, buf, n);
+  }
+  --remaining_;
+  valid_ = true;
+}
+
+// --- SegmentReader --------------------------------------------------------
+
+std::optional<SegmentMeta> SegmentReader::probe(const fs::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  if (size < kHeaderBytes + kSegmentFooterBytes) return std::nullopt;
+
+  char magic[sizeof(kSegmentMagic)];
+  in.seekg(0);
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kSegmentMagic, sizeof(magic)) != 0) {
+    return std::nullopt;
+  }
+
+  unsigned char footer[kSegmentFooterBytes];
+  in.seekg(static_cast<std::streamoff>(size - kSegmentFooterBytes));
+  in.read(reinterpret_cast<char*>(footer), kSegmentFooterBytes);
+  if (!in || std::memcmp(footer + kFooterPrefixBytes + 8, kSegmentFooterMagic,
+                         sizeof(kSegmentFooterMagic)) != 0) {
+    return std::nullopt;
+  }
+
+  SegmentMeta meta;
+  meta.minTs = sim::SimTime{getLe<std::int64_t>(footer)};
+  meta.maxTs = sim::SimTime{getLe<std::int64_t>(footer + 8)};
+  meta.recordCount = getLe<std::uint64_t>(footer + 16);
+  const auto indexCount = getLe<std::uint32_t>(footer + 24);
+  const auto sourceCount = getLe<std::uint32_t>(footer + 28);
+  meta.indexOffset = getLe<std::uint64_t>(footer + 32);
+  meta.dataChecksum = getLe<std::uint64_t>(footer + 40);
+  const auto metaChecksum = getLe<std::uint64_t>(footer + 48);
+
+  // The block sizes must tile the file exactly; anything else is a torn
+  // or foreign layout.
+  const std::uint64_t metaBytes =
+      std::uint64_t{indexCount} * kIndexEntryBytes +
+      std::uint64_t{sourceCount} * kSourceEntryBytes;
+  if (meta.indexOffset < kHeaderBytes ||
+      meta.indexOffset + metaBytes + kSegmentFooterBytes != size) {
+    return std::nullopt;
+  }
+
+  // The meta checksum covers the contiguous range [indexOffset, footer
+  // checksum field): index block, source block, footer prefix.
+  std::vector<unsigned char> block(metaBytes + kFooterPrefixBytes);
+  in.seekg(static_cast<std::streamoff>(meta.indexOffset));
+  in.read(reinterpret_cast<char*>(block.data()),
+          static_cast<std::streamsize>(block.size()));
+  if (!in) return std::nullopt;
+  std::uint64_t check = kFnvBasis;
+  fnv1aBytes(check, block.data(), block.size());
+  if (check != metaChecksum) return std::nullopt;
+
+  meta.sparse.reserve(indexCount);
+  const unsigned char* p = block.data();
+  for (std::uint32_t i = 0; i < indexCount; ++i, p += kIndexEntryBytes) {
+    meta.sparse.push_back(SegmentIndexEntry{getLe<std::int64_t>(p),
+                                            getLe<std::uint64_t>(p + 8),
+                                            getLe<std::uint64_t>(p + 16)});
+  }
+  meta.sources.reserve(sourceCount);
+  for (std::uint32_t i = 0; i < sourceCount; ++i, p += kSourceEntryBytes) {
+    const std::uint64_t hi = getLe<std::uint64_t>(p);
+    const std::uint64_t lo = getLe<std::uint64_t>(p + 8);
+    std::array<std::uint8_t, 16> bytes{};
+    for (int b = 0; b < 8; ++b) {
+      bytes[static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(hi >> (8 * (7 - b)));
+      bytes[static_cast<std::size_t>(8 + b)] =
+          static_cast<std::uint8_t>(lo >> (8 * (7 - b)));
+    }
+    meta.sources.push_back(SegmentSourceCount{net::Ipv6Address{bytes},
+                                              getLe<std::uint64_t>(p + 16)});
+  }
+  return meta;
+}
+
+SegmentReader::SegmentReader(fs::path path) : path_(std::move(path)) {
+  auto meta = probe(path_);
+  if (!meta) {
+    throw std::runtime_error("invalid segment " + path_.string());
+  }
+  meta_ = std::move(*meta);
+}
+
+SegmentCursor SegmentReader::cursor() const {
+  return SegmentCursor{path_, meta_, 0, kHeaderBytes};
+}
+
+SegmentCursor SegmentReader::lowerBound(sim::SimTime t) const {
+  // Last sparse entry strictly before t: every record before it is <= its
+  // ts < t, so the scan to the first record with ts >= t is bounded by one
+  // index stride.
+  std::uint64_t rec = 0;
+  std::uint64_t off = kHeaderBytes;
+  const auto it = std::partition_point(
+      meta_.sparse.begin(), meta_.sparse.end(),
+      [&](const SegmentIndexEntry& e) { return e.ts < t.millis(); });
+  if (it != meta_.sparse.begin()) {
+    const SegmentIndexEntry& e = *(it - 1);
+    rec = e.record;
+    off = e.offset;
+  }
+  SegmentCursor c{path_, meta_, rec, off};
+  while (!c.empty() && c.head().ts < t) {
+    if (!c.advance()) break;
+  }
+  return c;
+}
+
+std::uint64_t SegmentReader::packetsFromSource(
+    const net::Ipv6Address& addr) const {
+  const auto it = std::partition_point(
+      meta_.sources.begin(), meta_.sources.end(),
+      [&](const SegmentSourceCount& s) { return s.addr < addr; });
+  if (it == meta_.sources.end() || it->addr != addr) return 0;
+  return it->count;
+}
+
+// --- SegmentStore ---------------------------------------------------------
+
+SegmentStore::SegmentStore(SegmentStoreOptions options)
+    : options_(std::move(options)) {
+  fs::create_directories(options_.dir);
+  recoverDir();
+}
+
+fs::path SegmentStore::segmentPath(std::uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%06llu.v6tseg",
+                static_cast<unsigned long long>(seq));
+  return options_.dir / name;
+}
+
+void SegmentStore::recoverDir() {
+  std::vector<std::pair<std::uint64_t, fs::path>> sealed;
+  std::vector<fs::path> partial;
+  std::vector<fs::path> invalid;
+  for (const auto& entry : fs::directory_iterator(options_.dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(".v6tseg.tmp")) {
+      partial.push_back(entry.path());
+    } else if (const auto seq = parseSegmentSeq(name)) {
+      if (SegmentReader::probe(entry.path())) {
+        sealed.emplace_back(*seq, entry.path());
+      } else {
+        invalid.push_back(entry.path());
+      }
+    }
+  }
+  // A `.tmp` is a spill the process died inside of; an unreadable sealed
+  // name is bit rot or a torn rename. Both are moved aside — never
+  // deleted, the operator may want the bytes — and never read again.
+  for (const fs::path& p : partial) {
+    fs::rename(p, fs::path{p.string() + ".quarantined"});
+    ++recovery_.quarantined;
+  }
+  for (const fs::path& p : invalid) {
+    fs::rename(p, fs::path{p.string() + ".quarantined"});
+    ++recovery_.quarantined;
+  }
+  std::sort(sealed.begin(), sealed.end());
+  segments_.reserve(sealed.size());
+  for (const auto& [seq, path] : sealed) {
+    segments_.emplace_back(path);
+    sealedRecords_ += segments_.back().meta().recordCount;
+    nextSeq_ = std::max(nextSeq_, seq + 1);
+  }
+  recovery_.sealedSegments = segments_.size();
+  recovery_.durableRecords = sealedRecords_;
+  if (options_.metrics != nullptr && recovery_.quarantined > 0) {
+    options_.metrics->counter("capture.spill.quarantined_total")
+        .inc(recovery_.quarantined);
+  }
+}
+
+void SegmentStore::append(const net::Packet& p) {
+  memtable_.push_back(p);
+  if (options_.spillBytes > 0 && memtableBytes() >= options_.spillBytes) {
+    spill();
+  }
+}
+
+void SegmentStore::spill() {
+  if (memtable_.empty()) return;
+  std::optional<obs::Span> span;
+  if (options_.metrics != nullptr) {
+    span.emplace(*options_.metrics, "capture.spill.flush_seconds");
+  }
+  const std::vector<std::uint32_t> order = canonicalOrderOf(memtable_);
+  SegmentFileWriter writer{segmentPath(nextSeq_), options_.indexStride};
+  for (std::uint32_t i : order) writer.write(memtable_[i]);
+  const std::uint64_t bytes = writer.seal(options_.beforeSeal).second;
+  segments_.emplace_back(segmentPath(nextSeq_));
+  ++nextSeq_;
+  sealedRecords_ += memtable_.size();
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("capture.spill.segments_total").inc();
+    options_.metrics->counter("capture.spill.bytes_total").inc(bytes);
+    options_.metrics->counter("capture.spill.records_total")
+        .inc(memtable_.size());
+    options_.metrics
+        ->gauge("capture.spill.segments_high_water", obs::GaugeMode::Max)
+        .set(static_cast<double>(segments_.size()));
+  }
+  memtable_.clear();
+  if (options_.compactFanout > 0 &&
+      segments_.size() >= options_.compactFanout) {
+    compact();
+  }
+}
+
+void SegmentStore::compact() {
+  if (segments_.size() < 2) return;
+  std::optional<obs::Span> span;
+  if (options_.metrics != nullptr) {
+    span.emplace(*options_.metrics, "capture.spill.compact_seconds");
+  }
+  std::vector<SegmentCursor> cursors;
+  cursors.reserve(segments_.size());
+  for (const SegmentReader& seg : segments_) cursors.push_back(seg.cursor());
+
+  const fs::path outPath = segmentPath(nextSeq_);
+  SegmentFileWriter writer{outPath, options_.indexStride};
+  std::uint64_t merged = 0;
+  for (KWayMerge<SegmentCursor> merge{std::move(cursors)}; !merge.done();
+       merge.pop()) {
+    writer.write(merge.head());
+    ++merged;
+  }
+  writer.seal(options_.beforeSeal);
+  for (const SegmentReader& seg : segments_) fs::remove(seg.path());
+  segments_.clear();
+  segments_.emplace_back(outPath);
+  ++nextSeq_;
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("capture.spill.compactions_total").inc();
+    options_.metrics->counter("capture.spill.compacted_records_total")
+        .inc(merged);
+  }
+}
+
+std::uint64_t SegmentStore::spilledBytes() const {
+  std::uint64_t total = 0;
+  for (const SegmentReader& seg : segments_) {
+    total += static_cast<std::uint64_t>(fs::file_size(seg.path()));
+  }
+  return total;
+}
+
+std::uint64_t SegmentStore::packetsFromSource(
+    const net::Ipv6Address& addr) const {
+  std::uint64_t total = 0;
+  for (const SegmentReader& seg : segments_) {
+    total += seg.packetsFromSource(addr);
+  }
+  for (const net::Packet& p : memtable_) {
+    if (p.src == addr) ++total;
+  }
+  return total;
+}
+
+SegmentStore::Cursor::Cursor(std::vector<SegmentCursor> segments,
+                             std::vector<net::Packet> memRun)
+    : merge_(std::move(segments)), memRun_(std::move(memRun)) {}
+
+bool SegmentStore::Cursor::empty() const {
+  return merge_.done() && memPos_ >= memRun_.size();
+}
+
+bool SegmentStore::Cursor::memFirst() const {
+  if (memPos_ >= memRun_.size()) return false;
+  if (merge_.done()) return true;
+  return canonicalKey(memRun_[memPos_]) < canonicalKey(merge_.head());
+}
+
+const net::Packet& SegmentStore::Cursor::head() const {
+  return memFirst() ? memRun_[memPos_] : merge_.head();
+}
+
+bool SegmentStore::Cursor::advance() {
+  if (memFirst()) {
+    ++memPos_;
+  } else {
+    merge_.pop();
+  }
+  return !empty();
+}
+
+SegmentStore::Cursor SegmentStore::cursor() const {
+  std::vector<SegmentCursor> cursors;
+  cursors.reserve(segments_.size());
+  for (const SegmentReader& seg : segments_) cursors.push_back(seg.cursor());
+  std::vector<net::Packet> memRun;
+  memRun.reserve(memtable_.size());
+  for (std::uint32_t i : canonicalOrderOf(memtable_)) {
+    memRun.push_back(memtable_[i]);
+  }
+  return Cursor{std::move(cursors), std::move(memRun)};
+}
+
+std::uint64_t SegmentStore::digest() const {
+  std::uint64_t h = kFnvBasis;
+  Cursor c = cursor();
+  if (!c.empty()) {
+    do {
+      fnv1aPacket(h, c.head());
+    } while (c.advance());
+  }
+  return h;
+}
+
+} // namespace v6t::telescope

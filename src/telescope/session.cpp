@@ -4,27 +4,30 @@
 
 namespace v6t::telescope {
 
-void Sessionizer::setCaptureGaps(
+std::vector<std::pair<sim::SimTime, sim::SimTime>> normalizeGapWindows(
     std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps) {
   std::sort(gaps.begin(), gaps.end());
-  gaps_.clear();
-  gaps_.reserve(gaps.size());
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> out;
+  out.reserve(gaps.size());
   for (const auto& g : gaps) {
-    if (!gaps_.empty() && g.first <= gaps_.back().second) {
-      gaps_.back().second = std::max(gaps_.back().second, g.second);
+    if (!out.empty() && g.first <= out.back().second) {
+      out.back().second = std::max(out.back().second, g.second);
     } else {
-      gaps_.push_back(g);
+      out.push_back(g);
     }
   }
+  return out;
 }
 
-bool Sessionizer::spansGap(sim::SimTime lastSeen, sim::SimTime now) const {
-  if (now <= lastSeen || gaps_.empty()) return false;
-  // The windows are sorted and disjoint (setCaptureGaps merged overlaps),
-  // so their end times increase monotonically: binary-search the first
-  // window still open after lastSeen instead of scanning all of them.
+bool silenceSpansGap(
+    std::span<const std::pair<sim::SimTime, sim::SimTime>> gaps,
+    sim::SimTime lastSeen, sim::SimTime now) {
+  if (now <= lastSeen || gaps.empty()) return false;
+  // The windows are sorted and disjoint (normalizeGapWindows merged
+  // overlaps), so their end times increase monotonically: binary-search
+  // the first window still open after lastSeen instead of scanning all.
   const auto it = std::lower_bound(
-      gaps_.begin(), gaps_.end(), lastSeen,
+      gaps.begin(), gaps.end(), lastSeen,
       [](const std::pair<sim::SimTime, sim::SimTime>& g, sim::SimTime t) {
         return g.second <= t;
       });
@@ -32,7 +35,16 @@ bool Sessionizer::spansGap(sim::SimTime lastSeen, sim::SimTime now) const {
   // telescope was dark for part of the silence, so continuity cannot be
   // attested and the session must split. Later windows start even later,
   // so only the first candidate can overlap.
-  return it != gaps_.end() && now >= it->first;
+  return it != gaps.end() && now >= it->first;
+}
+
+void Sessionizer::setCaptureGaps(
+    std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps) {
+  gaps_ = normalizeGapWindows(std::move(gaps));
+}
+
+bool Sessionizer::spansGap(sim::SimTime lastSeen, sim::SimTime now) const {
+  return silenceSpansGap(gaps_, lastSeen, now);
 }
 
 void Sessionizer::offer(const net::Packet& p, std::uint32_t idx) {
@@ -89,6 +101,79 @@ std::vector<Session> sessionize(
   for (std::uint32_t i = 0; i < packets.size(); ++i) s.offer(packets[i], i);
   auto out = s.finish();
   if (statsOut != nullptr) *statsOut = s.stats();
+  return out;
+}
+
+void SessionTracker::setCaptureGaps(
+    std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps) {
+  gaps_ = normalizeGapWindows(std::move(gaps));
+}
+
+void SessionTracker::offer(const net::Packet& p) {
+  // Mirrors Sessionizer::offer decision for decision — same continuation
+  // predicate, same stats — with O(1) per-session state.
+  const net::Ipv6Address key = p.src.maskedTo(bits(agg_));
+  auto it = open_.find(key);
+  if (it != open_.end()) {
+    Open& o = it->second;
+    const bool gapped = silenceSpansGap(gaps_, o.lastSeen, p.ts);
+    if (p.ts - o.lastSeen <= timeout_ && !gapped) {
+      o.summary.end = p.ts;
+      ++o.summary.packets;
+      if (p.hasPayload()) ++o.summary.payloadPackets;
+      o.lastSeen = p.ts;
+      return;
+    }
+    done_.push_back(o.summary);
+    open_.erase(it);
+    if (gapped) {
+      ++stats_.closedByGap;
+    } else {
+      ++stats_.closedByTimeout;
+    }
+  }
+  ++stats_.opened;
+  Open fresh;
+  fresh.summary.source = SourceKey{key, agg_};
+  fresh.summary.start = p.ts;
+  fresh.summary.end = p.ts;
+  fresh.summary.packets = 1;
+  fresh.summary.payloadPackets = p.hasPayload() ? 1 : 0;
+  fresh.summary.firstAsn = p.srcAsn;
+  fresh.lastSeen = p.ts;
+  open_.emplace(key, fresh);
+}
+
+std::vector<SessionSummary> SessionTracker::drainClosed() {
+  std::vector<SessionSummary> out = std::move(done_);
+  done_.clear();
+  return out;
+}
+
+std::vector<SessionSummary> SessionTracker::finish() {
+  stats_.openAtFinish += open_.size();
+  for (auto& [key, o] : open_) done_.push_back(o.summary);
+  open_.clear();
+  return drainClosed();
+}
+
+std::vector<SessionSummary> summarizeSessions(
+    std::span<const Session> sessions,
+    std::span<const net::Packet> packets) {
+  std::vector<SessionSummary> out;
+  out.reserve(sessions.size());
+  for (const Session& s : sessions) {
+    SessionSummary sum;
+    sum.source = s.source;
+    sum.start = s.start;
+    sum.end = s.end;
+    sum.packets = s.packetCount();
+    for (std::uint32_t idx : s.packetIdx) {
+      if (packets[idx].hasPayload()) ++sum.payloadPackets;
+    }
+    sum.firstAsn = packets[s.packetIdx.front()].srcAsn;
+    out.push_back(sum);
+  }
   return out;
 }
 

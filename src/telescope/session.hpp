@@ -53,6 +53,19 @@ struct Session {
 /// Default timeout from the paper.
 inline constexpr sim::Duration kSessionTimeout = sim::hours(1);
 
+/// Canonical form of declared capture outages: sorted by start, with
+/// overlapping/touching windows merged — what both session engines
+/// binary-search per packet.
+[[nodiscard]] std::vector<std::pair<sim::SimTime, sim::SimTime>>
+normalizeGapWindows(std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps);
+
+/// True when the silent interval (lastSeen, now] overlaps one of the
+/// normalized gap windows — the telescope was dark for part of the
+/// silence, so session continuity cannot be attested.
+[[nodiscard]] bool silenceSpansGap(
+    std::span<const std::pair<sim::SimTime, sim::SimTime>> gaps,
+    sim::SimTime lastSeen, sim::SimTime now);
+
 /// Streaming sessionizer: feed packets in time order, harvest completed
 /// sessions at any point, flush at end of measurement.
 class Sessionizer {
@@ -118,6 +131,76 @@ private:
     sim::Duration timeout = kSessionTimeout,
     Sessionizer::Stats* statsOut = nullptr,
     std::vector<std::pair<sim::SimTime, sim::SimTime>> captureGaps = {});
+
+/// A closed session reduced to its aggregate facts — everything the
+/// streaming analysis folds on, with no packet-index vector, so tracking
+/// state is O(1) per open session instead of O(packets). The fields are
+/// exactly what CaptureIndex::SourceAggregates derives from a full
+/// Session over the capture, which is what makes the streamed fold
+/// bitwise-equal to the one-shot path.
+struct SessionSummary {
+  SourceKey source;
+  sim::SimTime start;
+  sim::SimTime end;
+  std::uint64_t packets = 0;
+  std::uint64_t payloadPackets = 0;
+  /// srcAsn of the session's first packet (the attribution CaptureIndex
+  /// assigns a source from its first session).
+  net::Asn firstAsn;
+
+  [[nodiscard]] sim::Duration duration() const { return end - start; }
+};
+
+/// Constant-state sessionizer for the out-of-core streaming path: same
+/// continuation predicate as Sessionizer (timeout + declared capture
+/// gaps), but open sessions carry only a SessionSummary — no packet
+/// indices — so memory is bounded by the number of concurrently open
+/// sessions, not by capture size. Closed summaries can be drained at any
+/// window boundary; draining never changes what is produced, only when
+/// it is handed over.
+class SessionTracker {
+public:
+  explicit SessionTracker(SourceAgg agg,
+                          sim::Duration timeout = kSessionTimeout)
+      : agg_(agg), timeout_(timeout) {}
+
+  /// Declared outages, same semantics as Sessionizer::setCaptureGaps.
+  void setCaptureGaps(std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps);
+
+  /// Offer the next packet (time-ordered, like Sessionizer::offer).
+  void offer(const net::Packet& p);
+
+  /// Move out the sessions closed since the last drain, in close order.
+  [[nodiscard]] std::vector<SessionSummary> drainClosed();
+
+  /// Close every still-open session and return the remaining summaries
+  /// (close order, NOT sorted — the streaming analyzer canonicalizes the
+  /// full summary set once at the end).
+  [[nodiscard]] std::vector<SessionSummary> finish();
+
+  [[nodiscard]] SourceAgg aggregation() const { return agg_; }
+  [[nodiscard]] const Sessionizer::Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t openSessions() const { return open_.size(); }
+
+private:
+  struct Open {
+    SessionSummary summary;
+    sim::SimTime lastSeen;
+  };
+
+  SourceAgg agg_;
+  sim::Duration timeout_;
+  std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps_;
+  std::unordered_map<net::Ipv6Address, Open> open_;
+  std::vector<SessionSummary> done_;
+  Sessionizer::Stats stats_;
+};
+
+/// Reduce a full session table to summaries (session-vector order) — the
+/// bridge the equivalence tests use to compare Sessionizer output against
+/// a SessionTracker run over the same packets.
+[[nodiscard]] std::vector<SessionSummary> summarizeSessions(
+    std::span<const Session> sessions, std::span<const net::Packet> packets);
 
 /// Sessions grouped per source key (insertion order = first appearance).
 struct SourceSessions {

@@ -29,6 +29,7 @@ DeliveryResult Telescope::deliver(const net::Packet& p) {
     return result;
   }
   store_.append(p);
+  ++captured_;
   result.captured = true;
   if (tracer_ != nullptr) {
     // (a, b) = (originId, originSeq): the same key the canonical capture

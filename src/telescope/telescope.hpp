@@ -69,6 +69,11 @@ public:
   /// Packets that landed in the excluded subnet (counted, not stored).
   [[nodiscard]] std::uint64_t excludedPackets() const { return excluded_; }
 
+  /// Cumulative packets captured over the telescope's lifetime. Unlike
+  /// capture().packetCount() this survives epoch-boundary drains of the
+  /// store in spill mode — the monotone total the delta-sampler needs.
+  [[nodiscard]] std::uint64_t capturedPackets() const { return captured_; }
+
   /// Attach the owning shard's flight recorder; `entity` is the trace
   /// thread id this telescope's captures render under (distinct from
   /// scanner ids). Delivery is synchronous, so the tracer's context slot
@@ -82,6 +87,7 @@ private:
   TelescopeConfig config_;
   CaptureStore store_;
   std::uint64_t excluded_ = 0;
+  std::uint64_t captured_ = 0;
   obs::trace::Tracer* tracer_ = nullptr;
   std::uint32_t traceEntity_ = 0;
 };

@@ -18,6 +18,7 @@
 #include "obs/format.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "test_util.hpp"
 
 namespace v6t {
 namespace {
@@ -343,9 +344,8 @@ TEST(ObsDeterminism, LiveExporterDoesNotPerturbCaptures) {
   // Observed run: verbose logging into a capturing sink plus a fast live
   // exporter hammering snapshotMetrics()/progressLine() while the shards
   // execute. Captures must still be bitwise-identical.
-  const auto jsonlPath =
-      std::filesystem::path{::testing::TempDir()} / "v6t_obs_live.jsonl";
-  std::filesystem::remove(jsonlPath);
+  const testutil::ScopedTempDir scratch;
+  const auto jsonlPath = scratch.file("v6t_obs_live.jsonl");
   {
     CapturingSink sink;
     obs::Logger::global().setLevel(obs::Level::Trace);

@@ -1,0 +1,309 @@
+// Streaming windowed analysis vs the one-shot in-memory reference: the
+// StreamingResult digest must be bitwise-identical at every window length,
+// every spill budget and every thread count, with and without declared
+// capture gaps (DESIGN.md §15). Also the SessionTracker / Sessionizer
+// decision-equivalence the whole construction rests on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "analysis/streaming.hpp"
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "telescope/capture_store.hpp"
+#include "telescope/segment_store.hpp"
+#include "telescope/session.hpp"
+#include "test_util.hpp"
+
+namespace v6t::analysis {
+namespace {
+
+using telescope::SessionSummary;
+using testutil::ScopedTempDir;
+
+/// Synthetic multi-day scanner capture in canonical order: a small source
+/// pool with one dominant source (a guaranteed heavy hitter), bursty
+/// inter-arrivals with occasional silences beyond the session timeout, and
+/// mixed payloads. Canonicalized through CaptureStore::mergeFrom — the
+/// exact transform merged runner captures go through.
+std::vector<net::Packet> scannerCapture(std::uint64_t seed, std::size_t n) {
+  sim::Rng rng{seed};
+  const net::Ipv6Address heavy{0x2001'0db8'00ff'0000ull, 1};
+  telescope::CaptureStore shard;
+  std::int64_t ts = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t pace = rng.below(100);
+    if (pace < 70) {
+      ts += static_cast<std::int64_t>(rng.below(30'000)); // burst
+    } else if (pace < 95) {
+      ts += static_cast<std::int64_t>(rng.below(600'000)); // minutes
+    } else {
+      // Silence beyond the 1h timeout: forces closed sessions mid-stream.
+      ts += 3'600'000 + static_cast<std::int64_t>(rng.below(7'200'000));
+    }
+    net::Packet p;
+    p.ts = sim::SimTime{ts};
+    p.src = (rng.below(100) < 30)
+                ? heavy
+                : net::Ipv6Address{0x2001'0db8'0000'0000ull + rng.below(24),
+                                   rng.below(3)};
+    p.dst = net::Ipv6Address{0x2a00ull << 48, rng.next()};
+    p.proto = static_cast<net::Protocol>(rng.below(3));
+    p.srcPort = static_cast<std::uint16_t>(rng.below(65536));
+    p.dstPort = static_cast<std::uint16_t>(rng.below(65536));
+    p.hopLimit = static_cast<std::uint8_t>(64 + rng.below(64));
+    p.srcAsn = net::Asn{static_cast<std::uint32_t>(64500 + rng.below(40))};
+    p.originId = static_cast<std::uint32_t>(rng.below(4));
+    p.originSeq = i;
+    const std::size_t payloadLen = rng.below(3) == 0 ? rng.below(17) : 0;
+    for (std::size_t b = 0; b < payloadLen; ++b) {
+      p.payload.push_back(static_cast<std::uint8_t>(rng.below(256)));
+    }
+    shard.append(p);
+  }
+  telescope::CaptureStore ref;
+  const telescope::CaptureStore* shards[] = {&shard};
+  ref.mergeFrom(shards);
+  return ref.packets();
+}
+
+std::vector<net::Packet> dropGapPackets(
+    std::vector<net::Packet> packets,
+    const std::vector<std::pair<sim::SimTime, sim::SimTime>>& gaps) {
+  std::erase_if(packets, [&](const net::Packet& p) {
+    for (const auto& [start, end] : gaps) {
+      if (p.ts >= start && p.ts < end) return true;
+    }
+    return false;
+  });
+  return packets;
+}
+
+// --- one-shot reference sanity -------------------------------------------
+
+TEST(Streaming, OneShotReferenceIsThreadCountInvariant) {
+  const std::vector<net::Packet> packets = scannerCapture(7, 3000);
+  StreamingOptions base;
+  const StreamingResult reference = analyzeOneShot(packets, base);
+  EXPECT_EQ(reference.totalPackets, packets.size());
+  EXPECT_FALSE(reference.sources.empty());
+  EXPECT_FALSE(reference.heavyHitters.empty())
+      << "the dominant source must cross the 10% threshold";
+  EXPECT_TRUE(reference.windows.empty()) << "one-shot has no windows";
+  for (const unsigned threads : {2u, 8u}) {
+    StreamingOptions opts;
+    opts.threads = threads;
+    EXPECT_EQ(analyzeOneShot(packets, opts).digest(), reference.digest())
+        << "one-shot fold diverged at " << threads << " threads";
+  }
+}
+
+// --- windowed == one-shot ------------------------------------------------
+
+TEST(Streaming, WindowedDigestMatchesOneShotAcrossLengthsAndThreads) {
+  const std::vector<net::Packet> packets = scannerCapture(17, 3000);
+  const StreamingResult reference = analyzeOneShot(packets);
+  for (const sim::Duration window :
+       {sim::hours(1), sim::hours(6), sim::hours(24), sim::days(7)}) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      StreamingOptions opts;
+      opts.windowLength = window;
+      opts.threads = threads;
+      StreamingAnalyzer analyzer{opts};
+      for (const net::Packet& p : packets) analyzer.ingest(p);
+      const StreamingResult result = analyzer.finish();
+      EXPECT_EQ(result.digest(), reference.digest())
+          << "window=" << window.millis() << "ms threads=" << threads;
+      EXPECT_EQ(result.totalPackets, reference.totalPackets);
+      EXPECT_EQ(result.sources.size(), reference.sources.size());
+      EXPECT_EQ(result.heavyHitters.size(), reference.heavyHitters.size());
+      EXPECT_FALSE(result.windows.empty());
+    }
+  }
+}
+
+TEST(Streaming, WindowReportsPartitionTheStream) {
+  const std::vector<net::Packet> packets = scannerCapture(27, 2000);
+  StreamingOptions opts;
+  opts.windowLength = sim::hours(24);
+  StreamingAnalyzer analyzer{opts};
+  for (const net::Packet& p : packets) analyzer.ingest(p);
+  const StreamingResult result = analyzer.finish();
+  ASSERT_GT(result.windows.size(), 1u) << "multi-day capture, daily windows";
+  EXPECT_EQ(result.windows.size(), analyzer.windowsClosed());
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < result.windows.size(); ++i) {
+    const StreamingWindowReport& w = result.windows[i];
+    sum += w.packets;
+    EXPECT_GT(w.packets, 0u) << "empty windows are never emitted";
+    EXPECT_GE(w.sources, 1u);
+    EXPECT_LT(w.start, w.end);
+    if (i > 0) EXPECT_GE(w.start, result.windows[i - 1].end);
+  }
+  EXPECT_EQ(sum, result.totalPackets)
+      << "window packet counts must partition the capture";
+}
+
+// --- spilled stream == one-shot (budgets x threads) ----------------------
+
+TEST(Streaming, SpilledStreamMatchesOneShotAcrossBudgetsAndThreads) {
+  const std::vector<net::Packet> packets = scannerCapture(37, 3000);
+  const std::uint64_t referenceDigest = analyzeOneShot(packets).digest();
+  // 0 = never auto-spill (pure memtable), tiny = a segment every few
+  // dozen packets, medium = a handful of segments.
+  for (const std::uint64_t budget : {std::uint64_t{0}, std::uint64_t{4096},
+                                     std::uint64_t{64 * 1024}}) {
+    ScopedTempDir dir;
+    telescope::SegmentStoreOptions storeOptions;
+    storeOptions.dir = dir.path();
+    storeOptions.spillBytes = budget;
+    telescope::SegmentStore store{storeOptions};
+    for (const net::Packet& p : packets) store.append(p);
+    if (budget != 0) {
+      EXPECT_GT(store.segmentCount(), 0u) << "budget " << budget;
+    }
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      StreamingOptions opts;
+      opts.threads = threads;
+      StreamingAnalyzer analyzer{opts};
+      auto cursor = store.cursor();
+      analyzer.ingestAll(cursor);
+      EXPECT_EQ(analyzer.finish().digest(), referenceDigest)
+          << "budget=" << budget << " threads=" << threads;
+    }
+  }
+}
+
+// --- capture gaps (fault-injected outages) -------------------------------
+
+TEST(Streaming, CaptureGapsPreserveEquivalence) {
+  constexpr std::int64_t kDay = 86'400'000;
+  const std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps{
+      {sim::SimTime{2 * kDay}, sim::SimTime{2 * kDay + 30 * 60'000}},
+      {sim::SimTime{5 * kDay}, sim::SimTime{5 * kDay + 45 * 60'000}},
+  };
+  // The telescope was dark during the gaps: those packets never existed in
+  // the capture, and the analysis is told why.
+  const std::vector<net::Packet> packets =
+      dropGapPackets(scannerCapture(47, 4000), gaps);
+  StreamingOptions base;
+  base.captureGaps = gaps;
+  const StreamingResult reference = analyzeOneShot(packets, base);
+  EXPECT_GT(reference.sessionStats.closedByGap, 0u)
+      << "the gap-split path must actually fire for this capture";
+
+  for (const std::uint64_t budget : {std::uint64_t{0}, std::uint64_t{8192}}) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      ScopedTempDir dir;
+      telescope::SegmentStoreOptions storeOptions;
+      storeOptions.dir = dir.path();
+      storeOptions.spillBytes = budget;
+      telescope::SegmentStore store{storeOptions};
+      for (const net::Packet& p : packets) store.append(p);
+      StreamingOptions opts;
+      opts.threads = threads;
+      opts.captureGaps = gaps;
+      opts.windowLength = sim::hours(6);
+      StreamingAnalyzer analyzer{opts};
+      auto cursor = store.cursor();
+      analyzer.ingestAll(cursor);
+      const StreamingResult result = analyzer.finish();
+      EXPECT_EQ(result.digest(), reference.digest())
+          << "budget=" << budget << " threads=" << threads;
+      EXPECT_EQ(result.sessionStats.closedByGap,
+                reference.sessionStats.closedByGap);
+    }
+  }
+}
+
+// --- SessionTracker == Sessionizer ---------------------------------------
+
+std::vector<SessionSummary> canonicalized(std::vector<SessionSummary> v) {
+  std::sort(v.begin(), v.end(),
+            [](const SessionSummary& a, const SessionSummary& b) {
+              return std::tuple{a.start.millis(), a.source.addr,
+                                a.end.millis(), a.packets} <
+                     std::tuple{b.start.millis(), b.source.addr,
+                                b.end.millis(), b.packets};
+            });
+  return v;
+}
+
+TEST(Streaming, SessionTrackerMatchesSessionizerSummaries) {
+  constexpr std::int64_t kDay = 86'400'000;
+  const std::vector<std::pair<sim::SimTime, sim::SimTime>> gaps{
+      {sim::SimTime{3 * kDay}, sim::SimTime{3 * kDay + 20 * 60'000}},
+  };
+  const std::vector<net::Packet> packets =
+      dropGapPackets(scannerCapture(57, 3000), gaps);
+
+  telescope::Sessionizer::Stats refStats;
+  const std::vector<telescope::Session> sessions = telescope::sessionize(
+      packets, telescope::SourceAgg::Addr128, telescope::kSessionTimeout,
+      &refStats, gaps);
+  const std::vector<SessionSummary> expected =
+      canonicalized(telescope::summarizeSessions(sessions, packets));
+
+  telescope::SessionTracker tracker{telescope::SourceAgg::Addr128};
+  tracker.setCaptureGaps(gaps);
+  std::vector<SessionSummary> got;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    tracker.offer(packets[i]);
+    if (i % 257 == 0) {
+      // Drains at arbitrary points must not change what is produced.
+      auto drained = tracker.drainClosed();
+      got.insert(got.end(), drained.begin(), drained.end());
+    }
+  }
+  auto tail = tracker.finish();
+  got.insert(got.end(), tail.begin(), tail.end());
+  got = canonicalized(std::move(got));
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].source, expected[i].source) << "summary " << i;
+    EXPECT_EQ(got[i].start, expected[i].start) << "summary " << i;
+    EXPECT_EQ(got[i].end, expected[i].end) << "summary " << i;
+    EXPECT_EQ(got[i].packets, expected[i].packets) << "summary " << i;
+    EXPECT_EQ(got[i].payloadPackets, expected[i].payloadPackets)
+        << "summary " << i;
+    EXPECT_EQ(got[i].firstAsn, expected[i].firstAsn) << "summary " << i;
+  }
+  const telescope::Sessionizer::Stats& stats = tracker.stats();
+  EXPECT_EQ(stats.opened, refStats.opened);
+  EXPECT_EQ(stats.closedByTimeout, refStats.closedByTimeout);
+  EXPECT_EQ(stats.closedByGap, refStats.closedByGap);
+  EXPECT_EQ(stats.openAtFinish, refStats.openAtFinish);
+}
+
+// --- foldSummaries is order-insensitive ----------------------------------
+
+TEST(Streaming, FoldIsInvariantToSummaryArrivalOrder) {
+  const std::vector<net::Packet> packets = scannerCapture(67, 2500);
+  telescope::Sessionizer::Stats stats;
+  const std::vector<telescope::Session> sessions = telescope::sessionize(
+      packets, telescope::SourceAgg::Addr128, telescope::kSessionTimeout,
+      &stats);
+  std::vector<SessionSummary> summaries =
+      telescope::summarizeSessions(sessions, packets);
+  StreamingOptions opts;
+  const std::uint64_t reference =
+      foldSummaries(summaries, packets.size(), stats, opts).digest();
+  sim::Rng rng{68};
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t i = summaries.size(); i > 1; --i) {
+      std::swap(summaries[i - 1], summaries[rng.below(i)]);
+    }
+    EXPECT_EQ(foldSummaries(summaries, packets.size(), stats, opts).digest(),
+              reference)
+        << "shuffle round " << round;
+  }
+}
+
+} // namespace
+} // namespace v6t::analysis

@@ -1,0 +1,76 @@
+// Shared test scaffolding.
+//
+// ScopedTempDir: a per-test unique scratch directory. ctest -j runs test
+// binaries concurrently, so fixed /tmp filenames collide across processes
+// (and gtest's TempDir() alone collides across tests in one binary that
+// reuse a name). Every instance gets
+//   <root>/v6t-<suite>-<test>-<pid>-<n>/
+// where <root> is $V6T_SCRATCH_ROOT when set (useful for pointing scratch
+// at a large or fast filesystem) and ::testing::TempDir() otherwise. The
+// directory is removed on destruction unless $V6T_KEEP_SCRATCH is set —
+// the escape hatch for inspecting on-disk artifacts after a failure.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+namespace v6t::testutil {
+
+class ScopedTempDir {
+public:
+  ScopedTempDir() {
+    static std::atomic<std::uint64_t> next{0};
+    const char* rootEnv = std::getenv("V6T_SCRATCH_ROOT");
+    const std::filesystem::path root = (rootEnv != nullptr && *rootEnv != 0)
+                                           ? std::filesystem::path{rootEnv}
+                                           : std::filesystem::path{
+                                                 ::testing::TempDir()};
+    std::string leaf = "v6t";
+    if (const auto* info =
+            ::testing::UnitTest::GetInstance()->current_test_info()) {
+      leaf += '-';
+      leaf += info->test_suite_name();
+      leaf += '-';
+      leaf += info->name();
+    }
+    // Parameterized test names carry '/'; keep the leaf a single component.
+    for (char& c : leaf) {
+      if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '-') {
+        c = '_';
+      }
+    }
+    leaf += "-" + std::to_string(::getpid()) + "-" +
+            std::to_string(next.fetch_add(1));
+    path_ = root / leaf;
+    std::filesystem::create_directories(path_);
+  }
+
+  ~ScopedTempDir() {
+    if (std::getenv("V6T_KEEP_SCRATCH") != nullptr) return;
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec); // best effort; never throws
+  }
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  /// Convenience: a file path inside the directory.
+  [[nodiscard]] std::filesystem::path file(const std::string& name) const {
+    return path_ / name;
+  }
+
+private:
+  std::filesystem::path path_;
+};
+
+} // namespace v6t::testutil

@@ -47,9 +47,13 @@
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
 
 #include "analysis/pipeline.hpp"
 #include "analysis/report.hpp"
+#include "analysis/streaming.hpp"
 #include "analysis/taxonomy.hpp"
 #include "core/config.hpp"
 #include "core/experiment.hpp"
@@ -61,9 +65,11 @@
 #include "fault/spec.hpp"
 #include "obs/exporter.hpp"
 #include "obs/format.hpp"
+#include "net/pcap.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "telescope/kway_merge.hpp"
 
 namespace {
 
@@ -74,7 +80,8 @@ int usage() {
                " [--fault-seed N] [--metrics-out FILE]\n"
                "               [--metrics-prom FILE] [--metrics-interval SEC]"
                " [--log-level LEVEL]\n"
-               "               [--trace-out FILE]\n";
+               "               [--trace-out FILE] [--spill-dir DIR]"
+               " [--spill-bytes N]\n";
   return 2;
 }
 
@@ -95,6 +102,8 @@ int main(int argc, char** argv) {
   unsigned analysisThreadsOverride = 0;
   std::string faultsSpec;
   std::optional<std::uint64_t> faultSeedOverride;
+  std::string spillDir;
+  std::uint64_t spillBytes = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out") {
@@ -122,6 +131,16 @@ int main(int argc, char** argv) {
         return usage();
       }
       analysisThreadsOverride = static_cast<unsigned>(v);
+    } else if (arg == "--spill-dir") {
+      if (++i >= argc) return usage();
+      spillDir = argv[i];
+    } else if (arg == "--spill-bytes") {
+      if (++i >= argc) return usage();
+      spillBytes = std::strtoull(argv[i], nullptr, 10);
+      if (spillBytes == 0) {
+        std::cerr << "--spill-bytes must be > 0\n";
+        return usage();
+      }
     } else if (arg == "--metrics-out") {
       if (++i >= argc) return usage();
       metricsOut = argv[i];
@@ -190,6 +209,9 @@ int main(int argc, char** argv) {
     config.faults = parsed.spec;
   }
   if (faultSeedOverride) config.faultSeed = *faultSeedOverride;
+  if (!spillDir.empty()) config.captureSpillDir = spillDir;
+  if (spillBytes != 0) config.captureSpillBytes = spillBytes;
+  const bool spillMode = config.captureSpillEnabled();
   if (!traceOut.empty()) {
     // Export needs every sim-domain event, not just the bounded ring.
     config.traceEnabled = true;
@@ -206,8 +228,9 @@ int main(int argc, char** argv) {
 
   // Faults force the runner: the fault layer wraps the runner's script
   // broadcast and per-shard fabrics, not the serial reference Experiment.
-  const bool useRunner =
-      threadsOverride != 0 || config.threads > 1 || !config.faults.empty();
+  // So does spill mode — the segment stores are per-shard structures.
+  const bool useRunner = threadsOverride != 0 || config.threads > 1 ||
+                         !config.faults.empty() || spillMode;
 
   // Both paths produce the same capture/summary data (the runner merges
   // shards into canonical order); only the guidance report is serial-only.
@@ -331,6 +354,142 @@ int main(int argc, char** argv) {
     return true;
   };
 
+  auto printRunnerStats = [&] {
+    const core::RunnerStats& stats = runner->stats();
+    std::cout << "\nshards:\n";
+    double maxWall = 0.0;
+    double sumWall = 0.0;
+    double sumBarrierWait = 0.0;
+    for (const core::ShardStats& shard : stats.shards) {
+      std::uint64_t minEpochEvents = 0;
+      std::uint64_t maxEpochEvents = 0;
+      if (!shard.epochEvents.empty()) {
+        const auto [lo, hi] = std::minmax_element(shard.epochEvents.begin(),
+                                                  shard.epochEvents.end());
+        minEpochEvents = *lo;
+        maxEpochEvents = *hi;
+      }
+      std::cout << "  shard " << shard.shardId << ": scanners="
+                << shard.scanners << " events=" << shard.events
+                << " captured=" << shard.packetsCaptured << " wall="
+                << obs::fmt::fixed(shard.wallSeconds, 3) << "s barrier_wait="
+                << obs::fmt::fixed(shard.barrierWaitSeconds, 3)
+                << "s epoch_events=" << minEpochEvents << ".."
+                << maxEpochEvents << " queue_hwm="
+                << shard.queueDepthHighWater << "\n";
+      maxWall = std::max(maxWall, shard.wallSeconds);
+      sumWall += shard.wallSeconds;
+      sumBarrierWait += shard.barrierWaitSeconds;
+    }
+    const double meanWall =
+        stats.shards.empty() ? 0.0
+                             : sumWall / static_cast<double>(stats.shards.size());
+    std::cout << "imbalance: slowest/mean wall="
+              << obs::fmt::fixed(meanWall > 0 ? maxWall / meanWall : 0.0, 2)
+              << "x, total barrier wait="
+              << obs::fmt::fixed(sumBarrierWait, 3) << "s\n";
+    std::cout << "merged " << stats.packetsMerged << " packets in "
+              << obs::fmt::fixed(stats.mergeWallSeconds, 3) << "s (run "
+              << obs::fmt::fixed(stats.runWallSeconds, 3) << "s)\n";
+  };
+
+  // Spill mode: the in-memory captures drained to per-shard segment stores
+  // during the run, so every downstream consumer streams the canonical
+  // k-way merge instead of touching captures[] (which is empty). The
+  // windowed analysis digest is bitwise-identical to the in-memory path
+  // (DESIGN.md §15); the canonical-order invariant gate runs inline on the
+  // stream for the same reason.
+  if (spillMode) {
+    const unsigned analysisThreads = config.effectiveAnalysisThreads();
+    std::array<analysis::StreamingResult, 4> results;
+    std::array<std::uint64_t, 4> segmentCounts{};
+    std::vector<std::string> orderViolations;
+    {
+      obs::Span phaseSpan(metrics, "runner.phase.analyze_seconds");
+      for (std::size_t t = 0; t < 4; ++t) {
+        for (const telescope::SegmentStore* store : runner->spillStores(t)) {
+          segmentCounts[t] += store->segmentCount();
+        }
+        analysis::StreamingOptions opts;
+        opts.threads = analysisThreads;
+        opts.metrics = &metrics;
+        opts.captureGaps = config.faults.gapWindowsFor(t);
+        analysis::StreamingAnalyzer analyzer{opts};
+        auto cursor = runner->streamCapture(t);
+        bool first = true;
+        std::tuple<std::int64_t, std::uint32_t, std::uint64_t> prev{};
+        if (!cursor.empty()) {
+          do {
+            const net::Packet& p = cursor.head();
+            const std::tuple<std::int64_t, std::uint32_t, std::uint64_t> key{
+                p.ts.millis(), p.originId, p.originSeq};
+            if (!first && !(prev < key)) {
+              orderViolations.push_back(
+                  names[t] + ": spilled stream not strictly canonical at ts=" +
+                  std::to_string(p.ts.millis()));
+            }
+            prev = key;
+            first = false;
+            analyzer.ingest(p);
+          } while (cursor.advance());
+        }
+        results[t] = analyzer.finish();
+      }
+    }
+    if (!orderViolations.empty()) {
+      std::cerr << "FATAL: capture invariant violated\n";
+      for (const std::string& v : orderViolations) {
+        std::cerr << "  " << v << "\n";
+      }
+      obs::trace::dumpRegisteredRings(std::cerr);
+      flushObservability("abort");
+      return 1;
+    }
+    if (!flushObservability("final")) return 1;
+
+    analysis::TextTable table{{"telescope", "packets", "sources /128",
+                               "sessions /128", "heavy hitters", "windows",
+                               "segments"}};
+    for (std::size_t t = 0; t < 4; ++t) {
+      const analysis::StreamingResult& r = results[t];
+      const bool inGap = !config.faults.gapWindowsFor(t).empty();
+      table.addRow({analysis::gapFlagged(names[t], inGap),
+                    analysis::withThousands(r.totalPackets),
+                    analysis::withThousands(r.sources.size()),
+                    analysis::withThousands(r.sessionStats.opened),
+                    analysis::withThousands(r.heavyHitters.size()),
+                    analysis::withThousands(r.windows.size()),
+                    analysis::withThousands(segmentCounts[t])});
+    }
+    table.render(std::cout);
+    std::cout << "\ncapture digests (streamed, canonical order):\n";
+    for (std::size_t t = 0; t < 4; ++t) {
+      std::cout << "  " << names[t] << ": 0x" << std::hex
+                << results[t].digest() << std::dec << "\n";
+    }
+
+    printRunnerStats();
+
+    if (dumpCaptures) {
+      std::filesystem::create_directories(outDir);
+      for (std::size_t t = 0; t < 4; ++t) {
+        const auto path =
+            std::filesystem::path{outDir} / (names[t] + ".v6tcap");
+        std::ofstream out{path, std::ios::binary};
+        net::CaptureWriter writer{out};
+        auto cursor = runner->streamCapture(t);
+        if (!cursor.empty()) {
+          do {
+            writer.write(cursor.head());
+          } while (cursor.advance());
+        }
+        std::cout << "wrote " << path.string() << " ("
+                  << writer.recordsWritten() << " records)\n";
+      }
+    }
+    return 0;
+  }
+
   // Post-merge invariant gate: canonical capture order is the anchor every
   // downstream analysis assumes. On violation, dump the flight-recorder
   // rings (the most recent causal history) and flush a final "abort"
@@ -417,42 +576,7 @@ int main(int argc, char** argv) {
   table.render(std::cout);
 
   if (useRunner) {
-    const core::RunnerStats& stats = runner->stats();
-    std::cout << "\nshards:\n";
-    double maxWall = 0.0;
-    double sumWall = 0.0;
-    double sumBarrierWait = 0.0;
-    for (const core::ShardStats& shard : stats.shards) {
-      std::uint64_t minEpochEvents = 0;
-      std::uint64_t maxEpochEvents = 0;
-      if (!shard.epochEvents.empty()) {
-        const auto [lo, hi] = std::minmax_element(shard.epochEvents.begin(),
-                                                  shard.epochEvents.end());
-        minEpochEvents = *lo;
-        maxEpochEvents = *hi;
-      }
-      std::cout << "  shard " << shard.shardId << ": scanners="
-                << shard.scanners << " events=" << shard.events
-                << " captured=" << shard.packetsCaptured << " wall="
-                << obs::fmt::fixed(shard.wallSeconds, 3) << "s barrier_wait="
-                << obs::fmt::fixed(shard.barrierWaitSeconds, 3)
-                << "s epoch_events=" << minEpochEvents << ".."
-                << maxEpochEvents << " queue_hwm="
-                << shard.queueDepthHighWater << "\n";
-      maxWall = std::max(maxWall, shard.wallSeconds);
-      sumWall += shard.wallSeconds;
-      sumBarrierWait += shard.barrierWaitSeconds;
-    }
-    const double meanWall =
-        stats.shards.empty() ? 0.0
-                             : sumWall / static_cast<double>(stats.shards.size());
-    std::cout << "imbalance: slowest/mean wall="
-              << obs::fmt::fixed(meanWall > 0 ? maxWall / meanWall : 0.0, 2)
-              << "x, total barrier wait="
-              << obs::fmt::fixed(sumBarrierWait, 3) << "s\n";
-    std::cout << "merged " << stats.packetsMerged << " packets in "
-              << obs::fmt::fixed(stats.mergeWallSeconds, 3) << "s (run "
-              << obs::fmt::fixed(stats.runWallSeconds, 3) << "s)\n";
+    printRunnerStats();
   } else {
     // Guidance (serial path only; the engine reads the Experiment object).
     std::cout << "\n";
