@@ -1,13 +1,16 @@
 // google-benchmark microbenches for the measurement instruments themselves:
 // address parsing/formatting, longest-prefix match, sessionization, the
-// NIST tests, DBSCAN, and the addr6 classifier.
+// NIST tests, DBSCAN, and the addr6 classifier — plus scalar-vs-columnar
+// before/after pairs for every kernel DESIGN.md §16 vectorizes.
 #include <benchmark/benchmark.h>
 
 #include <sstream>
 
 #include "analysis/addr_class.hpp"
+#include "analysis/autocorr.hpp"
 #include "analysis/dbscan.hpp"
 #include "analysis/nist.hpp"
+#include "analysis/simd.hpp"
 #include "net/pcap.hpp"
 #include "net/prefix_trie.hpp"
 #include "sim/rng.hpp"
@@ -79,6 +82,111 @@ void BM_NistSuite(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NistSuite)->Arg(6400)->Arg(64000);
+
+// --- §16 kernel pairs: the scalar reference vs the word/vector path -----
+
+void BM_NistFrequencyScalar(benchmark::State& state) {
+  sim::Rng rng{7};
+  analysis::BitSequence bits(static_cast<std::size_t>(state.range(0)));
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::frequencyTest(bits));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NistFrequencyScalar)->Arg(6400)->Arg(64000);
+
+void BM_NistFrequencyPacked(benchmark::State& state) {
+  sim::Rng rng{7};
+  analysis::BitSequence bits(static_cast<std::size_t>(state.range(0)));
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  const std::vector<std::uint64_t> words = analysis::packBits(bits);
+  const analysis::PackedBits packed{words, bits.size()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::frequencyTestPacked(packed));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NistFrequencyPacked)->Arg(6400)->Arg(64000);
+
+void BM_NistRunsScalar(benchmark::State& state) {
+  sim::Rng rng{8};
+  analysis::BitSequence bits(static_cast<std::size_t>(state.range(0)));
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::runsTest(bits));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NistRunsScalar)->Arg(6400)->Arg(64000);
+
+void BM_NistRunsPacked(benchmark::State& state) {
+  sim::Rng rng{8};
+  analysis::BitSequence bits(static_cast<std::size_t>(state.range(0)));
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  const std::vector<std::uint64_t> words = analysis::packBits(bits);
+  const analysis::PackedBits packed{words, bits.size()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::runsTestPacked(packed));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NistRunsPacked)->Arg(6400)->Arg(64000);
+
+std::vector<net::Ipv6Address> classifierAddrs(std::size_t n) {
+  sim::Rng rng{5};
+  std::vector<net::Ipv6Address> addrs;
+  addrs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    addrs.emplace_back(rng.next(), rng.chance(0.5) ? rng.next()
+                                                   : rng.below(65536));
+  }
+  return addrs;
+}
+
+void BM_AddrClassifyScalarRows(benchmark::State& state) {
+  const auto addrs = classifierAddrs(8192);
+  analysis::ScopedSimdKernels off{false}; // force the per-row reference
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::classifyAll(addrs));
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_AddrClassifyScalarRows);
+
+void BM_AddrClassifyWordLanes(benchmark::State& state) {
+  const auto addrs = classifierAddrs(8192);
+  std::vector<std::uint64_t> hi(addrs.size());
+  std::vector<std::uint64_t> lo(addrs.size());
+  net::gatherLanes(addrs, hi, lo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::classifyLanes(lo));
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_AddrClassifyWordLanes);
+
+void BM_AutocorrScalar(benchmark::State& state) {
+  sim::Rng rng{9};
+  std::vector<double> xs(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : xs) x = rng.uniform();
+  analysis::ScopedSimdKernels off{false};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::autocorrelation(xs, xs.size() / 4));
+  }
+}
+BENCHMARK(BM_AutocorrScalar)->Arg(1024)->Arg(8192);
+
+void BM_AutocorrSimd(benchmark::State& state) {
+  sim::Rng rng{9};
+  std::vector<double> xs(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : xs) x = rng.uniform();
+  analysis::ScopedSimdKernels on{true};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::autocorrelation(xs, xs.size() / 4));
+  }
+}
+BENCHMARK(BM_AutocorrSimd)->Arg(1024)->Arg(8192);
 
 void BM_Dbscan(benchmark::State& state) {
   sim::Rng rng{4};

@@ -4,6 +4,8 @@
 #include <array>
 #include <cmath>
 
+#include "analysis/simd.hpp"
+
 namespace v6t::analysis {
 
 namespace {
@@ -84,6 +86,63 @@ bool isWordy(std::uint64_t iid) {
   }
   sawLongWord = longOnPath[n];
   return reachable[n] && sawLongWord;
+}
+
+// --- word-classifier helpers (DESIGN.md §16) ------------------------------
+
+/// 64 Ki-bit membership bitmap over the embedded-port domain (0 < iid <=
+/// 0xffff), precomputed once from the scalar decoder so the per-address
+/// cost drops from 22 decimal decodes to one bit probe.
+const std::array<std::uint64_t, 1024>& embeddedPortBitmap() {
+  static const std::array<std::uint64_t, 1024> bitmap = [] {
+    std::array<std::uint64_t, 1024> bits{};
+    for (std::uint64_t v = 1; v <= 0xffff; ++v) {
+      if (isEmbeddedPort(v)) bits[v / 64] |= 1ULL << (v % 64);
+    }
+    return bits;
+  }();
+  return bitmap;
+}
+
+constexpr std::uint64_t kNibbleLsb = 0x1111111111111111ULL;
+
+/// Bit 0 of each nibble set iff that nibble is a hex letter (>= 0xa,
+/// i.e. binary 1010..1111: bit3 & (bit2 | bit1)).
+std::uint64_t letterNibbles(std::uint64_t v) {
+  const std::uint64_t b3 = (v >> 3) & kNibbleLsb;
+  const std::uint64_t b2 = (v >> 2) & kNibbleLsb;
+  const std::uint64_t b1 = (v >> 1) & kNibbleLsb;
+  return b3 & (b2 | b1);
+}
+
+/// Bit 0 of each nibble set iff that nibble is zero.
+std::uint64_t zeroNibbles(std::uint64_t v) {
+  const std::uint64_t any = ((v >> 3) | (v >> 2) | (v >> 1) | v) & kNibbleLsb;
+  return any ^ kNibbleLsb;
+}
+
+/// iidNibbleEntropy over the lane: nibble counts gathered by shifts, the
+/// per-count terms served from a table holding the exact doubles the
+/// scalar loop subtracts ((c/16)·log2(c/16)), accumulated in the same
+/// ascending-nibble-value order — bit-identical by construction.
+double iidNibbleEntropyWord(std::uint64_t iid) {
+  static const std::array<double, 17> term = [] {
+    std::array<double, 17> t{};
+    for (int c = 1; c <= 16; ++c) {
+      const double p = static_cast<double>(c) / 16.0;
+      t[static_cast<std::size_t>(c)] = p * std::log2(p);
+    }
+    return t;
+  }();
+  std::uint8_t histogram[16] = {};
+  for (int i = 0; i < 16; ++i) ++histogram[(iid >> (4 * i)) & 0xf];
+  double entropy = 0.0;
+  for (int v = 0; v < 16; ++v) {
+    const std::uint8_t c = histogram[v];
+    if (c == 0) continue;
+    entropy -= term[c];
+  }
+  return entropy;
 }
 
 } // namespace
@@ -188,9 +247,98 @@ AddressType classifyAddress(const net::Ipv6Address& addr) {
                                        : AddressType::PatternBytes;
 }
 
+AddressType classifyAddressWord(std::uint64_t iid) {
+  if (iid == 0) return AddressType::SubnetAnycast;
+
+  const std::uint32_t iidHi = static_cast<std::uint32_t>(iid >> 32);
+  if (iidHi == 0x00005efe || iidHi == 0x02005efe) return AddressType::Isatap;
+
+  if (((iid >> 24) & 0xffff) == 0xfffe) return AddressType::IeeeDerived;
+
+  if (iid <= 0xffff &&
+      ((embeddedPortBitmap()[iid >> 6] >> (iid & 63)) & 1) != 0) {
+    return AddressType::EmbeddedPort;
+  }
+
+  const std::uint64_t letters = letterNibbles(iid);
+  const std::uint64_t zeros = zeroNibbles(iid);
+  // Dictionary words spell themselves with nibbles {0, a..f} only, so any
+  // decimal 1..9 nibble rejects without running the decomposition DP
+  // (leading nibbles are zero by definition, so every 1..9 is significant).
+  if ((letters | zeros) == kNibbleLsb && isWordy(iid)) {
+    return AddressType::Wordy;
+  }
+
+  if ((iid >> 16) == 0) return AddressType::LowByte;
+
+  if (iidHi == 0 && iid > 0xffff) {
+    if (((iid >> 24) & 0xff) != 0) return AddressType::EmbeddedIpv4;
+  }
+  // Spread-form embedded IPv4 needs every group's hex digits decimal; a
+  // single letter nibble anywhere already fails one octet decode.
+  if (letters == 0) {
+    const auto octet = [](std::uint16_t g) -> int {
+      int value = 0;
+      for (int shift = 12; shift >= 0; shift -= 4) {
+        const int digit = (g >> shift) & 0xf;
+        if (digit > 9) return -1;
+        value = value * 10 + digit;
+      }
+      return value <= 255 ? value : -1;
+    };
+    const int o0 = octet(static_cast<std::uint16_t>(iid >> 48));
+    const int o1 = octet(static_cast<std::uint16_t>(iid >> 32));
+    const int o2 = octet(static_cast<std::uint16_t>(iid >> 16));
+    const int o3 = octet(static_cast<std::uint16_t>(iid));
+    if (o0 > 0 && o0 <= 223 && o1 >= 0 && o2 >= 0 && o3 >= 0) {
+      return AddressType::EmbeddedIpv4;
+    }
+  }
+
+  // Pattern bytes: at most two distinct byte values among the lane's eight
+  // bytes — tracked with two registers instead of the scalar path's
+  // 256-slot histogram — or one 16-bit group repeated four times.
+  {
+    bool third = false;
+    const std::uint8_t first = static_cast<std::uint8_t>(iid >> 56);
+    std::uint8_t second = first;
+    bool haveSecond = false;
+    for (int shift = 48; shift >= 0; shift -= 8) {
+      const std::uint8_t b = static_cast<std::uint8_t>(iid >> shift);
+      if (b == first) continue;
+      if (!haveSecond) {
+        second = b;
+        haveSecond = true;
+      } else if (b != second) {
+        third = true;
+        break;
+      }
+    }
+    if (!third) return AddressType::PatternBytes;
+    const std::uint64_t g = iid & 0xffff;
+    if (iid == 0x0001000100010001ULL * g) return AddressType::PatternBytes;
+  }
+
+  return iidNibbleEntropyWord(iid) >= 2.5 ? AddressType::Randomized
+                                          : AddressType::PatternBytes;
+}
+
 AddressTypeHistogram classifyAll(std::span<const net::Ipv6Address> targets) {
+  if (simdKernelsEnabled()) {
+    AddressTypeHistogram histogram;
+    for (const net::Ipv6Address& a : targets) {
+      histogram.add(classifyAddressWord(a.lo64()));
+    }
+    return histogram;
+  }
   AddressTypeHistogram histogram;
   for (const net::Ipv6Address& a : targets) histogram.add(classifyAddress(a));
+  return histogram;
+}
+
+AddressTypeHistogram classifyLanes(std::span<const std::uint64_t> iids) {
+  AddressTypeHistogram histogram;
+  for (std::uint64_t iid : iids) histogram.add(classifyAddressWord(iid));
   return histogram;
 }
 

@@ -46,6 +46,15 @@ inline constexpr std::size_t kAddressTypeCount = 9;
 /// classifies IIDs because the network part is the telescope's own prefix).
 [[nodiscard]] AddressType classifyAddress(const net::Ipv6Address& addr);
 
+/// Branch-reduced classifier over the IID as one u64 lane (the columnar
+/// fast path, DESIGN.md §16): embedded-port via a precomputed 64 KiB
+/// membership bitmap, wordy behind a SWAR decimal-nibble prefilter, the
+/// pattern/entropy split via nibble counts and a 17-entry term table.
+/// Returns exactly classifyAddress(addr) for iid == addr.lo64() — the
+/// property battery in test_simd_kernels enforces this bit for bit.
+[[nodiscard]] AddressType classifyAddressWord(std::uint64_t iid);
+
+
 /// Shannon entropy (bits per nibble, in [0,4]) of the 16 IID nibbles —
 /// the diversity measure behind the pattern/randomized split.
 [[nodiscard]] double iidNibbleEntropy(const net::Ipv6Address& addr);
@@ -67,5 +76,11 @@ struct AddressTypeHistogram {
 
 [[nodiscard]] AddressTypeHistogram classifyAll(
     std::span<const net::Ipv6Address> targets);
+
+/// Histogram over a contiguous IID lane (always the word classifier; the
+/// runtime SIMD toggle dispatches between this and the scalar walk inside
+/// classifyAll and the taxonomy's columnar path).
+[[nodiscard]] AddressTypeHistogram classifyLanes(
+    std::span<const std::uint64_t> iids);
 
 } // namespace v6t::analysis

@@ -15,10 +15,19 @@
 //   payload memo     per-session first-payload packet + payload counts
 //   per-source aggregates  packets, first/last day, origin ASN
 //
+// Besides the row-major memos the index keeps a columnar (SoA) view of the
+// sessionized capture (DESIGN.md §16): per-packet timestamp / source-lane /
+// target-lane / port / payload-length columns in session-major order, plus
+// bit-packed NIST bit columns (an address's 64 IID bits ARE its lo64 lane
+// word; subnet bits pack two addresses per word). The word-level kernels in
+// nist.hpp / addr_class.hpp / autocorr.cpp run straight over these columns.
+//
 // The index is immutable after build and shared read-only by all pipeline
 // workers; the only mutable state is a pair of relaxed atomic hit counters
 // that measure how many full-capture re-scans the memoization replaced
-// (exported as `analysis.index.*` in the obs snapshot).
+// (exported as `analysis.index.*` in the obs snapshot). The counters — and
+// their cache-line traffic — compile out under -DV6T_INDEX_STATS=OFF;
+// results are identical either way.
 #pragma once
 
 #include <atomic>
@@ -26,10 +35,20 @@
 #include <span>
 #include <vector>
 
+#include "analysis/nist.hpp"
 #include "net/packet.hpp"
 #include "telescope/session.hpp"
 
 namespace v6t::analysis {
+
+/// True when the index hit counters are compiled in (V6T_INDEX_STATS=ON,
+/// the default). OFF builds drop the atomics entirely; every accessor
+/// below still returns the same spans/columns.
+#if !defined(V6T_INDEX_STATS_DISABLED)
+inline constexpr bool kIndexStatsCompiledIn = true;
+#else
+inline constexpr bool kIndexStatsCompiledIn = false;
+#endif
 
 class CaptureIndex {
 public:
@@ -73,9 +92,53 @@ public:
   /// counts as one avoided packet-vector walk (hit counter).
   [[nodiscard]] std::span<const net::Ipv6Address> targetsOf(
       std::uint32_t s) const {
-    targetSpansServed_.fetch_add(1, std::memory_order_relaxed);
+    countSpanServed();
     return {targets_.data() + targetOffsets_[s],
             targetOffsets_[s + 1] - targetOffsets_[s]};
+  }
+
+  // --- columnar view (DESIGN.md §16) ------------------------------------
+
+  /// One session's packets as parallel columns, arrival order. `hi`/`lo`
+  /// are the target address lanes (lo == the IID word), `srcHi`/`srcLo`
+  /// the source lanes; every span has sessionPacketCountOf(s) elements.
+  struct TargetColumns {
+    std::span<const std::uint64_t> hi;
+    std::span<const std::uint64_t> lo;
+    std::span<const sim::SimTime> ts;
+    std::span<const std::uint64_t> srcHi;
+    std::span<const std::uint64_t> srcLo;
+    std::span<const std::uint16_t> port;
+    std::span<const std::uint16_t> payloadLen;
+  };
+  [[nodiscard]] TargetColumns columnsOf(std::uint32_t s) const {
+    countSpanServed();
+    const std::size_t off = targetOffsets_[s];
+    const std::size_t n = targetOffsets_[s + 1] - off;
+    return {{targetHi_.data() + off, n},  {targetLo_.data() + off, n},
+            {packetTs_.data() + off, n},  {srcHi_.data() + off, n},
+            {srcLo_.data() + off, n},     {dstPort_.data() + off, n},
+            {payloadLen_.data() + off, n}};
+  }
+
+  /// Session `s`'s IID bit sequence, bit-packed: identical bits to
+  /// bitsFromAddresses(targetsOf(s), 64, 64) — the lo64 lane IS the
+  /// MSB-first packed sequence, so this is a zero-copy view.
+  [[nodiscard]] PackedBits iidBitsOf(std::uint32_t s) const {
+    countSpanServed();
+    const std::size_t off = targetOffsets_[s];
+    const std::size_t n = targetOffsets_[s + 1] - off;
+    return {{targetLo_.data() + off, n}, n * 64};
+  }
+  /// Session `s`'s subnet bit sequence (address bits 32..63), bit-packed
+  /// two addresses per word: identical bits to
+  /// bitsFromAddresses(targetsOf(s), 32, 32).
+  [[nodiscard]] PackedBits subnetBitsOf(std::uint32_t s) const {
+    countSpanServed();
+    const std::size_t off = subnetWordOffsets_[s];
+    const std::size_t words = subnetWordOffsets_[s + 1] - off;
+    const std::size_t n = targetOffsets_[s + 1] - targetOffsets_[s];
+    return {{subnetWords_.data() + off, words}, n * 32};
   }
   /// Packet index of session `s`'s first payload-carrying packet, or
   /// kNoPayload if the session carries none.
@@ -133,18 +196,36 @@ public:
 
   /// A consumer that would previously have walked the whole packet vector
   /// (or re-sessionized it) calls this once instead; the counter lands in
-  /// the obs snapshot as `analysis.index.rescans_avoided_total`.
+  /// the obs snapshot as `analysis.index.rescans_avoided_total`. No-op in
+  /// V6T_INDEX_STATS=OFF builds.
   void noteRescanAvoided() const {
+#if !defined(V6T_INDEX_STATS_DISABLED)
     rescansAvoided_.fetch_add(1, std::memory_order_relaxed);
+#endif
   }
+  /// Both getters read 0 in V6T_INDEX_STATS=OFF builds.
   [[nodiscard]] std::uint64_t rescansAvoided() const {
+#if !defined(V6T_INDEX_STATS_DISABLED)
     return rescansAvoided_.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
   }
   [[nodiscard]] std::uint64_t targetSpansServed() const {
+#if !defined(V6T_INDEX_STATS_DISABLED)
     return targetSpansServed_.load(std::memory_order_relaxed);
+#else
+    return 0;
+#endif
   }
 
 private:
+  void countSpanServed() const {
+#if !defined(V6T_INDEX_STATS_DISABLED)
+    targetSpansServed_.fetch_add(1, std::memory_order_relaxed);
+#endif
+  }
+
   std::span<const net::Packet> packets_;
   std::span<const telescope::Session> sessions_;
 
@@ -158,10 +239,24 @@ private:
   std::vector<std::uint32_t> sessionFirstPayload_;
   std::vector<std::uint32_t> sessionPayloadPackets_;
 
+  // Columnar view, all session-major and parallel to targets_ (except the
+  // subnet words, which have their own per-session word offsets).
+  std::vector<std::uint64_t> targetHi_;
+  std::vector<std::uint64_t> targetLo_; // == the packed IID bit column
+  std::vector<sim::SimTime> packetTs_;
+  std::vector<std::uint64_t> srcHi_;
+  std::vector<std::uint64_t> srcLo_;
+  std::vector<std::uint16_t> dstPort_;
+  std::vector<std::uint16_t> payloadLen_;
+  std::vector<std::uint64_t> subnetWords_; // 2 addresses per word
+  std::vector<std::size_t> subnetWordOffsets_; // size sessions.size()+1
+
   std::vector<SourceAggregates> aggregates_;
 
+#if !defined(V6T_INDEX_STATS_DISABLED)
   mutable std::atomic<std::uint64_t> targetSpansServed_{0};
   mutable std::atomic<std::uint64_t> rescansAvoided_{0};
+#endif
 };
 
 } // namespace v6t::analysis

@@ -1,10 +1,13 @@
 #include "analysis/nist.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <complex>
 #include <numbers>
 #include <vector>
+
+#include "analysis/simd.hpp"
 
 namespace v6t::analysis {
 
@@ -63,6 +66,100 @@ NistResult runsTest(std::span<const std::uint8_t> bits) {
   std::size_t vObs = 1;
   for (std::size_t i = 1; i < n; ++i) {
     if ((bits[i] != 0) != (bits[i - 1] != 0)) ++vObs;
+  }
+  const double nD = static_cast<double>(n);
+  const double numerator =
+      std::abs(static_cast<double>(vObs) - 2.0 * nD * pi * (1.0 - pi));
+  const double denominator =
+      2.0 * std::sqrt(2.0 * nD) * pi * (1.0 - pi);
+  return {std::erfc(numerator / denominator)};
+}
+
+std::vector<std::uint64_t> packBits(std::span<const std::uint8_t> bits) {
+  std::vector<std::uint64_t> words((bits.size() + 63) / 64, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] != 0) words[i / 64] |= 1ULL << (63 - i % 64);
+  }
+  return words;
+}
+
+BitSequence unpackBits(PackedBits bits) {
+  BitSequence out(bits.bitCount);
+  std::size_t i = 0;
+  for (std::size_t w = 0; i < bits.bitCount; ++w) {
+    std::uint64_t v = bits.words[w];
+    const std::size_t take = std::min<std::size_t>(64, bits.bitCount - i);
+    for (std::size_t b = 0; b < take; ++b) {
+      out[i + b] = static_cast<std::uint8_t>(v >> 63);
+      v <<= 1;
+    }
+    i += take;
+  }
+  return out;
+}
+
+namespace {
+
+/// Population count of the first `bitCount` (MSB-first) bits; padding in
+/// the final word is masked out, so callers need not zero it.
+std::uint64_t packedOnes(PackedBits bits) {
+  const std::size_t fullWords = bits.bitCount / 64;
+  std::uint64_t ones = 0;
+  for (std::size_t w = 0; w < fullWords; ++w) {
+    ones += static_cast<std::uint64_t>(std::popcount(bits.words[w]));
+  }
+  const unsigned rem = bits.bitCount % 64;
+  if (rem != 0) {
+    ones += static_cast<std::uint64_t>(
+        std::popcount(bits.words[fullWords] >> (64 - rem)));
+  }
+  return ones;
+}
+
+} // namespace
+
+NistResult frequencyTestPacked(PackedBits bits) {
+  const std::size_t n = bits.bitCount;
+  if (n == 0) return {0.0};
+  // sum(±1 per bit) = ones − zeros = 2·ones − n, exact in integers, so the
+  // double expressions below match frequencyTest() bit for bit.
+  const std::int64_t sum = 2 * static_cast<std::int64_t>(packedOnes(bits)) -
+                           static_cast<std::int64_t>(n);
+  const double sObs =
+      std::abs(static_cast<double>(sum)) / std::sqrt(static_cast<double>(n));
+  return {std::erfc(sObs / std::numbers::sqrt2)};
+}
+
+NistResult runsTestPacked(PackedBits bits) {
+  const std::size_t n = bits.bitCount;
+  if (n < 2) return {0.0};
+  const std::uint64_t ones = packedOnes(bits);
+  const double pi = static_cast<double>(ones) / static_cast<double>(n);
+  const double tau = 2.0 / std::sqrt(static_cast<double>(n));
+  if (std::abs(pi - 0.5) >= tau) return {0.0}; // frequency precondition
+  // Adjacent-bit transitions inside word w sit in t = w ^ (w << 1): word
+  // bit b of t is seq[63−b] ^ seq[64−b], valid for b in [1, 63] on a full
+  // word (mask ~1) and b in [65−rem, 63] on a rem-bit final word. Seams
+  // compare the previous word's LSB (its last sequence bit) against the
+  // next word's MSB (its first).
+  const std::size_t fullWords = n / 64;
+  const unsigned rem = n % 64;
+  std::size_t vObs = 1;
+  for (std::size_t w = 0; w < fullWords; ++w) {
+    const std::uint64_t word = bits.words[w];
+    vObs += static_cast<std::size_t>(
+        std::popcount((word ^ (word << 1)) & ~1ULL));
+    if (w > 0) vObs += (bits.words[w - 1] & 1) != (word >> 63);
+  }
+  if (rem != 0) {
+    const std::uint64_t word = bits.words[fullWords];
+    if (fullWords > 0) {
+      vObs += (bits.words[fullWords - 1] & 1) != (word >> 63);
+    }
+    if (rem >= 2) {
+      vObs += static_cast<std::size_t>(
+          std::popcount((word ^ (word << 1)) & (~0ULL << (65 - rem))));
+    }
   }
   const double nD = static_cast<double>(n);
   const double numerator =
@@ -297,6 +394,36 @@ NistSummary runNistTests(std::span<const std::uint8_t> bits,
   }
   if (block != NistBlock::NonSpectral) {
     summary.spectral = spectralTest(bits);
+  }
+  return summary;
+}
+
+NistSummary runNistTestsPacked(PackedBits bits, NistBlock block) {
+  NistSummary summary;
+  // Cusum and spectral still walk one byte per bit; unpack lazily, once,
+  // only for the blocks that need it.
+  BitSequence unpacked;
+  bool haveUnpacked = false;
+  const auto scalarBits = [&]() -> std::span<const std::uint8_t> {
+    if (!haveUnpacked) {
+      unpacked = unpackBits(bits);
+      haveUnpacked = true;
+    }
+    return unpacked;
+  };
+  if (block != NistBlock::Spectral) {
+    if (simdKernelsEnabled()) {
+      summary.frequency = frequencyTestPacked(bits);
+      summary.runs = runsTestPacked(bits);
+    } else {
+      summary.frequency = frequencyTest(scalarBits());
+      summary.runs = runsTest(scalarBits());
+    }
+    summary.cusumForward = cusumTest(scalarBits(), true);
+    summary.cusumBackward = cusumTest(scalarBits(), false);
+  }
+  if (block != NistBlock::NonSpectral) {
+    summary.spectral = spectralTest(scalarBits());
   }
   return summary;
 }

@@ -32,6 +32,24 @@ struct NistResult {
 /// Bits are one per element, values 0 or 1.
 using BitSequence = std::vector<std::uint8_t>;
 
+/// Bit-packed sequence view, MSB-first: sequence bit `i` is word bit
+/// `63 - i % 64` of `words[i / 64]` (so an address's 64 IID bits and one
+/// u64 lane are the same object, see DESIGN.md §16). Padding bits below
+/// the last valid bit of the final word may hold anything — every packed
+/// kernel masks them out.
+struct PackedBits {
+  std::span<const std::uint64_t> words;
+  std::size_t bitCount = 0;
+};
+
+/// Pack a byte-per-bit sequence into MSB-first words (padding zeroed).
+[[nodiscard]] std::vector<std::uint64_t> packBits(
+    std::span<const std::uint8_t> bits);
+
+/// Unpack back to one byte per bit — the bridge to the scalar reference
+/// tests (unpack(pack(b)) == b for every sequence).
+[[nodiscard]] BitSequence unpackBits(PackedBits bits);
+
 /// SP 800-22 §2.1 — frequency (monobit) test. Requires n >= 100.
 [[nodiscard]] NistResult frequencyTest(std::span<const std::uint8_t> bits);
 
@@ -39,6 +57,17 @@ using BitSequence = std::vector<std::uint8_t>;
 /// |pi - 1/2| >= 2/sqrt(n) fails (per the spec the test is then skipped as
 /// non-random).
 [[nodiscard]] NistResult runsTest(std::span<const std::uint8_t> bits);
+
+/// Word-level frequency test: popcount per word instead of one branch per
+/// bit. The ±1 sum is reconstructed exactly (sum = 2·ones − n, integers),
+/// so the p-value is bit-identical to frequencyTest on the unpacked bits.
+[[nodiscard]] NistResult frequencyTestPacked(PackedBits bits);
+
+/// Word-level runs test: transitions via `w ^ (w << 1)` + popcount, with
+/// boundary masks for the word seams and the partial final word. vObs and
+/// the ones count are exact integers, so the p-value is bit-identical to
+/// runsTest on the unpacked bits.
+[[nodiscard]] NistResult runsTestPacked(PackedBits bits);
 
 /// SP 800-22 §2.6 — discrete Fourier transform (spectral) test.
 [[nodiscard]] NistResult spectralTest(std::span<const std::uint8_t> bits);
@@ -95,5 +124,12 @@ enum class NistBlock : std::uint8_t { All, Spectral, NonSpectral };
 /// Run one test block; fields outside the block stay default-initialized.
 [[nodiscard]] NistSummary runNistTests(std::span<const std::uint8_t> bits,
                                        NistBlock block);
+
+/// The battery on a packed sequence. With the vectorized kernels enabled
+/// (simd.hpp) frequency/runs run word-level on the packed words; the
+/// remaining tests — and the whole battery when disabled — run the scalar
+/// reference on a lazily unpacked copy. Both dispatch legs are
+/// bit-identical to runNistTests on the unpacked bits.
+[[nodiscard]] NistSummary runNistTestsPacked(PackedBits bits, NistBlock block);
 
 } // namespace v6t::analysis

@@ -221,12 +221,13 @@ PipelineResult Pipeline::run(const bgp::SplitSchedule* schedule,
         costs, opts.threads,
         [&](unsigned, std::size_t t) {
           const NistTask& task = tasks[t];
-          const std::span<const net::Ipv6Address> targets =
-              index_.targetsOf(result.nist[task.slot].sessionIdx);
-          const BitSequence bits =
-              task.axis == 0 ? bitsFromAddresses(targets, 64, 64)
-                             : bitsFromAddresses(targets, 32, 32);
-          const NistSummary summary = runNistTests(bits, task.block);
+          // The index's bit columns replace the per-bit extraction that
+          // bitsFromAddresses used to do per task; the packed battery's
+          // p-values are bit-identical either way (DESIGN.md §16).
+          const std::uint32_t si = result.nist[task.slot].sessionIdx;
+          const PackedBits bits =
+              task.axis == 0 ? index_.iidBitsOf(si) : index_.subnetBitsOf(si);
+          const NistSummary summary = runNistTestsPacked(bits, task.block);
           NistSummary& out = task.axis == 0 ? result.nist[task.slot].iid
                                             : result.nist[task.slot].subnet;
           // Field-wise merge: each block writes only its own fields.
@@ -267,7 +268,9 @@ PipelineResult Pipeline::run(const bgp::SplitSchedule* schedule,
     recordWorkerStats(stats);
   }
 
-  if (registry_ != nullptr) {
+  // No-op (and no counter export) in V6T_INDEX_STATS=OFF builds; the
+  // analysis result and digest are identical regardless.
+  if (registry_ != nullptr && kIndexStatsCompiledIn) {
     registry_->counter("analysis.index.rescans_avoided_total")
         .inc(index_.rescansAvoided() - rescans0);
     registry_->counter("analysis.index.target_spans_served_total")

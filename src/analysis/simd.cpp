@@ -1,0 +1,21 @@
+#include "analysis/simd.hpp"
+
+#include <atomic>
+
+namespace v6t::analysis {
+
+namespace {
+
+std::atomic<bool> g_simdEnabled{kSimdCompiledIn};
+
+} // namespace
+
+void setSimdKernelsEnabled(bool on) {
+  g_simdEnabled.store(on && kSimdCompiledIn, std::memory_order_relaxed);
+}
+
+bool simdKernelsEnabled() {
+  return g_simdEnabled.load(std::memory_order_relaxed);
+}
+
+} // namespace v6t::analysis

@@ -10,6 +10,7 @@
 #include "analysis/dbscan.hpp"
 #include "analysis/nist.hpp"
 #include "analysis/parallel.hpp"
+#include "analysis/simd.hpp"
 
 namespace v6t::analysis {
 
@@ -68,6 +69,21 @@ double monotonicShare(std::span<const net::Ipv6Address> targets) {
          static_cast<double>(targets.size() - 1);
 }
 
+/// Lane variant: the byte-lexicographic address order is exactly the
+/// (hi64, lo64) pair order, so the same comparisons run on two u64
+/// columns instead of 16-byte rows.
+double monotonicShareLanes(std::span<const std::uint64_t> hi,
+                           std::span<const std::uint64_t> lo) {
+  if (hi.size() < 2) return 1.0;
+  std::size_t ordered = 0;
+  for (std::size_t i = 1; i < hi.size(); ++i) {
+    const bool less =
+        hi[i] < hi[i - 1] || (hi[i] == hi[i - 1] && lo[i] < lo[i - 1]);
+    if (!less) ++ordered;
+  }
+  return static_cast<double>(ordered) / static_cast<double>(hi.size() - 1);
+}
+
 bool isStructuredType(AddressType t) {
   return t != AddressType::Randomized;
 }
@@ -102,6 +118,42 @@ AddressSelection classifyAddressSelection(
   if (targets.size() >= params.minPacketsForNist) {
     const BitSequence bits = bitsFromAddresses(targets, 64, 64);
     if (frequencyTest(bits).pass(params.alpha)) {
+      return AddressSelection::Random;
+    }
+  }
+  return AddressSelection::Unknown;
+}
+
+AddressSelection classifyAddressSelection(const CaptureIndex& index,
+                                          std::uint32_t s,
+                                          const AddressSelectionParams& params) {
+  if (!simdKernelsEnabled()) {
+    return classifyAddressSelection(index.targetsOf(s), params);
+  }
+  // Columnar mirror of the row path above: same decision sequence, same
+  // doubles, word kernels throughout (DESIGN.md §16).
+  const CaptureIndex::TargetColumns cols = index.columnsOf(s);
+  const std::size_t n = cols.lo.size();
+  if (n == 0) return AddressSelection::Unknown;
+
+  const AddressTypeHistogram histogram = classifyLanes(cols.lo);
+  std::uint64_t structured = 0;
+  for (std::size_t i = 0; i < kAddressTypeCount; ++i) {
+    if (isStructuredType(static_cast<AddressType>(i))) {
+      structured += histogram.count[i];
+    }
+  }
+  const double structuredRatio =
+      static_cast<double>(structured) / static_cast<double>(n);
+  if (structuredRatio >= params.structuredShare) {
+    return AddressSelection::Structured;
+  }
+  if (n >= 8 && monotonicShareLanes(cols.hi, cols.lo) >= 0.9) {
+    return AddressSelection::Structured;
+  }
+
+  if (n >= params.minPacketsForNist) {
+    if (frequencyTestPacked(index.iidBitsOf(s)).pass(params.alpha)) {
       return AddressSelection::Random;
     }
   }
@@ -305,8 +357,7 @@ void classifyAddrBlock(const CaptureIndex& index,
                        std::vector<AddressSelection>& sessionAddrSel,
                        std::uint64_t counts[3]) {
   for (std::uint32_t si : sessionIdx) {
-    const AddressSelection sel =
-        classifyAddressSelection(index.targetsOf(si), addrParams);
+    const AddressSelection sel = classifyAddressSelection(index, si, addrParams);
     sessionAddrSel[si] = sel;
     counts[static_cast<std::size_t>(sel)]++;
   }

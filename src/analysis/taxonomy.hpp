@@ -154,6 +154,16 @@ struct TaxonomyResult {
 
 class CaptureIndex;
 
+/// Columnar overload: classify session `s` straight off the index's
+/// columns — classifyLanes over the IID lane, monotonic share on the
+/// (hi, lo) lane pair, packed frequency test on the bit column — with no
+/// address materialization. Bit-identical to
+/// classifyAddressSelection(index.targetsOf(s), params); dispatches to
+/// that scalar row path when the SIMD kernels are off (simd.hpp).
+[[nodiscard]] AddressSelection classifyAddressSelection(
+    const CaptureIndex& index, std::uint32_t s,
+    const AddressSelectionParams& params = {});
+
 /// Taxonomy over a pre-built shared index: targets and session-start runs
 /// come from the index memos instead of fresh packet-vector walks, and the
 /// per-source classification fans out cost-aware (LPT + work stealing,

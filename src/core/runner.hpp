@@ -119,6 +119,11 @@ public:
   /// in-memory mode, without materializing the packet vector.
   [[nodiscard]] telescope::KWayMerge<telescope::SegmentStore::Cursor>
   streamCapture(std::size_t i) const;
+  /// Ranged variant: the same stream starting at the first packet with
+  /// ts >= `from` (per-store sparse-index lower bounds; nothing before
+  /// `from` is read off disk).
+  [[nodiscard]] telescope::KWayMerge<telescope::SegmentStore::Cursor>
+  streamCapture(std::size_t i, sim::SimTime from) const;
   /// Packets captured by telescope `i`, valid in both modes.
   [[nodiscard]] std::uint64_t capturePacketCount(std::size_t i) const;
   [[nodiscard]] std::array<const telescope::CaptureStore*, 4> captures() const;

@@ -199,6 +199,14 @@ std::string Ipv6Address::toHexString() const {
   return out;
 }
 
+void gatherLanes(std::span<const Ipv6Address> addrs,
+                 std::span<std::uint64_t> hi, std::span<std::uint64_t> lo) {
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    hi[i] = addrs[i].hi64();
+    lo[i] = addrs[i].lo64();
+  }
+}
+
 Ipv6Address Ipv6Address::maskedTo(unsigned prefixLen) const {
   if (prefixLen >= 128) return *this;
   const u128 mask =

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -121,6 +122,12 @@ public:
 private:
   std::array<std::uint8_t, 16> b_{};
 };
+
+/// Gather the (hi64, lo64) lanes of an address run into two contiguous
+/// u64 columns — the SoA transpose the columnar analysis kernels consume
+/// (DESIGN.md §16). `hi` and `lo` must each hold `addrs.size()` slots.
+void gatherLanes(std::span<const Ipv6Address> addrs,
+                 std::span<std::uint64_t> hi, std::span<std::uint64_t> lo);
 
 } // namespace v6t::net
 

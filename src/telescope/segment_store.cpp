@@ -521,6 +521,25 @@ SegmentStore::Cursor SegmentStore::cursor() const {
   return Cursor{std::move(cursors), std::move(memRun)};
 }
 
+SegmentStore::Cursor SegmentStore::cursor(sim::SimTime from) const {
+  std::vector<SegmentCursor> cursors;
+  cursors.reserve(segments_.size());
+  for (const SegmentReader& seg : segments_) {
+    cursors.push_back(seg.lowerBound(from));
+  }
+  // The memtable is append-time-ordered, so the tail at or after `from` is
+  // one lower_bound away; dropping a ts-prefix cannot reorder what remains
+  // because ts is the canonical key's leading field.
+  const auto tail = std::lower_bound(
+      memtable_.begin(), memtable_.end(), from,
+      [](const net::Packet& p, sim::SimTime t) { return p.ts < t; });
+  std::vector<net::Packet> mem(tail, memtable_.end());
+  std::vector<net::Packet> memRun;
+  memRun.reserve(mem.size());
+  for (std::uint32_t i : canonicalOrderOf(mem)) memRun.push_back(mem[i]);
+  return Cursor{std::move(cursors), std::move(memRun)};
+}
+
 std::uint64_t SegmentStore::digest() const {
   std::uint64_t h = kFnvBasis;
   Cursor c = cursor();

@@ -216,6 +216,13 @@ public:
   };
   [[nodiscard]] Cursor cursor() const;
 
+  /// Cursor positioned at the first record with ts >= `from`: sparse-index
+  /// lowerBound per sealed segment plus a lower bound on the time-ordered
+  /// memtable. Streams exactly cursor()'s canonical order with the earlier
+  /// records dropped (ts leads the canonical key) — the ranged-dump path
+  /// of `v6t_run --dump-captures --from`.
+  [[nodiscard]] Cursor cursor(sim::SimTime from) const;
+
   /// Digest of the full canonical stream — equals CaptureStore::digest()
   /// over the same packets, by construction.
   [[nodiscard]] std::uint64_t digest() const;

@@ -7,7 +7,10 @@
 //
 // Without a config file the paper's default configuration runs. The tool
 // writes a summary report to stdout and, with --dump-captures, one
-// .v6tcap file per telescope into the output directory.
+// .v6tcap file per telescope into the output directory. --from/--to
+// restrict the dump to ts in [from, to) milliseconds; in spill mode the
+// start position comes from the segments' sparse time index
+// (SegmentReader::lowerBound), so nothing before `from` is read off disk.
 //
 // With --threads N (or `threads = N` in the config file) the sharded
 // ExperimentRunner executes the population across N worker shards and
@@ -81,7 +84,13 @@ int usage() {
                "               [--metrics-prom FILE] [--metrics-interval SEC]"
                " [--log-level LEVEL]\n"
                "               [--trace-out FILE] [--spill-dir DIR]"
-               " [--spill-bytes N]\n";
+               " [--spill-bytes N]\n"
+               "               [--from MS] [--to MS]\n"
+               "\n"
+               "--from/--to restrict --dump-captures to packets with\n"
+               "from <= ts < to (simulated milliseconds since epoch); in\n"
+               "spill mode the start lands via the segments' sparse time\n"
+               "index instead of a full scan.\n";
   return 2;
 }
 
@@ -104,6 +113,8 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> faultSeedOverride;
   std::string spillDir;
   std::uint64_t spillBytes = 0;
+  std::optional<std::int64_t> dumpFromMs;
+  std::optional<std::int64_t> dumpToMs;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out") {
@@ -166,6 +177,12 @@ int main(int argc, char** argv) {
         return usage();
       }
       obs::Logger::global().setLevel(obs::parseLevel(name));
+    } else if (arg == "--from") {
+      if (++i >= argc) return usage();
+      dumpFromMs = std::strtoll(argv[i], nullptr, 10);
+    } else if (arg == "--to") {
+      if (++i >= argc) return usage();
+      dumpToMs = std::strtoll(argv[i], nullptr, 10);
     } else if (arg == "--dump-captures") {
       dumpCaptures = true;
     } else if (arg == "--print-config") {
@@ -178,6 +195,11 @@ int main(int argc, char** argv) {
     } else {
       configPath = arg;
     }
+  }
+
+  if (dumpFromMs && dumpToMs && *dumpToMs <= *dumpFromMs) {
+    std::cerr << "--to must be greater than --from\n";
+    return usage();
   }
 
   core::ExperimentConfig config;
@@ -477,10 +499,17 @@ int main(int argc, char** argv) {
             std::filesystem::path{outDir} / (names[t] + ".v6tcap");
         std::ofstream out{path, std::ios::binary};
         net::CaptureWriter writer{out};
-        auto cursor = runner->streamCapture(t);
+        // Ranged dump: the cursor starts at the sparse-index lower bound
+        // for --from, and --to stops the ts-ordered stream early; the
+        // bytes written equal a full dump filtered to [from, to).
+        auto cursor = dumpFromMs
+                          ? runner->streamCapture(t, sim::SimTime{*dumpFromMs})
+                          : runner->streamCapture(t);
         if (!cursor.empty()) {
           do {
-            writer.write(cursor.head());
+            const net::Packet& p = cursor.head();
+            if (dumpToMs && p.ts.millis() >= *dumpToMs) break;
+            writer.write(p);
           } while (cursor.advance());
         }
         std::cout << "wrote " << path.string() << " ("
@@ -593,9 +622,30 @@ int main(int argc, char** argv) {
       const auto path =
           std::filesystem::path{outDir} / (names[t] + ".v6tcap");
       std::ofstream out{path, std::ios::binary};
-      captures[t]->writeTo(out);
+      if (!dumpFromMs && !dumpToMs) {
+        captures[t]->writeTo(out);
+        std::cout << "wrote " << path.string() << " ("
+                  << captures[t]->packetCount() << " records)\n";
+        continue;
+      }
+      // Ranged dump over the ts-ordered in-memory capture: one lower
+      // bound for --from, early stop at --to; byte-identical to a full
+      // dump filtered to [from, to).
+      const std::vector<net::Packet>& pkts = captures[t]->packets();
+      auto it = pkts.begin();
+      if (dumpFromMs) {
+        it = std::lower_bound(pkts.begin(), pkts.end(), *dumpFromMs,
+                              [](const net::Packet& p, std::int64_t ms) {
+                                return p.ts.millis() < ms;
+                              });
+      }
+      net::CaptureWriter writer{out};
+      for (; it != pkts.end(); ++it) {
+        if (dumpToMs && it->ts.millis() >= *dumpToMs) break;
+        writer.write(*it);
+      }
       std::cout << "wrote " << path.string() << " ("
-                << captures[t]->packetCount() << " records)\n";
+                << writer.recordsWritten() << " records)\n";
     }
   }
   return 0;
