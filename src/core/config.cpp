@@ -161,6 +161,53 @@ ConfigParseResult parseExperimentConfig(std::istream& in) {
       c.captureSpillDir = value;
     } else if (key == "capture.spill_bytes") {
       setU64(c.captureSpillBytes);
+    } else if (key == "serve.port") {
+      std::uint64_t v = 0;
+      if (!parseU64(value, v) || v > 65535) {
+        error("serve.port must be 0..65535 (0 = ephemeral): '" + value +
+              "'");
+      } else {
+        c.servePort = static_cast<std::uint16_t>(v);
+      }
+    } else if (key == "serve.threads") {
+      std::uint64_t v = 0;
+      if (!parseU64(value, v) || v < 1 || v > 64) {
+        error("serve.threads must be 1..64: '" + value + "'");
+      } else {
+        c.serveThreads = static_cast<unsigned>(v);
+      }
+    } else if (key == "serve.cache_bytes") {
+      setU64(c.serveCacheBytes);
+    } else if (key == "serve.cache_shards") {
+      std::uint64_t v = 0;
+      if (!parseU64(value, v) || v < 1 || v > 256) {
+        error("serve.cache_shards must be 1..256: '" + value + "'");
+      } else {
+        c.serveCacheShards = static_cast<unsigned>(v);
+      }
+    } else if (key == "serve.max_connections") {
+      std::uint64_t v = 0;
+      if (!parseU64(value, v) || v < 1 || v > 65536) {
+        error("serve.max_connections must be 1..65536: '" + value + "'");
+      } else {
+        c.serveMaxConnections = static_cast<unsigned>(v);
+      }
+    } else if (key == "serve.max_request_bytes") {
+      std::uint64_t v = 0;
+      if (!parseU64(value, v) || v < 512 || v > (1u << 20)) {
+        error("serve.max_request_bytes must be 512..1048576: '" + value +
+              "'");
+      } else {
+        c.serveMaxRequestBytes = static_cast<unsigned>(v);
+      }
+    } else if (key == "serve.idle_timeout_seconds") {
+      std::uint64_t v = 0;
+      if (!parseU64(value, v) || v < 1 || v > 3600) {
+        error("serve.idle_timeout_seconds must be 1..3600: '" + value +
+              "'");
+      } else {
+        c.serveIdleTimeoutSeconds = static_cast<unsigned>(v);
+      }
     } else if (key == "trace.enabled") {
       if (value == "true" || value == "1") {
         c.traceEnabled = true;
@@ -263,6 +310,33 @@ std::string formatExperimentConfig(const ExperimentConfig& c) {
   }
   if (c.captureSpillBytes != 0) {
     out << "capture.spill_bytes = " << c.captureSpillBytes << "\n";
+  }
+  // Serve keys only when non-default: configs written before the query
+  // service existed keep formatting byte-identically (golden round-trip).
+  {
+    const ExperimentConfig defaults;
+    if (c.servePort != defaults.servePort) {
+      out << "serve.port = " << c.servePort << "\n";
+    }
+    if (c.serveThreads != defaults.serveThreads) {
+      out << "serve.threads = " << c.serveThreads << "\n";
+    }
+    if (c.serveCacheBytes != defaults.serveCacheBytes) {
+      out << "serve.cache_bytes = " << c.serveCacheBytes << "\n";
+    }
+    if (c.serveCacheShards != defaults.serveCacheShards) {
+      out << "serve.cache_shards = " << c.serveCacheShards << "\n";
+    }
+    if (c.serveMaxConnections != defaults.serveMaxConnections) {
+      out << "serve.max_connections = " << c.serveMaxConnections << "\n";
+    }
+    if (c.serveMaxRequestBytes != defaults.serveMaxRequestBytes) {
+      out << "serve.max_request_bytes = " << c.serveMaxRequestBytes << "\n";
+    }
+    if (c.serveIdleTimeoutSeconds != defaults.serveIdleTimeoutSeconds) {
+      out << "serve.idle_timeout_seconds = " << c.serveIdleTimeoutSeconds
+          << "\n";
+    }
   }
   // Trace keys only when non-default, same golden round-trip reasoning.
   if (c.traceEnabled) out << "trace.enabled = true\n";

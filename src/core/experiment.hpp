@@ -95,6 +95,17 @@ struct ExperimentConfig {
     return !captureSpillDir.empty();
   }
 
+  /// Query-service knobs (`serve.*` keys, consumed by v6t_serve; the
+  /// simulation itself ignores them). serveCacheBytes = 0 disables the
+  /// result cache — the cache-off leg of bench/serve_load.
+  std::uint16_t servePort = 8080;
+  unsigned serveThreads = 2;
+  std::uint64_t serveCacheBytes = 64ull << 20;
+  unsigned serveCacheShards = 8;
+  unsigned serveMaxConnections = 256;
+  unsigned serveMaxRequestBytes = 8192;
+  unsigned serveIdleTimeoutSeconds = 30;
+
   /// Fault-injection spec, honored by the parallel ExperimentRunner (the
   /// serial Experiment is kept fault-free as the pristine reference). An
   /// empty spec leaves every output bitwise-identical to a build without

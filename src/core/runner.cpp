@@ -195,6 +195,19 @@ ExperimentRunner::streamCapture(std::size_t i, sim::SimTime from) const {
       std::move(cursors)};
 }
 
+telescope::KWayMerge<telescope::SegmentStore::Cursor>
+ExperimentRunner::streamCaptureForSource(
+    std::size_t i, const net::Ipv6Address& addr,
+    std::optional<sim::SimTime> from) const {
+  std::vector<telescope::SegmentStore::Cursor> cursors;
+  cursors.reserve(spillStores_.size());
+  for (const auto& shard : spillStores_) {
+    cursors.push_back(shard[i]->cursorForSource(addr, from));
+  }
+  return telescope::KWayMerge<telescope::SegmentStore::Cursor>{
+      std::move(cursors)};
+}
+
 std::uint64_t ExperimentRunner::capturePacketCount(std::size_t i) const {
   if (!spillEnabled()) return captures_[i].packetCount();
   std::uint64_t total = 0;

@@ -35,6 +35,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -124,6 +125,14 @@ public:
   /// `from` is read off disk).
   [[nodiscard]] telescope::KWayMerge<telescope::SegmentStore::Cursor>
   streamCapture(std::size_t i, sim::SimTime from) const;
+  /// Source-pruned variant for `--dump-captures --source`: each shard
+  /// store contributes a cursorForSource stream, so segments that hold
+  /// nothing from `addr` (per their exact source tables) are never read.
+  /// Still a superset of the source's packets — callers filter per record.
+  [[nodiscard]] telescope::KWayMerge<telescope::SegmentStore::Cursor>
+  streamCaptureForSource(std::size_t i, const net::Ipv6Address& addr,
+                         std::optional<sim::SimTime> from = std::nullopt)
+      const;
   /// Packets captured by telescope `i`, valid in both modes.
   [[nodiscard]] std::uint64_t capturePacketCount(std::size_t i) const;
   [[nodiscard]] std::array<const telescope::CaptureStore*, 4> captures() const;

@@ -1,0 +1,124 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace v6t::serve {
+
+ResultCache::ResultCache(Options options) {
+  const unsigned shardCount = std::max(1u, options.shards);
+  perShardBytes_ = options.totalBytes / shardCount;
+  if (options.totalBytes > 0 && perShardBytes_ == 0) perShardBytes_ = 1;
+  shards_.reserve(shardCount);
+  for (unsigned i = 0; i < shardCount; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (options.registry != nullptr) {
+    hitCounter_ = &options.registry->counter("serve.cache.hits_total");
+    missCounter_ = &options.registry->counter("serve.cache.misses_total");
+    evictCounter_ = &options.registry->counter("serve.cache.evictions_total");
+    bytesGauge_ = &options.registry->gauge("serve.cache.bytes");
+    entriesGauge_ = &options.registry->gauge("serve.cache.entries");
+  }
+}
+
+ResultCache::Shard& ResultCache::shardFor(const std::string& key) {
+  const std::size_t h = std::hash<std::string>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+void ResultCache::publishGauges() {
+  if (bytesGauge_ != nullptr) {
+    bytesGauge_->set(static_cast<double>(
+        bytes_.load(std::memory_order_relaxed)));
+  }
+  if (entriesGauge_ != nullptr) {
+    entriesGauge_->set(static_cast<double>(
+        entries_.load(std::memory_order_relaxed)));
+  }
+}
+
+std::optional<std::string> ResultCache::get(const std::string& key) {
+  if (!enabled()) return std::nullopt;
+  Shard& shard = shardFor(key);
+  std::optional<std::string> body;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      body = it->second->body;
+    }
+  }
+  if (body) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (hitCounter_ != nullptr) hitCounter_->inc();
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (missCounter_ != nullptr) missCounter_->inc();
+  }
+  return body;
+}
+
+void ResultCache::put(const std::string& key, const std::string& body) {
+  if (!enabled()) return;
+  Entry entry{key, body};
+  const std::uint64_t cost = charge(entry);
+  if (cost > perShardBytes_) return; // could never fit; don't thrash
+  Shard& shard = shardFor(key);
+  std::uint64_t evicted = 0;
+  std::int64_t bytesDelta = 0;
+  std::int64_t entriesDelta = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      bytesDelta -= static_cast<std::int64_t>(charge(*it->second));
+      shard.bytes -= charge(*it->second);
+      shard.lru.erase(it->second);
+      shard.map.erase(it);
+      --entriesDelta;
+    }
+    while (shard.bytes + cost > perShardBytes_ && !shard.lru.empty()) {
+      const Entry& cold = shard.lru.back();
+      shard.bytes -= charge(cold);
+      bytesDelta -= static_cast<std::int64_t>(charge(cold));
+      shard.map.erase(cold.key);
+      shard.lru.pop_back();
+      --entriesDelta;
+      ++evicted;
+    }
+    shard.lru.push_front(std::move(entry));
+    shard.map.emplace(shard.lru.front().key, shard.lru.begin());
+    shard.bytes += cost;
+    bytesDelta += static_cast<std::int64_t>(cost);
+    ++entriesDelta;
+  }
+  bytes_.fetch_add(static_cast<std::uint64_t>(bytesDelta),
+                   std::memory_order_relaxed);
+  entries_.fetch_add(static_cast<std::uint64_t>(entriesDelta),
+                     std::memory_order_relaxed);
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    if (evictCounter_ != nullptr) evictCounter_->inc(evicted);
+  }
+  publishGauges();
+}
+
+std::uint64_t ResultCache::bytes() const {
+  return bytes_.load(std::memory_order_relaxed);
+}
+std::uint64_t ResultCache::entries() const {
+  return entries_.load(std::memory_order_relaxed);
+}
+std::uint64_t ResultCache::hits() const {
+  return hits_.load(std::memory_order_relaxed);
+}
+std::uint64_t ResultCache::misses() const {
+  return misses_.load(std::memory_order_relaxed);
+}
+std::uint64_t ResultCache::evictions() const {
+  return evictions_.load(std::memory_order_relaxed);
+}
+
+} // namespace v6t::serve

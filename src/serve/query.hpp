@@ -1,0 +1,102 @@
+// v6t::serve — the read-only query engine behind v6t_serve's endpoints.
+//
+// One immutable analysis::CaptureIndex is built at construction (the
+// expensive part, paid once per loaded capture); every endpoint then
+// answers from the index memos and the existing analysis entry points:
+//
+//   /reports/table6     classifyIndexed over the shared index (taxonomy
+//                       scanner/session counts per axis — Table 6's rows)
+//   /heavy-hitters      findHeavyHitters(index, threshold) + impact, top-k
+//   /sources/<addr>     per-source aggregates + classifyTemporal
+//   /reaction-delays    first capture into each newly announced child
+//                       prefix vs its announceAt (needs the schedule)
+//   /metrics            Prometheus text from the shared obs::Registry
+//   /healthz            liveness probe
+//
+// Thread safety: the index is immutable after build (its only mutable
+// state is relaxed atomic hit counters) and every analysis entry point is
+// a pure function of it, so evaluate() may run concurrently from any
+// number of server workers. Responses are deterministic — fixed field
+// order, obs::fmt::fixed for floats — which is what makes the cached ==
+// uncached byte-equality contract testable at all.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "analysis/pipeline.hpp"
+#include "bgp/splitter.hpp"
+#include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "telescope/session.hpp"
+
+namespace v6t::serve {
+
+struct QueryEngineOptions {
+  /// Worker fan-out for cache-miss analysis (classifyIndexed runs on the
+  /// cost-aware scheduler, DESIGN.md §13; results are identical at every
+  /// value).
+  unsigned analysisThreads = 1;
+  std::uint64_t minSplitCost = analysis::kDefaultMinSplitCost;
+  /// Hard ceilings for the ?k= / ?threshold= query parameters.
+  std::uint64_t maxK = 10000;
+};
+
+class QueryEngine {
+public:
+  /// `packets`/`sessions` must outlive the engine (the index stores
+  /// views). `schedule` may be null — /reaction-delays then 404s, as for
+  /// telescopes without a BGP experiment. `registry` backs /metrics and
+  /// receives the serve.* instrumentation; may be null.
+  QueryEngine(std::span<const net::Packet> packets,
+              std::span<const telescope::Session> sessions,
+              const bgp::SplitSchedule* schedule,
+              QueryEngineOptions options = {},
+              obs::Registry* registry = nullptr);
+
+  struct Response {
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+  };
+
+  /// Evaluate one origin-form target ("/path?query"). Never throws;
+  /// malformed targets/parameters come back as 400/404 JSON errors.
+  [[nodiscard]] Response evaluate(std::string_view target) const;
+
+  /// False for endpoints whose body is not a pure function of the capture
+  /// (/metrics changes under your feet; /healthz is too cheap to cache).
+  [[nodiscard]] static bool cacheable(std::string_view path);
+
+  /// Short metric label for a decoded path ("table6", "heavy_hitters",
+  /// "sources", "reaction_delays", "metrics", "healthz", "other") — the
+  /// per-endpoint request-counter suffix.
+  [[nodiscard]] static std::string_view endpointLabel(std::string_view path);
+
+  [[nodiscard]] const analysis::CaptureIndex& index() const {
+    return pipeline_.index();
+  }
+
+private:
+  [[nodiscard]] Response table6() const;
+  [[nodiscard]] Response heavyHitters(
+      const std::vector<std::pair<std::string, std::string>>& params) const;
+  [[nodiscard]] Response sourceDetail(std::string_view addrText) const;
+  [[nodiscard]] Response reactionDelays() const;
+  [[nodiscard]] Response metricsText() const;
+  [[nodiscard]] static Response errorResponse(int status,
+                                              std::string_view message);
+
+  std::span<const net::Packet> packets_;
+  QueryEngineOptions options_;
+  const bgp::SplitSchedule* schedule_;
+  obs::Registry* registry_;
+  analysis::Pipeline pipeline_; // owns the shared CaptureIndex
+  /// /128 source address -> canonical source index, for /sources/<addr>.
+  std::map<net::Ipv6Address, std::size_t> sourceByAddr_;
+};
+
+} // namespace v6t::serve

@@ -540,6 +540,27 @@ SegmentStore::Cursor SegmentStore::cursor(sim::SimTime from) const {
   return Cursor{std::move(cursors), std::move(memRun)};
 }
 
+SegmentStore::Cursor SegmentStore::cursorForSource(
+    const net::Ipv6Address& addr, std::optional<sim::SimTime> from) const {
+  std::vector<SegmentCursor> cursors;
+  for (const SegmentReader& seg : segments_) {
+    // The source table is exact, so a zero count proves the segment holds
+    // nothing from `addr` — skipping it cannot change the filtered stream.
+    if (seg.packetsFromSource(addr) == 0) continue;
+    cursors.push_back(from ? seg.lowerBound(*from) : seg.cursor());
+  }
+  std::vector<net::Packet> mem;
+  for (const net::Packet& p : memtable_) {
+    if (p.src != addr) continue;
+    if (from && p.ts < *from) continue;
+    mem.push_back(p);
+  }
+  std::vector<net::Packet> memRun;
+  memRun.reserve(mem.size());
+  for (std::uint32_t i : canonicalOrderOf(mem)) memRun.push_back(mem[i]);
+  return Cursor{std::move(cursors), std::move(memRun)};
+}
+
 std::uint64_t SegmentStore::digest() const {
   std::uint64_t h = kFnvBasis;
   Cursor c = cursor();

@@ -223,6 +223,18 @@ public:
   /// of `v6t_run --dump-captures --from`.
   [[nodiscard]] Cursor cursor(sim::SimTime from) const;
 
+  /// Pruned cursor for a per-source scan: sealed segments whose source
+  /// table shows zero packets from `addr` are skipped entirely (their
+  /// files are never opened), and the memtable snapshot keeps only that
+  /// source's packets. The stream is still a superset of the source's
+  /// packets — retained segments interleave other sources — so callers
+  /// filter per record; the win is that a rare source touches only the
+  /// few segments that actually hold it. With `from`, retained segments
+  /// start at their sparse-index lower bound, like cursor(from).
+  [[nodiscard]] Cursor cursorForSource(
+      const net::Ipv6Address& addr,
+      std::optional<sim::SimTime> from = std::nullopt) const;
+
   /// Digest of the full canonical stream — equals CaptureStore::digest()
   /// over the same packets, by construction.
   [[nodiscard]] std::uint64_t digest() const;

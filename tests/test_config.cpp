@@ -95,6 +95,49 @@ TEST(Config, FormatRoundTrips) {
   EXPECT_EQ(reparsed.config.t2Attractor, custom.t2Attractor);
 }
 
+TEST(Config, ServeKeysParseAndRoundTrip) {
+  const auto result = parseExperimentConfig(std::string{R"(
+    serve.port = 9090
+    serve.threads = 4
+    serve.cache_bytes = 1048576
+    serve.cache_shards = 2
+    serve.max_connections = 100
+    serve.max_request_bytes = 4096
+    serve.idle_timeout_seconds = 5
+  )"});
+  ASSERT_TRUE(result.ok()) << (result.errors.empty() ? "" : result.errors[0]);
+  EXPECT_EQ(result.config.servePort, 9090);
+  EXPECT_EQ(result.config.serveThreads, 4u);
+  EXPECT_EQ(result.config.serveCacheBytes, 1048576u);
+  EXPECT_EQ(result.config.serveCacheShards, 2u);
+  EXPECT_EQ(result.config.serveMaxConnections, 100u);
+  EXPECT_EQ(result.config.serveMaxRequestBytes, 4096u);
+  EXPECT_EQ(result.config.serveIdleTimeoutSeconds, 5u);
+
+  const auto reparsed =
+      parseExperimentConfig(formatExperimentConfig(result.config));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.config.servePort, 9090);
+  EXPECT_EQ(reparsed.config.serveCacheBytes, 1048576u);
+  EXPECT_EQ(reparsed.config.serveIdleTimeoutSeconds, 5u);
+
+  // Cache disabled (the bench's cache-off leg) is a legal setting; the
+  // out-of-range corners are not.
+  EXPECT_TRUE(parseExperimentConfig(std::string{"serve.cache_bytes = 0"}).ok());
+  EXPECT_FALSE(parseExperimentConfig(std::string{"serve.threads = 0"}).ok());
+  EXPECT_FALSE(parseExperimentConfig(std::string{"serve.port = 70000"}).ok());
+  EXPECT_FALSE(
+      parseExperimentConfig(std::string{"serve.max_request_bytes = 1"}).ok());
+}
+
+TEST(Config, DefaultServeKeysAreNotEmitted) {
+  // Golden round-trip: a config that never mentions serve.* must format
+  // byte-identically to one from before the query service existed.
+  EXPECT_EQ(formatExperimentConfig(ExperimentConfig{})
+                .find("serve."),
+            std::string::npos);
+}
+
 TEST(Config, ErrorsCarryLineNumbers) {
   const auto result = parseExperimentConfig(std::string{
       "seed = 1\nbogus_key = 2\nseed = x\n"});

@@ -1,0 +1,527 @@
+// The query service (DESIGN.md §17): incremental HTTP parsing under
+// adversarial framing (truncated, oversized, pipelined requests), the
+// sharded byte-bounded LRU result cache, the QueryEngine's JSON endpoints
+// and error paths, and a live epoll server driven over real sockets —
+// keep-alive, pipelining, slow-loris idle reaping, and the multi-threaded
+// cached == uncached byte-equality contract the result cache rests on.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bgp/splitter.hpp"
+#include "net/packet.hpp"
+#include "serve/cache.hpp"
+#include "serve/http.hpp"
+#include "serve/query.hpp"
+#include "serve/server.hpp"
+#include "sim/time.hpp"
+#include "telescope/session.hpp"
+
+namespace v6t::serve {
+namespace {
+
+// ---------------------------------------------------------------- parser
+
+TEST(RequestParser, AssemblesAcrossArbitraryFragments) {
+  RequestParser parser;
+  const std::string raw = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  HttpRequest req;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    ASSERT_EQ(parser.poll(req), ParseState::NeedMore) << "byte " << i;
+    parser.feed(std::string_view{&raw[i], 1});
+  }
+  ASSERT_EQ(parser.poll(req), ParseState::Ready);
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/healthz");
+  EXPECT_TRUE(req.http11);
+  EXPECT_TRUE(req.keepAlive);
+  EXPECT_EQ(parser.bufferedBytes(), 0u);
+}
+
+TEST(RequestParser, PipelinedRequestsComeOutOneAtATime) {
+  RequestParser parser;
+  parser.feed("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+  HttpRequest req;
+  ASSERT_EQ(parser.poll(req), ParseState::Ready);
+  EXPECT_EQ(req.target, "/a");
+  EXPECT_GT(parser.bufferedBytes(), 0u);
+  ASSERT_EQ(parser.poll(req), ParseState::Ready);
+  EXPECT_EQ(req.target, "/b");
+  EXPECT_EQ(parser.poll(req), ParseState::NeedMore);
+}
+
+TEST(RequestParser, ErrorStatuses) {
+  struct Case {
+    const char* raw;
+    int status;
+  };
+  const Case cases[] = {
+      {"POST /x HTTP/1.1\r\n\r\n", 405},
+      {"GET /x HTTP/2.0\r\n\r\n", 505},
+      {"GET /x\r\n\r\n", 400},
+      {"garbage\r\n\r\n", 400},
+      // Bodies are rejected: these are read-only endpoints.
+      {"GET /x HTTP/1.1\r\nContent-Length: 5\r\n\r\n", 400},
+      {"GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 400},
+  };
+  for (const Case& c : cases) {
+    RequestParser parser;
+    parser.feed(c.raw);
+    HttpRequest req;
+    ASSERT_EQ(parser.poll(req), ParseState::Error) << c.raw;
+    EXPECT_EQ(parser.errorStatus(), c.status) << c.raw;
+  }
+}
+
+TEST(RequestParser, OversizedHeadIs431) {
+  RequestParser parser{128};
+  std::string raw = "GET /x HTTP/1.1\r\nX-Pad: ";
+  raw.append(200, 'a'); // no terminator yet — a slow loris with a firehose
+  parser.feed(raw);
+  HttpRequest req;
+  ASSERT_EQ(parser.poll(req), ParseState::Error);
+  EXPECT_EQ(parser.errorStatus(), 431);
+}
+
+TEST(RequestParser, KeepAliveDefaultsFollowVersion) {
+  const struct {
+    const char* raw;
+    bool keepAlive;
+  } cases[] = {
+      {"GET / HTTP/1.1\r\n\r\n", true},
+      {"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\n\r\n", false},
+      {"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+  };
+  for (const auto& c : cases) {
+    RequestParser parser;
+    parser.feed(c.raw);
+    HttpRequest req;
+    ASSERT_EQ(parser.poll(req), ParseState::Ready) << c.raw;
+    EXPECT_EQ(req.keepAlive, c.keepAlive) << c.raw;
+  }
+}
+
+TEST(HttpTarget, DecodeAndCanonicalKey) {
+  const auto t = parseTarget("/sources/x?b=2&a=1%20z");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->path, "/sources/x");
+  ASSERT_EQ(t->params.size(), 2u);
+  EXPECT_EQ(t->params[1].second, "1 z");
+  // Parameter order never splits the cache.
+  const auto t2 = parseTarget("/sources/x?a=1%20z&b=2");
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(canonicalQueryKey(*t), canonicalQueryKey(*t2));
+  EXPECT_FALSE(parseTarget("/x?a=%zz").has_value());
+  EXPECT_FALSE(parseTarget("no-slash").has_value());
+}
+
+TEST(HttpResponse, HeadGetsHeadersButNoBody) {
+  const std::string get =
+      formatResponse(200, "application/json", "{\"a\":1}", true, false);
+  const std::string head =
+      formatResponse(200, "application/json", "{\"a\":1}", true, true);
+  EXPECT_NE(get.find("Content-Length: 7"), std::string::npos);
+  EXPECT_NE(get.find("{\"a\":1}"), std::string::npos);
+  EXPECT_NE(head.find("Content-Length: 7"), std::string::npos);
+  EXPECT_EQ(head.find("{\"a\":1}"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- cache
+
+TEST(ResultCache, EvictsColdEntriesAtByteBound) {
+  // One shard so the LRU order is globally observable.
+  ResultCache cache{{.totalBytes = 512, .shards = 1}};
+  ASSERT_TRUE(cache.enabled());
+  const std::string body(64, 'x'); // 64 + key + 64 overhead per entry
+  cache.put("a", body);
+  cache.put("b", body);
+  cache.put("c", body);
+  EXPECT_EQ(cache.entries(), 3u);
+  // Touch "a" so "b" is the cold end, then push it out.
+  EXPECT_TRUE(cache.get("a").has_value());
+  cache.put("d", body);
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_GE(cache.evictions(), 1u);
+  EXPECT_LE(cache.bytes(), 512u);
+}
+
+TEST(ResultCache, OversizedBodiesAreNeverCached) {
+  ResultCache cache{{.totalBytes = 256, .shards = 1}};
+  cache.put("big", std::string(1024, 'x'));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_FALSE(cache.get("big").has_value());
+}
+
+TEST(ResultCache, ZeroBytesDisables) {
+  ResultCache cache{{.totalBytes = 0, .shards = 4}};
+  EXPECT_FALSE(cache.enabled());
+  cache.put("k", "v");
+  EXPECT_FALSE(cache.get("k").has_value());
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+// ------------------------------------------------- engine + live server
+
+/// Synthetic capture: `sources` scanners probing a /32, a couple of
+/// sessions each, one heavy hitter. Deterministic — no RNG — so every
+/// test run indexes the identical capture.
+std::vector<net::Packet> makeCapture(int sources) {
+  std::vector<net::Packet> out;
+  std::uint64_t seq = 0;
+  for (int s = 0; s < sources; ++s) {
+    const net::Ipv6Address src{0x2001'0db8'0000'0000ull,
+                               static_cast<std::uint64_t>(s + 1)};
+    const int bursts = (s == 0) ? 40 : 3; // source 0 is the heavy hitter
+    for (int b = 0; b < bursts; ++b) {
+      const std::int64_t base = (s * 37 + b * 211) * 60'000ll;
+      for (int k = 0; k < 5; ++k) {
+        net::Packet p;
+        p.ts = sim::SimTime{base + k * 1000};
+        p.src = src;
+        p.dst = net::Ipv6Address{0x3fff'0100'0000'0000ull,
+                                 static_cast<std::uint64_t>(seq)};
+        p.srcAsn = net::Asn{static_cast<std::uint32_t>(64500 + s)};
+        p.originId = static_cast<std::uint32_t>(s);
+        p.originSeq = seq++;
+        out.push_back(p);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const net::Packet& a, const net::Packet& b) {
+              return std::tuple{a.ts.millis(), a.originId, a.originSeq} <
+                     std::tuple{b.ts.millis(), b.originId, b.originSeq};
+            });
+  return out;
+}
+
+class ServeFixture : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    packets_ = new std::vector<net::Packet>{makeCapture(12)};
+    sessions_ = new std::vector<telescope::Session>{
+        telescope::sessionize(*packets_, telescope::SourceAgg::Addr128)};
+    bgp::SplitSchedule::Params params;
+    params.base = net::Prefix::mustParse("3fff:100::/32");
+    params.start = sim::kEpoch;
+    params.baseline = sim::weeks(1);
+    params.cycle = sim::weeks(1);
+    params.withdrawGap = sim::days(1);
+    params.splits = 2;
+    schedule_ = new bgp::SplitSchedule{bgp::SplitSchedule::make(params)};
+    QueryEngineOptions options;
+    options.analysisThreads = 2;
+    engine_ = new QueryEngine{*packets_, *sessions_, schedule_, options};
+  }
+
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete schedule_;
+    delete sessions_;
+    delete packets_;
+    engine_ = nullptr;
+    schedule_ = nullptr;
+    sessions_ = nullptr;
+    packets_ = nullptr;
+  }
+
+  static std::vector<net::Packet>* packets_;
+  static std::vector<telescope::Session>* sessions_;
+  static bgp::SplitSchedule* schedule_;
+  static QueryEngine* engine_;
+};
+
+std::vector<net::Packet>* ServeFixture::packets_ = nullptr;
+std::vector<telescope::Session>* ServeFixture::sessions_ = nullptr;
+bgp::SplitSchedule* ServeFixture::schedule_ = nullptr;
+QueryEngine* ServeFixture::engine_ = nullptr;
+
+TEST_F(ServeFixture, EngineAnswersEveryEndpoint) {
+  EXPECT_EQ(engine_->evaluate("/healthz").status, 200);
+  const auto table6 = engine_->evaluate("/reports/table6");
+  EXPECT_EQ(table6.status, 200);
+  EXPECT_NE(table6.body.find("\"temporal\""), std::string::npos);
+  const auto hitters = engine_->evaluate("/heavy-hitters?k=3");
+  EXPECT_EQ(hitters.status, 200);
+  EXPECT_NE(hitters.body.find("\"hitters\""), std::string::npos);
+  const auto source = engine_->evaluate("/sources/2001:db8::1");
+  EXPECT_EQ(source.status, 200);
+  EXPECT_NE(source.body.find("\"temporal\""), std::string::npos);
+  EXPECT_EQ(engine_->evaluate("/reaction-delays").status, 200);
+}
+
+TEST_F(ServeFixture, EngineErrorPaths) {
+  EXPECT_EQ(engine_->evaluate("/nope").status, 404);
+  EXPECT_EQ(engine_->evaluate("/sources/not-an-address").status, 400);
+  EXPECT_EQ(engine_->evaluate("/sources/3fff:ffff::99").status, 404);
+  EXPECT_EQ(engine_->evaluate("/heavy-hitters?k=0").status, 400);
+  EXPECT_EQ(engine_->evaluate("/heavy-hitters?bogus=1").status, 400);
+  EXPECT_EQ(engine_->evaluate("bad-target").status, 400);
+  // Without a schedule there is nothing to compute delays against.
+  const QueryEngine bare{*packets_, *sessions_, nullptr};
+  EXPECT_EQ(bare.evaluate("/reaction-delays").status, 404);
+}
+
+TEST_F(ServeFixture, CacheabilityAndLabels) {
+  EXPECT_TRUE(QueryEngine::cacheable("/reports/table6"));
+  EXPECT_FALSE(QueryEngine::cacheable("/metrics"));
+  EXPECT_FALSE(QueryEngine::cacheable("/healthz"));
+  EXPECT_EQ(QueryEngine::endpointLabel("/heavy-hitters"), "heavy_hitters");
+  EXPECT_EQ(QueryEngine::endpointLabel("/sources/::1"), "sources");
+  EXPECT_EQ(QueryEngine::endpointLabel("/x"), "other");
+}
+
+/// Blocking test client; the server side stays non-blocking.
+class Client {
+public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    const timeval tv{5, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void send(std::string_view bytes) const {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// Read one full response (head + Content-Length body). Empty string on
+  /// EOF/timeout before a complete head.
+  std::string recvResponse() {
+    while (true) {
+      const std::size_t headEnd = buf_.find("\r\n\r\n");
+      if (headEnd != std::string::npos) {
+        const std::size_t bodyLen = contentLength(buf_.substr(0, headEnd));
+        const std::size_t total = headEnd + 4 + bodyLen;
+        if (buf_.size() >= total) {
+          std::string out = buf_.substr(0, total);
+          buf_.erase(0, total);
+          return out;
+        }
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return {};
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Everything the peer sends until it closes the connection.
+  std::string recvUntilClosed() {
+    char chunk[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+    return std::move(buf_);
+  }
+
+  /// True when the peer closes within the receive timeout.
+  bool waitClosed() const {
+    char chunk[256];
+    while (true) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+    }
+  }
+
+private:
+  static std::size_t contentLength(const std::string& head) {
+    const std::string needle = "Content-Length: ";
+    const std::size_t at = head.find(needle);
+    if (at == std::string::npos) return 0;
+    return static_cast<std::size_t>(
+        std::strtoull(head.c_str() + at + needle.size(), nullptr, 10));
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+std::string statusLine(const std::string& response) {
+  return response.substr(0, response.find("\r\n"));
+}
+
+std::string bodyOf(const std::string& response) {
+  const std::size_t at = response.find("\r\n\r\n");
+  return at == std::string::npos ? std::string{} : response.substr(at + 4);
+}
+
+class LiveServerFixture : public ServeFixture {
+protected:
+  static void SetUpTestSuite() {
+    ServeFixture::SetUpTestSuite();
+    ServerOptions options;
+    options.port = 0;
+    options.threads = 2;
+    options.maxRequestBytes = 2048;
+    server_ = new Server{*engine_, options};
+    server_->start();
+  }
+  static void TearDownTestSuite() {
+    server_->stop();
+    delete server_;
+    server_ = nullptr;
+    ServeFixture::TearDownTestSuite();
+  }
+  static Server* server_;
+};
+
+Server* LiveServerFixture::server_ = nullptr;
+
+TEST_F(LiveServerFixture, ServesEndpointsOverRealSockets) {
+  Client client{server_->port()};
+  client.send("GET /reports/table6 HTTP/1.1\r\n\r\n");
+  const std::string response = client.recvResponse();
+  EXPECT_EQ(statusLine(response), "HTTP/1.1 200 OK");
+  EXPECT_EQ(bodyOf(response), engine_->evaluate("/reports/table6").body);
+}
+
+TEST_F(LiveServerFixture, KeepAliveServesManyRequestsPerConnection) {
+  Client client{server_->port()};
+  for (int i = 0; i < 5; ++i) {
+    client.send("GET /healthz HTTP/1.1\r\n\r\n");
+    const std::string response = client.recvResponse();
+    ASSERT_EQ(statusLine(response), "HTTP/1.1 200 OK") << "request " << i;
+  }
+}
+
+TEST_F(LiveServerFixture, PipelinedRequestsAnsweredInOrder) {
+  Client client{server_->port()};
+  client.send(
+      "GET /healthz HTTP/1.1\r\n\r\n"
+      "GET /reports/table6 HTTP/1.1\r\n\r\n"
+      "GET /nope HTTP/1.1\r\n\r\n");
+  EXPECT_NE(bodyOf(client.recvResponse()).find("ok"), std::string::npos);
+  EXPECT_NE(bodyOf(client.recvResponse()).find("table6"),
+            std::string::npos);
+  EXPECT_EQ(statusLine(client.recvResponse()), "HTTP/1.1 404 Not Found");
+}
+
+TEST_F(LiveServerFixture, MalformedRequestGets400AndClose) {
+  Client client{server_->port()};
+  client.send("garbage\r\n\r\n");
+  const std::string response = client.recvResponse();
+  EXPECT_EQ(statusLine(response), "HTTP/1.1 400 Bad Request");
+  EXPECT_TRUE(client.waitClosed());
+}
+
+TEST_F(LiveServerFixture, OversizedRequestGets431AndClose) {
+  Client client{server_->port()};
+  std::string raw = "GET /healthz HTTP/1.1\r\nX-Pad: ";
+  raw.append(4096, 'a');
+  client.send(raw);
+  const std::string response = client.recvResponse();
+  EXPECT_EQ(statusLine(response),
+            "HTTP/1.1 431 Request Header Fields Too Large");
+  EXPECT_TRUE(client.waitClosed());
+}
+
+TEST_F(LiveServerFixture, TruncatedRequestThenCleanRequestStillServed) {
+  {
+    // Half a request head, then the client vanishes.
+    Client client{server_->port()};
+    client.send("GET /repo");
+  }
+  Client client{server_->port()};
+  client.send("GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(statusLine(client.recvResponse()), "HTTP/1.1 200 OK");
+}
+
+TEST_F(LiveServerFixture, HeadRequestOmitsBody) {
+  // Connection: close so "everything until EOF" is exactly one response;
+  // a HEAD reply carries the true Content-Length but no body bytes.
+  Client client{server_->port()};
+  client.send("HEAD /reports/table6 HTTP/1.1\r\nConnection: close\r\n\r\n");
+  const std::string response = client.recvUntilClosed();
+  EXPECT_EQ(statusLine(response), "HTTP/1.1 200 OK");
+  EXPECT_NE(response.find("Content-Length: "), std::string::npos);
+  EXPECT_TRUE(bodyOf(response).empty());
+}
+
+TEST_F(LiveServerFixture, ConcurrentClientsGetByteIdenticalBodies) {
+  // The cached == uncached contract, exercised the hostile way: many
+  // threads racing over a mix of cacheable targets while the cache warms.
+  const std::vector<std::string> targets = {
+      "/reports/table6", "/heavy-hitters?k=3", "/heavy-hitters?k=5",
+      "/sources/2001:db8::1", "/reaction-delays"};
+  std::map<std::string, std::string> expected;
+  for (const std::string& t : targets) {
+    expected[t] = engine_->evaluate(t).body;
+  }
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 8; ++w) {
+    threads.emplace_back([&, w] {
+      Client client{server_->port()};
+      for (int i = 0; i < 20; ++i) {
+        const std::string& target = targets[(w + i) % targets.size()];
+        client.send("GET " + target + " HTTP/1.1\r\n\r\n");
+        const std::string response = client.recvResponse();
+        if (statusLine(response) != "HTTP/1.1 200 OK" ||
+            bodyOf(response) != expected[target]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(server_->cache().hits(), 0u);
+}
+
+TEST(ServeSlowLoris, IdleConnectionsAreReaped) {
+  const auto packets = makeCapture(3);
+  const auto sessions =
+      telescope::sessionize(packets, telescope::SourceAgg::Addr128);
+  const QueryEngine engine{packets, sessions, nullptr};
+  ServerOptions options;
+  options.port = 0;
+  options.threads = 1;
+  options.idleTimeoutSeconds = 0.2;
+  Server server{engine, options};
+  server.start();
+  const auto start = std::chrono::steady_clock::now();
+  Client client{server.port()};
+  client.send("GET /heal"); // partial head, then silence
+  EXPECT_TRUE(client.waitClosed());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed, 4.0); // reaped by the sweep, not the 5s client timeout
+  server.stop();
+}
+
+} // namespace
+} // namespace v6t::serve

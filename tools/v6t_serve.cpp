@@ -1,0 +1,292 @@
+// v6t_serve — event-driven query service over a recorded capture.
+//
+//   v6t_serve (--capture FILE | --spill-dir DIR) [config-file]
+//             [--telescope NAME] [--port N] [--threads N]
+//             [--analysis-threads N] [--cache-bytes N] [--no-schedule]
+//
+// Loads one telescope's capture — either an in-memory .v6tcap dump or a
+// spilled SegmentStore directory (a single store, or a runner spill root
+// with shard-*/NAME subdirectories merged in canonical order) — builds
+// the immutable analysis::CaptureIndex once, and serves the read-only
+// JSON endpoints of DESIGN.md §17 over HTTP/1.1:
+//
+//   GET /reports/table6      taxonomy scanner/session counts (Table 6)
+//   GET /heavy-hitters?k=N   top-k heavy hitters + their traffic impact
+//   GET /sources/<addr>      one source's aggregates and temporal class
+//   GET /reaction-delays     first capture vs announcement per cycle
+//   GET /metrics             Prometheus text (serve.* instrumentation)
+//   GET /healthz             liveness
+//
+// The config file (same format as v6t_run's) supplies both the split
+// schedule that /reaction-delays is computed against and the serve.*
+// tuning keys; command-line flags override. The schedule is rebuilt from
+// the timeline parameters alone (SplitSchedule::make is pure), so serving
+// does not re-run the experiment. --no-schedule drops it for captures
+// taken outside the BGP experiment (T2/T3/T4): /reaction-delays then 404s.
+//
+// Responses are deterministic functions of the capture, which is what the
+// sharded result cache (serve.cache_bytes; 0 disables) exploits — see
+// bench/serve_load for the cached-vs-uncached contract.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bgp/splitter.hpp"
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+#include "net/packet.hpp"
+#include "obs/metrics.hpp"
+#include "serve/query.hpp"
+#include "serve/server.hpp"
+#include "sim/time.hpp"
+#include "telescope/capture_store.hpp"
+#include "telescope/kway_merge.hpp"
+#include "telescope/segment_store.hpp"
+#include "telescope/session.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: v6t_serve (--capture FILE | --spill-dir DIR) [config-file]\n"
+         "                 [--telescope NAME] [--port N] [--threads N]\n"
+         "                 [--analysis-threads N] [--cache-bytes N]\n"
+         "                 [--no-schedule]\n"
+         "\n"
+         "--capture FILE     .v6tcap dump (v6t_run --dump-captures)\n"
+         "--spill-dir DIR    v6tseg SegmentStore dir, or a runner spill\n"
+         "                   root with shard-*/NAME subdirectories\n"
+         "--telescope NAME   telescope subdirectory in a spill root\n"
+         "                   (default T1)\n"
+         "--no-schedule      serve without a split schedule\n"
+         "                   (/reaction-delays returns 404)\n";
+  return 2;
+}
+
+std::atomic<bool> gStop{false};
+
+void onSignal(int) { gStop.store(true, std::memory_order_relaxed); }
+
+} // namespace
+
+int main(int argc, char** argv) {
+  using namespace v6t;
+
+  std::string capturePath;
+  std::string spillDir;
+  std::string configPath;
+  std::string telescopeName = "T1";
+  bool noSchedule = false;
+  int portOverride = -1;
+  unsigned threadsOverride = 0;
+  unsigned analysisThreadsOverride = 0;
+  std::int64_t cacheBytesOverride = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--capture") {
+      if (++i >= argc) return usage();
+      capturePath = argv[i];
+    } else if (arg == "--spill-dir") {
+      if (++i >= argc) return usage();
+      spillDir = argv[i];
+    } else if (arg == "--telescope") {
+      if (++i >= argc) return usage();
+      telescopeName = argv[i];
+    } else if (arg == "--port") {
+      if (++i >= argc) return usage();
+      const long v = std::strtol(argv[i], nullptr, 10);
+      if (v < 0 || v > 65535) {
+        std::cerr << "--port must be 0..65535 (0 = ephemeral)\n";
+        return usage();
+      }
+      portOverride = static_cast<int>(v);
+    } else if (arg == "--threads") {
+      if (++i >= argc) return usage();
+      const long v = std::strtol(argv[i], nullptr, 10);
+      if (v < 1 || v > 64) {
+        std::cerr << "--threads must be 1..64\n";
+        return usage();
+      }
+      threadsOverride = static_cast<unsigned>(v);
+    } else if (arg == "--analysis-threads") {
+      if (++i >= argc) return usage();
+      const long v = std::strtol(argv[i], nullptr, 10);
+      if (v < 1 || v > 64) {
+        std::cerr << "--analysis-threads must be 1..64\n";
+        return usage();
+      }
+      analysisThreadsOverride = static_cast<unsigned>(v);
+    } else if (arg == "--cache-bytes") {
+      if (++i >= argc) return usage();
+      cacheBytesOverride = std::strtoll(argv[i], nullptr, 10);
+      if (cacheBytesOverride < 0) {
+        std::cerr << "--cache-bytes must be >= 0 (0 disables the cache)\n";
+        return usage();
+      }
+    } else if (arg == "--no-schedule") {
+      noSchedule = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option " << arg << "\n";
+      return usage();
+    } else {
+      configPath = arg;
+    }
+  }
+
+  if (capturePath.empty() == spillDir.empty()) {
+    std::cerr << "exactly one of --capture / --spill-dir is required\n";
+    return usage();
+  }
+
+  core::ExperimentConfig config;
+  if (!configPath.empty()) {
+    std::ifstream in{configPath};
+    if (!in) {
+      std::cerr << "cannot open " << configPath << "\n";
+      return 1;
+    }
+    const auto parsed = core::parseExperimentConfig(in);
+    if (!parsed.ok()) {
+      for (const auto& e : parsed.errors) {
+        std::cerr << configPath << ": " << e << "\n";
+      }
+      return 1;
+    }
+    config = parsed.config;
+  }
+
+  // Load the capture into one canonical-order packet vector. The spill
+  // path streams the same k-way merge the analysis uses, so the packets —
+  // and therefore every response — are identical to the in-memory path.
+  std::vector<net::Packet> packets;
+  if (!capturePath.empty()) {
+    std::ifstream in{capturePath, std::ios::binary};
+    if (!in) {
+      std::cerr << "cannot open " << capturePath << "\n";
+      return 1;
+    }
+    telescope::CaptureStore store;
+    store.readFrom(in);
+    packets = store.packets();
+    std::cout << "loaded " << packets.size() << " packets from "
+              << capturePath << "\n";
+  } else {
+    namespace fs = std::filesystem;
+    if (!fs::is_directory(spillDir)) {
+      std::cerr << spillDir << " is not a directory\n";
+      return 1;
+    }
+    // Runner spill roots hold shard-<s>/<telescope> stores; a bare store
+    // directory holds the segments directly.
+    std::vector<fs::path> storeDirs;
+    for (const auto& entry : fs::directory_iterator(spillDir)) {
+      if (entry.is_directory() &&
+          entry.path().filename().string().rfind("shard-", 0) == 0) {
+        const fs::path sub = entry.path() / telescopeName;
+        if (fs::is_directory(sub)) storeDirs.push_back(sub);
+      }
+    }
+    std::sort(storeDirs.begin(), storeDirs.end());
+    if (storeDirs.empty()) storeDirs.push_back(spillDir);
+    std::vector<std::unique_ptr<telescope::SegmentStore>> stores;
+    std::vector<telescope::SegmentStore::Cursor> cursors;
+    std::uint64_t total = 0;
+    for (const fs::path& dir : storeDirs) {
+      telescope::SegmentStoreOptions opts;
+      opts.dir = dir;
+      stores.push_back(std::make_unique<telescope::SegmentStore>(opts));
+      total += stores.back()->recordCount();
+      cursors.push_back(stores.back()->cursor());
+    }
+    packets.reserve(total);
+    telescope::KWayMerge<telescope::SegmentStore::Cursor> merge{
+        std::move(cursors)};
+    while (!merge.done()) {
+      packets.push_back(merge.head());
+      merge.pop();
+    }
+    std::cout << "loaded " << packets.size() << " packets from "
+              << storeDirs.size() << " segment store(s) under " << spillDir
+              << "\n";
+  }
+
+  // Sessions at /128 — the unit of classification (§3.3) the index is
+  // built over, same as the analysis pipeline's default.
+  const std::vector<telescope::Session> sessions =
+      telescope::sessionize(packets, telescope::SourceAgg::Addr128);
+
+  // The schedule is pure data computed from the timeline parameters — no
+  // experiment run needed to know when each child prefix went live.
+  std::unique_ptr<bgp::SplitSchedule> schedule;
+  if (!noSchedule) {
+    bgp::SplitSchedule::Params params;
+    params.base = config.t1Base;
+    params.start = sim::kEpoch;
+    params.baseline = config.baseline;
+    params.cycle = config.cycle;
+    params.withdrawGap = config.withdrawGap;
+    params.splits = config.splits;
+    schedule =
+        std::make_unique<bgp::SplitSchedule>(bgp::SplitSchedule::make(params));
+  }
+
+  obs::Registry registry;
+  serve::QueryEngineOptions engineOptions;
+  engineOptions.analysisThreads = analysisThreadsOverride != 0
+                                      ? analysisThreadsOverride
+                                      : config.effectiveAnalysisThreads();
+  engineOptions.minSplitCost = config.analysisMinSplitCost;
+  std::cout << "building capture index (" << sessions.size()
+            << " sessions) ...\n";
+  const serve::QueryEngine engine{packets, sessions, schedule.get(),
+                                  engineOptions, &registry};
+
+  serve::ServerOptions serverOptions;
+  serverOptions.port = portOverride >= 0
+                           ? static_cast<std::uint16_t>(portOverride)
+                           : config.servePort;
+  serverOptions.threads =
+      threadsOverride != 0 ? threadsOverride : config.serveThreads;
+  serverOptions.cacheBytes = cacheBytesOverride >= 0
+                                 ? static_cast<std::uint64_t>(cacheBytesOverride)
+                                 : config.serveCacheBytes;
+  serverOptions.cacheShards = config.serveCacheShards;
+  serverOptions.maxConnections = config.serveMaxConnections;
+  serverOptions.maxRequestBytes = config.serveMaxRequestBytes;
+  serverOptions.idleTimeoutSeconds =
+      static_cast<double>(config.serveIdleTimeoutSeconds);
+  serverOptions.registry = &registry;
+
+  serve::Server server{engine, serverOptions};
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "cannot start server: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::cout << "serving on http://127.0.0.1:" << server.port() << " ("
+            << serverOptions.threads << " workers, cache "
+            << serverOptions.cacheBytes << " bytes)\n"
+            << std::flush;
+
+  while (!gStop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << "shutting down after " << server.requestsServed()
+            << " requests\n";
+  server.stop();
+  return 0;
+}
